@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestBuildGraphFamilies(t *testing.T) {
+	cases := []struct {
+		kind   string
+		blocks int
+		size   int
+		wantN  int
+	}{
+		{"ring", 3, 5, 15},
+		{"gnp", 0, 20, 20},
+		{"sbm", 2, 10, 20},
+		{"torus", 0, 5, 25},
+		{"dumbbell", 0, 6, 12},
+		{"expander", 0, 16, 16},
+	}
+	for _, tc := range cases {
+		g, err := buildGraph(tc.kind, tc.blocks, tc.size, 0.4, 1)
+		if err != nil {
+			t.Errorf("%s: %v", tc.kind, err)
+			continue
+		}
+		if g.N() != tc.wantN {
+			t.Errorf("%s: N = %d, want %d", tc.kind, g.N(), tc.wantN)
+		}
+	}
+}
+
+func TestBuildGraphUnknown(t *testing.T) {
+	if _, err := buildGraph("nope", 1, 1, 0.5, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

@@ -1,0 +1,78 @@
+// Command trianglebench reproduces the paper's triangle enumeration
+// comparison (Theorem 2 and the Section 3 CONGEST vs CONGESTED-CLIQUE
+// discussion): it runs our algorithm, the Dolev–Lenzen–Peled clique
+// baseline, and the naive CONGEST baseline on G(n, 1/2) instances and
+// prints the measured round table plus the scaling fit.
+//
+// Example:
+//
+//	trianglebench -sizes 24,48,96 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dexpander/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trianglebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed = flag.Uint64("seed", 1, "random seed")
+		all  = flag.Bool("all", false, "run every experiment table (E1..E10), not just triangles")
+		szs  = flag.String("sizes", "", "comma-separated sizes for a custom scaling run")
+	)
+	flag.Parse()
+
+	if *all {
+		tables, err := harness.All(harness.Default, *seed)
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		return err
+	}
+	if *szs != "" {
+		if err := customSizes(*szs, *seed); err != nil {
+			return err
+		}
+		return nil
+	}
+	for _, run := range []func(harness.Scale, uint64) (*harness.Table, error){
+		harness.E2TriangleScaling,
+		harness.E7ModelComparison,
+	} {
+		t, err := run(harness.Default, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+	}
+	return nil
+}
+
+func customSizes(csv string, seed uint64) error {
+	var sizes []int
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad size %q: %w", part, err)
+		}
+		sizes = append(sizes, n)
+	}
+	t, err := harness.TriangleCustom(sizes, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(t)
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package dexpander reproduces "Improved Distributed Expander
+// Decomposition and Nearly Optimal Triangle Enumeration" (Chang &
+// Saranurak, PODC 2019) as a Go library: an (eps, phi)-expander
+// decomposition for the CONGEST model (Theorem 1), the first distributed
+// nearly most balanced sparse cut (Theorem 3), a high-probability
+// low-diameter decomposition (Theorem 4), and the resulting
+// ~O(n^{1/3})-round triangle enumeration (Theorem 2), together with a
+// faithful CONGEST/CONGESTED-CLIQUE simulator, baselines, and a
+// benchmark harness that regenerates every theorem's quantities.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for measured results.
+package dexpander

@@ -1,0 +1,57 @@
+// Low-diameter decomposition (Theorem 4) on a barbell-path: watch the
+// density partition protect the dense clique ends (V_D) while the
+// exponential-shift clustering chops the sparse path, giving bounded
+// component diameters with a w.h.p. cut bound — and no diameter-time
+// spent, even though the graph's diameter is the path length.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/ldd"
+	"dexpander/internal/rng"
+)
+
+func main() {
+	// Two K20s joined by a 300-vertex path: diameter ~ 302.
+	g := gen.BarbellPath(20, 300)
+	view := graph.WholeGraph(g)
+	fmt.Println("input:", gen.Describe(g))
+	fmt.Println("graph diameter:", view.DiameterApprox(0), "(approx)")
+
+	// beta = 0.5 is below this instance's splittable scale: every
+	// A-ball (A ~ 2 ln n / beta) holds more than m/(2B) edges, so the
+	// density partition marks everything V_D and the contract holds
+	// trivially with zero cuts. beta = 0.9 shrinks the balls into the
+	// sparse regime and the path shatters into low-diameter pieces.
+	for _, beta := range []float64{0.5, 0.9} {
+		pr := ldd.NewParams(g.N(), beta, ldd.Practical)
+		res := ldd.Decompose(view, pr, rng.New(7))
+		bound := 2*(pr.T+1) + 20*pr.A*pr.B + 2
+		fmt.Printf("\nbeta=%.1f: %d components, max diameter %d (bound %d), cut fraction %.3f (bound %.1f)\n",
+			beta, res.Count, res.MaxDiameter(view), bound, res.CutFraction(view), 3*beta)
+		// The clique ends are dense, so they sit inside V_D and are
+		// never split.
+		for e := 0; e < g.M(); e++ {
+			u, v := g.EdgeEndpoints(e)
+			if u < 20 && v < 20 && res.Labels[u] != res.Labels[v] {
+				log.Fatal("a clique edge was cut — density partition failed")
+			}
+		}
+		fmt.Println("clique ends intact (V_D protected them)")
+	}
+
+	// The distributed pipeline measures the round cost: note it is far
+	// below the graph diameter times any repetition count — Theorem 4's
+	// headline.
+	pr := ldd.NewParams(g.N(), 0.9, ldd.Practical)
+	res, stats, err := ldd.DistDecompose(view, pr, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndistributed run: %d components in %d CONGEST rounds (graph diameter %d)\n",
+		res.Count, stats.Rounds, view.DiameterApprox(0))
+}

@@ -1,0 +1,41 @@
+// Conductance vs mixing time: the Jerrum–Sinclair relation
+// Theta(1/Phi) <= tau_mix <= Theta(log n / Phi^2) that makes expander
+// decomposition useful — low-conductance components mix fast, which is
+// what the routing layer and the triangle algorithm rely on.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/spectral"
+)
+
+func main() {
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"complete K32", gen.Complete(32)},
+		{"hypercube d=6", gen.Hypercube(6)},
+		{"expander 5-reg", gen.ExpanderByMatchings(64, 5, 1)},
+		{"torus 10x10", gen.Torus(10)},
+		{"ring of cliques", gen.RingOfCliques(4, 8, 1)},
+		{"cycle C64", gen.Cycle(64)},
+	}
+	fmt.Println("graph             n    Phi(sweep)  lambda2/2  tauMix  logn/Phi^2")
+	for _, f := range families {
+		view := graph.WholeGraph(f.g)
+		phiUp := spectral.ConductanceSweepUpper(view, []int{0, 1}, 40)
+		cheegerLo := spectral.CheegerLower(view, 800, 1)
+		tau := spectral.MixingTime(view, 0, 0.5, 1_000_000)
+		n := float64(f.g.N())
+		upper := math.Log(n) / (cheegerLo * cheegerLo)
+		fmt.Printf("%-16s %4d  %-10.4f  %-9.4f  %-6d  %.0f\n",
+			f.name, f.g.N(), phiUp, cheegerLo, tau, upper)
+	}
+	fmt.Println("\nhigh conductance -> fast mixing (top rows); sparse cuts -> slow mixing (bottom).")
+	fmt.Println("the decomposition guarantees every component sits in the top regime.")
+}

@@ -1,0 +1,57 @@
+package congest
+
+import "sync"
+
+// barrier is a reusable round barrier whose participant count can shrink
+// as nodes finish. The last arriver of each generation runs onRelease
+// (message delivery) while everyone else is parked, which gives the
+// simulation its synchronous-rounds semantics.
+type barrier struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	n         int // live participants
+	arrived   int
+	gen       uint64
+	onRelease func()
+}
+
+func (b *barrier) init(n int, onRelease func()) {
+	b.n = n
+	b.onRelease = onRelease
+	b.cond = sync.NewCond(&b.mu)
+}
+
+// wait parks the caller until all live participants have arrived; the last
+// arriver triggers delivery and releases the generation.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.arrived++
+	if b.arrived == b.n {
+		b.release()
+		return
+	}
+	gen := b.gen
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}
+
+// leave removes the caller from the participant set. If the caller was the
+// only missing arrival of the current generation, the generation releases.
+func (b *barrier) leave() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n--
+	if b.n > 0 && b.arrived == b.n {
+		b.release()
+	}
+}
+
+// release must be called with mu held and all live participants arrived.
+func (b *barrier) release() {
+	b.onRelease()
+	b.arrived = 0
+	b.gen++
+	b.cond.Broadcast()
+}

@@ -1,0 +1,73 @@
+package congest
+
+import (
+	"testing"
+
+	"dexpander/internal/graph"
+)
+
+// BenchmarkRoundThroughput measures the engine's cost per simulated
+// round: 400 nodes on a grid exchanging one message per edge per round.
+func BenchmarkRoundThroughput(b *testing.B) {
+	const k = 20
+	gb := graph.NewBuilder(k * k)
+	id := func(i, j int) int { return ((i%k+k)%k)*k + (j%k+k)%k }
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			gb.AddEdge(id(i, j), id(i+1, j))
+			gb.AddEdge(id(i, j), id(i, j+1))
+		}
+	}
+	view := graph.WholeGraph(gb.Graph())
+	b.ResetTimer()
+	rounds := b.N
+	e := New(view, Config{})
+	err := e.Run(func(nd *Node) {
+		for r := 0; r < rounds; r++ {
+			nd.SendToAll(int64(r))
+			nd.Next()
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBFSTreeProtocol(b *testing.B) {
+	gb := graph.NewBuilder(256)
+	for v := 1; v < 256; v++ {
+		gb.AddEdge(v/2, v) // binary tree
+	}
+	view := graph.WholeGraph(gb.Graph())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := New(view, Config{})
+		if err := e.Run(func(nd *Node) {
+			BFSTree(nd, true, nd.V() == 0, 10, nil)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelinedConvergecast(b *testing.B) {
+	gb := graph.NewBuilder(256)
+	for v := 1; v < 256; v++ {
+		gb.AddEdge(v/2, v)
+	}
+	view := graph.WholeGraph(gb.Graph())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := New(view, Config{})
+		if err := e.Run(func(nd *Node) {
+			tree := BFSTree(nd, true, nd.V() == 0, 10, nil)
+			vectors := make([][]int64, 16)
+			for j := range vectors {
+				vectors[j] = []int64{int64(nd.V()), 1}
+			}
+			PipelinedConvergecastSum(nd, tree, 10, vectors)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package congest simulates the synchronous CONGEST model of distributed
+// computing on top of a graph view.
+//
+// Each member vertex of the communication graph runs the same program
+// (SPMD) in its own goroutine. Time advances in rounds: a node stages
+// messages with Send and then calls Next, which blocks at a global barrier
+// until every live node has finished the round; the engine then delivers
+// all staged messages and releases the nodes into the next round. This
+// mirrors the model exactly: per round, each edge carries at most one
+// message of at most MaxWords machine words per logical channel, in each
+// direction, and violations are programming errors that abort the run.
+//
+// Logical channels model the paper's multiplexed executions (e.g. up to w
+// simultaneous ApproximateNibble instances share edges, Lemma 10): running
+// with Channels = w is accounted as w-fold round inflation in
+// Stats.CongestRounds, which is how the paper charges it.
+//
+// A Clique engine (NewClique) provides the CONGESTED-CLIQUE variant where
+// every pair of nodes is connected, used by the Dolev–Lenzen–Peled triangle
+// baseline.
+package congest
+
+import (
+	"fmt"
+	"sync"
+
+	"dexpander/internal/graph"
+	"dexpander/internal/rng"
+)
+
+// Config controls an engine run.
+type Config struct {
+	// MaxWords is the maximum number of 64-bit words per message
+	// (the model's O(log n) bits). Defaults to 4.
+	MaxWords int
+	// Channels is the number of logical channels per edge per round.
+	// Defaults to 1. CongestRounds is inflated by this factor.
+	Channels int
+	// MaxRounds aborts the run when exceeded (protects tests from
+	// livelock). Defaults to 10,000,000.
+	MaxRounds int
+	// Seed derives every node's private random stream.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxWords <= 0 {
+		c.MaxWords = 4
+	}
+	if c.Channels <= 0 {
+		c.Channels = 1
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 10_000_000
+	}
+	return c
+}
+
+// Stats summarizes the cost of a run.
+type Stats struct {
+	// Rounds is the number of synchronous rounds (barrier generations).
+	Rounds int
+	// CongestRounds is Rounds multiplied by the channel width: the cost
+	// in the unmultiplexed CONGEST model.
+	CongestRounds int
+	// Messages is the total number of point-to-point messages delivered.
+	Messages int64
+	// Words is the total number of payload words delivered.
+	Words int64
+}
+
+// Add accumulates other into s (used when a protocol runs in stages).
+func (s *Stats) Add(other Stats) {
+	s.Rounds += other.Rounds
+	s.CongestRounds += other.CongestRounds
+	s.Messages += other.Messages
+	s.Words += other.Words
+}
+
+// port is one endpoint's view of a communication link.
+type port struct {
+	peerNode int // dense node index of the other endpoint
+	peerPort int // index of the reverse port at the peer
+	neighbor int // global vertex id of the other endpoint
+	edge     int // base-graph edge id, or -1 for clique links
+}
+
+// outMsg is a staged outgoing message.
+type outMsg struct {
+	port  int
+	ch    int
+	words []int64
+}
+
+// Incoming is a delivered message as seen by the receiving node.
+type Incoming struct {
+	// Port is the receiving node's port the message arrived on.
+	Port int
+	// Ch is the logical channel.
+	Ch int
+	// Words is the payload; valid until the node's next call to Next.
+	Words []int64
+}
+
+// Engine simulates one run of a node program over a communication graph.
+// An Engine is single-use: construct, Run once, read Stats.
+type Engine struct {
+	cfg       Config
+	nodes     []*Node
+	nodeOf    []int // global vertex -> dense node index, -1 if not a member
+	bar       barrier
+	stats     Stats
+	failMu    sync.Mutex
+	fail      error
+	delivered bool
+}
+
+// New builds an engine whose topology is the usable part of the given
+// view: nodes are member vertices and links are usable edges (self-loops
+// excluded — a node needs no channel to itself).
+func New(view *graph.Sub, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	g := view.Base()
+	e := &Engine{cfg: cfg, nodeOf: make([]int, g.N())}
+	for v := range e.nodeOf {
+		e.nodeOf[v] = -1
+	}
+	root := rng.New(cfg.Seed)
+	view.Members().ForEach(func(v int) {
+		idx := len(e.nodes)
+		e.nodeOf[v] = idx
+		e.nodes = append(e.nodes, &Node{
+			eng: e,
+			v:   v,
+			idx: idx,
+			rng: root.Fork(uint64(v)),
+		})
+	})
+	// Wire ports: iterate edges once so both endpoints agree on port
+	// pairing.
+	for ed := 0; ed < g.M(); ed++ {
+		if !view.Usable(ed) || g.IsLoop(ed) {
+			continue
+		}
+		u, v := g.EdgeEndpoints(ed)
+		nu, nv := e.nodes[e.nodeOf[u]], e.nodes[e.nodeOf[v]]
+		pu, pv := len(nu.ports), len(nv.ports)
+		nu.ports = append(nu.ports, port{peerNode: nv.idx, peerPort: pv, neighbor: v, edge: ed})
+		nv.ports = append(nv.ports, port{peerNode: nu.idx, peerPort: pu, neighbor: u, edge: ed})
+	}
+	e.finishInit()
+	return e
+}
+
+// NewClique builds a CONGESTED-CLIQUE engine over n nodes with global
+// vertex ids 0..n-1: every pair of nodes is connected by a link.
+func NewClique(n int, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, nodeOf: make([]int, n)}
+	root := rng.New(cfg.Seed)
+	for v := 0; v < n; v++ {
+		e.nodeOf[v] = v
+		e.nodes = append(e.nodes, &Node{eng: e, v: v, idx: v, rng: root.Fork(uint64(v))})
+	}
+	for i := 0; i < n; i++ {
+		nd := e.nodes[i]
+		nd.ports = make([]port, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			// Port of j at node i is j (or j-1 when j > i); the
+			// reverse port of i at node j is i (or i-1 when i > j).
+			rev := i
+			if i > j {
+				rev = i - 1
+			}
+			nd.ports = append(nd.ports, port{peerNode: j, peerPort: rev, neighbor: j, edge: -1})
+		}
+	}
+	e.finishInit()
+	return e
+}
+
+func (e *Engine) finishInit() {
+	for _, nd := range e.nodes {
+		nd.portOf = make(map[int]int, len(nd.ports))
+		for p, pt := range nd.ports {
+			nd.portOf[pt.neighbor] = p
+		}
+		nd.sentStamp = make([]int, len(nd.ports)*e.cfg.Channels)
+		for i := range nd.sentStamp {
+			nd.sentStamp[i] = -1
+		}
+	}
+	e.bar.init(len(e.nodes), e.deliver)
+}
+
+// Run executes prog on every node and blocks until all nodes return.
+// It returns the first failure (bandwidth violation, round-limit breach, or
+// a panic inside prog) if any; the simulation state is then unspecified.
+func (e *Engine) Run(prog func(*Node)) error {
+	var wg sync.WaitGroup
+	wg.Add(len(e.nodes))
+	for _, nd := range e.nodes {
+		nd := nd
+		go func() {
+			defer wg.Done()
+			defer e.bar.leave()
+			defer func() {
+				if r := recover(); r != nil {
+					e.setFail(fmt.Errorf("congest: node %d panicked: %v", nd.v, r))
+				}
+			}()
+			prog(nd)
+		}()
+	}
+	wg.Wait()
+	return e.fail
+}
+
+// Stats returns the accumulated cost of the run.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// NumNodes returns the number of participating nodes.
+func (e *Engine) NumNodes() int { return len(e.nodes) }
+
+func (e *Engine) setFail(err error) {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	if e.fail == nil {
+		e.fail = err
+	}
+}
+
+// deliver is called by the barrier, with all live nodes parked, once per
+// round. It moves staged messages into receivers' inboxes deterministically
+// (node order, then staging order).
+func (e *Engine) deliver() {
+	e.stats.Rounds++
+	e.stats.CongestRounds += e.cfg.Channels
+	if e.stats.Rounds > e.cfg.MaxRounds {
+		e.setFail(fmt.Errorf("congest: exceeded MaxRounds=%d", e.cfg.MaxRounds))
+		// Nodes will observe the failure at their next Send/Next and
+		// panic out; clear outboxes to avoid unbounded growth.
+	}
+	for _, nd := range e.nodes {
+		nd.inNext = nd.inNext[:0]
+	}
+	for _, nd := range e.nodes {
+		for _, m := range nd.out {
+			pt := nd.ports[m.port]
+			peer := e.nodes[pt.peerNode]
+			peer.inNext = append(peer.inNext, Incoming{Port: pt.peerPort, Ch: m.ch, Words: m.words})
+			e.stats.Messages++
+			e.stats.Words += int64(len(m.words))
+		}
+		nd.out = nd.out[:0]
+	}
+	for _, nd := range e.nodes {
+		nd.in, nd.inNext = nd.inNext, nd.in
+	}
+}

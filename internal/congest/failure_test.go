@@ -1,0 +1,168 @@
+package congest
+
+import (
+	"strings"
+	"testing"
+
+	"dexpander/internal/graph"
+)
+
+// Failure-injection tests: the engine must fail loudly and promptly, not
+// hang or silently corrupt, when programs misbehave.
+
+func TestExactWordLimitAccepted(t *testing.T) {
+	e := New(pathSub(2), Config{MaxWords: 3})
+	err := e.Run(func(nd *Node) {
+		if nd.V() == 0 {
+			nd.Send(0, 1, 2, 3) // exactly the limit
+		}
+		msgs := nd.Next()
+		if nd.V() == 1 && len(msgs) != 1 {
+			t.Errorf("boundary message lost")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadChannelRejected(t *testing.T) {
+	e := New(pathSub(2), Config{Channels: 2})
+	err := e.Run(func(nd *Node) {
+		nd.SendOn(2, 0, 1)
+		nd.Next()
+	})
+	if err == nil || !strings.Contains(err.Error(), "channel") {
+		t.Fatalf("bad channel accepted: %v", err)
+	}
+}
+
+func TestBadPortRejected(t *testing.T) {
+	e := New(pathSub(2), Config{})
+	err := e.Run(func(nd *Node) {
+		nd.Send(7, 1)
+		nd.Next()
+	})
+	if err == nil || !strings.Contains(err.Error(), "port") {
+		t.Fatalf("bad port accepted: %v", err)
+	}
+}
+
+func TestPanicDuringBarrierDoesNotDeadlock(t *testing.T) {
+	// One node panics while others are parked at the barrier: the run
+	// must still terminate with the panic as its error.
+	e := New(pathSub(4), Config{})
+	err := e.Run(func(nd *Node) {
+		if nd.V() == 2 {
+			nd.Next() // join one round so others arrive at gen 2
+			panic("mid-protocol crash")
+		}
+		for i := 0; i < 3; i++ {
+			nd.Next()
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "mid-protocol crash") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHalfHaltHalfContinue(t *testing.T) {
+	// Half the nodes stop after one round; the rest keep exchanging.
+	// Messages to departed nodes are dropped harmlessly.
+	const n = 8
+	e := New(pathSub(n), Config{})
+	err := e.Run(func(nd *Node) {
+		rounds := 1
+		if nd.V()%2 == 0 {
+			rounds = 6
+		}
+		for i := 0; i < rounds; i++ {
+			nd.SendToAll(int64(i))
+			nd.Next()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Rounds != 6 {
+		t.Fatalf("rounds = %d, want 6", e.Stats().Rounds)
+	}
+}
+
+func TestMessagesToDepartedNodes(t *testing.T) {
+	// Node 1 leaves immediately; node 0 keeps sending to it. No crash,
+	// no delivery.
+	e := New(pathSub(2), Config{})
+	err := e.Run(func(nd *Node) {
+		if nd.V() == 1 {
+			return
+		}
+		for i := 0; i < 5; i++ {
+			nd.Send(0, int64(i))
+			nd.Next()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Messages != 5 {
+		t.Fatalf("messages = %d", e.Stats().Messages)
+	}
+}
+
+func TestZeroWordMessageAllowed(t *testing.T) {
+	// An empty payload is a legal "ping".
+	e := New(pathSub(2), Config{})
+	got := -1
+	err := e.Run(func(nd *Node) {
+		if nd.V() == 0 {
+			nd.Send(0)
+		}
+		msgs := nd.Next()
+		if nd.V() == 1 {
+			got = len(msgs)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("ping lost: %d", got)
+	}
+}
+
+func TestEngineReuseAfterFailure(t *testing.T) {
+	// A failed engine is single-use; a fresh engine on the same view
+	// must work.
+	view := pathSub(3)
+	bad := New(view, Config{MaxWords: 1})
+	_ = bad.Run(func(nd *Node) {
+		nd.Send(0, 1, 2)
+		nd.Next()
+	})
+	good := New(view, Config{})
+	if err := good.Run(func(nd *Node) { nd.Next() }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCliqueChannelsAndStats(t *testing.T) {
+	e := NewClique(4, Config{Channels: 2})
+	err := e.Run(func(nd *Node) {
+		for p := 0; p < nd.Degree(); p++ {
+			nd.SendOn(0, p, 1)
+			nd.SendOn(1, p, 2)
+		}
+		if got := len(nd.Next()); got != 6 {
+			t.Errorf("node %d received %d, want 6", nd.V(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().CongestRounds != 2 {
+		t.Fatalf("CongestRounds = %d", e.Stats().CongestRounds)
+	}
+}
+
+var _ = graph.Unreachable // keep the import for future cases

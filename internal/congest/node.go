@@ -1,0 +1,137 @@
+package congest
+
+import "fmt"
+
+import "dexpander/internal/rng"
+
+// Node is one vertex's handle onto the simulation. All methods must be
+// called only from the goroutine running the node's program.
+type Node struct {
+	eng       *Engine
+	v         int
+	idx       int
+	ports     []port
+	portOf    map[int]int
+	rng       *rng.RNG
+	out       []outMsg
+	in        []Incoming
+	inNext    []Incoming
+	round     int
+	sentStamp []int // per (channel*port): round of last send, -1 never
+}
+
+// V returns the node's global vertex id.
+func (n *Node) V() int { return n.v }
+
+// Degree returns the number of communication ports (usable incident
+// edges, or n-1 in clique mode).
+func (n *Node) Degree() int { return len(n.ports) }
+
+// NeighborID returns the global vertex id across the given port.
+func (n *Node) NeighborID(p int) int { return n.ports[p].neighbor }
+
+// EdgeID returns the base-graph edge id of the given port (-1 in clique
+// mode).
+func (n *Node) EdgeID(p int) int { return n.ports[p].edge }
+
+// PortOf returns the port leading to the given neighbor vertex id, or -1
+// if there is no such link.
+func (n *Node) PortOf(neighbor int) int {
+	if p, ok := n.portOf[neighbor]; ok {
+		return p
+	}
+	return -1
+}
+
+// Rand returns the node's private random stream (the model's unlimited
+// local random bits, deterministically derived from the engine seed and
+// the vertex id).
+func (n *Node) Rand() *rng.RNG { return n.rng }
+
+// Round returns the number of completed rounds at this node.
+func (n *Node) Round() int { return n.round }
+
+// Send stages a message on channel 0 for delivery at the end of the
+// round. A node may send at most one message per (port, channel) per
+// round, of at most MaxWords words; violating either is a programming
+// error and aborts the run.
+func (n *Node) Send(port int, words ...int64) { n.SendOn(0, port, words...) }
+
+// SendOn stages a message on the given logical channel.
+func (n *Node) SendOn(ch, port int, words ...int64) {
+	n.checkFail()
+	if ch < 0 || ch >= n.eng.cfg.Channels {
+		panic(fmt.Sprintf("channel %d out of range [0,%d)", ch, n.eng.cfg.Channels))
+	}
+	if port < 0 || port >= len(n.ports) {
+		panic(fmt.Sprintf("port %d out of range [0,%d)", port, len(n.ports)))
+	}
+	if len(words) > n.eng.cfg.MaxWords {
+		panic(fmt.Sprintf("message of %d words exceeds MaxWords=%d (bandwidth violation)",
+			len(words), n.eng.cfg.MaxWords))
+	}
+	slot := ch*len(n.ports) + port
+	if n.sentStamp[slot] == n.round {
+		panic(fmt.Sprintf("double send on port %d channel %d in round %d (bandwidth violation)",
+			port, ch, n.round))
+	}
+	n.sentStamp[slot] = n.round
+	cp := make([]int64, len(words))
+	copy(cp, words)
+	n.out = append(n.out, outMsg{port: port, ch: ch, words: cp})
+}
+
+// TrySendMux stages a message on the first free logical channel of the
+// given port this round. It returns false, staging nothing, when all
+// channels of the port are already used — the condition the paper's
+// ParallelNibble treats as an overlap overflow (more than w concurrent
+// instances on one edge). See Lemma 10.
+func (n *Node) TrySendMux(port int, words ...int64) bool {
+	for ch := 0; ch < n.eng.cfg.Channels; ch++ {
+		if n.sentStamp[ch*len(n.ports)+port] != n.round {
+			n.SendOn(ch, port, words...)
+			return true
+		}
+	}
+	return false
+}
+
+// SendToAll stages the same message on channel 0 to every port.
+func (n *Node) SendToAll(words ...int64) {
+	for p := range n.ports {
+		n.Send(p, words...)
+	}
+}
+
+// Next completes the current round: it blocks until every live node has
+// called Next (or returned), then returns the messages delivered to this
+// node. The returned slice is valid until the following call to Next.
+func (n *Node) Next() []Incoming {
+	n.checkFail()
+	n.bumpRound()
+	return n.in
+}
+
+// Idle advances k rounds without sending (keeps the node aligned with a
+// protocol phase it does not participate in) and discards any messages
+// received meanwhile.
+func (n *Node) Idle(k int) {
+	for i := 0; i < k; i++ {
+		n.Next()
+	}
+}
+
+func (n *Node) bumpRound() {
+	n.eng.bar.wait()
+	n.round++
+}
+
+func (n *Node) checkFail() {
+	n.eng.failMu.Lock()
+	err := n.eng.fail
+	n.eng.failMu.Unlock()
+	if err != nil {
+		// Unwind this node's goroutine; Run reports the root cause.
+		panic(err)
+	}
+}

@@ -1,0 +1,247 @@
+package congest
+
+// SPMD protocol helpers. Every live node of an engine must call the same
+// helper with compatible arguments at the same point of its program: the
+// helpers consume a fixed number of rounds that depends only on their
+// explicit bounds, which keeps all nodes aligned without message tags.
+//
+// Helpers take an `active` flag so that a protocol can run on a subgraph
+// (e.g. the participating edge set P* of a nibble instance): inactive
+// nodes stay silent but still burn the same rounds, exactly like a real
+// CONGEST network where bystanders idle.
+
+// PortFilter restricts a helper to a subset of a node's ports; nil allows
+// all ports.
+type PortFilter func(port int) bool
+
+// BFSTreeResult describes a node's position in a distributed BFS tree.
+type BFSTreeResult struct {
+	// ParentPort is the port toward the root, -1 at the root itself and
+	// at nodes the wave never reached.
+	ParentPort int
+	// Dist is the hop distance from the root, -1 if unreached.
+	Dist int
+	// ChildPorts are the ports of children that attached to this node.
+	ChildPorts []int
+}
+
+// InTree reports whether the node was reached by the BFS wave.
+func (r BFSTreeResult) InTree() bool { return r.Dist >= 0 }
+
+// BFSTree grows a BFS tree from the nodes with isRoot set (normally
+// exactly one) for exactly maxDepth+1 rounds. Inactive nodes and filtered
+// ports do not participate. Children acknowledge attachment, so the result
+// includes child ports. Rounds consumed: 2*(maxDepth+1).
+func BFSTree(nd *Node, active, isRoot bool, maxDepth int, allow PortFilter) BFSTreeResult {
+	const (
+		tagWave = 1
+		tagAck  = 2
+	)
+	res := BFSTreeResult{ParentPort: -1, Dist: -1}
+	if active && isRoot {
+		res.Dist = 0
+	}
+	joined := active && isRoot
+	for r := 0; r <= maxDepth; r++ {
+		// Phase A: freshly joined nodes announce the wave.
+		if joined && res.Dist == r {
+			for p := 0; p < nd.Degree(); p++ {
+				if allow == nil || allow(p) {
+					nd.Send(p, tagWave)
+				}
+			}
+		}
+		waves := []int(nil)
+		for _, m := range nd.Next() {
+			if len(m.Words) > 0 && m.Words[0] == tagWave && (allow == nil || allow(m.Port)) {
+				waves = append(waves, m.Port)
+			}
+		}
+		// Phase B: newly reached nodes pick a parent and ack it.
+		if active && !joined && len(waves) > 0 {
+			best := waves[0]
+			for _, p := range waves[1:] {
+				if p < best {
+					best = p
+				}
+			}
+			res.ParentPort = best
+			res.Dist = r + 1
+			joined = true
+			nd.Send(best, tagAck)
+		}
+		for _, m := range nd.Next() {
+			if len(m.Words) > 0 && m.Words[0] == tagAck {
+				res.ChildPorts = append(res.ChildPorts, m.Port)
+			}
+		}
+	}
+	return res
+}
+
+// ConvergecastSum aggregates vector sums up a BFS tree: after it returns,
+// the root's result is the elementwise sum of vals over all in-tree nodes;
+// other nodes see their subtree's sum. Nodes not in the tree contribute
+// nothing. The vector length must be the same at every node and fit in a
+// message. Rounds consumed: maxDepth+1.
+func ConvergecastSum(nd *Node, tree BFSTreeResult, maxDepth int, vals []int64) []int64 {
+	acc := make([]int64, len(vals))
+	copy(acc, vals)
+	for r := 0; r <= maxDepth; r++ {
+		// A node at depth d transmits its subtree sum in round
+		// maxDepth-d, by which time all children (depth d+1, sending in
+		// round maxDepth-d-1) have reported.
+		if tree.InTree() && tree.Dist > 0 && r == maxDepth-tree.Dist {
+			nd.Send(tree.ParentPort, acc...)
+		}
+		for _, m := range nd.Next() {
+			for i, w := range m.Words {
+				if i < len(acc) {
+					acc[i] += w
+				}
+			}
+		}
+	}
+	return acc
+}
+
+// ConvergecastMax aggregates elementwise maxima up a BFS tree with the
+// same schedule as ConvergecastSum. Rounds consumed: maxDepth+1.
+func ConvergecastMax(nd *Node, tree BFSTreeResult, maxDepth int, vals []int64) []int64 {
+	acc := make([]int64, len(vals))
+	copy(acc, vals)
+	for r := 0; r <= maxDepth; r++ {
+		if tree.InTree() && tree.Dist > 0 && r == maxDepth-tree.Dist {
+			nd.Send(tree.ParentPort, acc...)
+		}
+		for _, m := range nd.Next() {
+			for i, w := range m.Words {
+				if i < len(acc) && w > acc[i] {
+					acc[i] = w
+				}
+			}
+		}
+	}
+	return acc
+}
+
+// PipelinedConvergecastSum aggregates H vectors up a BFS tree in
+// maxDepth+H rounds instead of H*(maxDepth+1): a node at depth d sends
+// the i-th vector's subtree sum in round (maxDepth-d)+i, by which time
+// its children (depth d+1, sending in round (maxDepth-d-1)+i) have
+// reported. The root's result holds all H sums; other nodes see their
+// subtree sums. Every vector must have the same length, which must fit a
+// message. Rounds consumed: maxDepth+len(vectors).
+func PipelinedConvergecastSum(nd *Node, tree BFSTreeResult, maxDepth int, vectors [][]int64) [][]int64 {
+	h := len(vectors)
+	acc := make([][]int64, h)
+	for i := range vectors {
+		acc[i] = append([]int64(nil), vectors[i]...)
+	}
+	for r := 0; r < maxDepth+h; r++ {
+		if tree.InTree() && tree.Dist > 0 {
+			if i := r - (maxDepth - tree.Dist); i >= 0 && i < h {
+				nd.Send(tree.ParentPort, acc[i]...)
+			}
+		}
+		// A message arriving in round r comes from a child at depth
+		// Dist+1 carrying vector r - (maxDepth - Dist - 1).
+		childIdx := r - (maxDepth - tree.Dist - 1)
+		for _, m := range nd.Next() {
+			if !tree.InTree() || childIdx < 0 || childIdx >= h {
+				continue
+			}
+			for j, w := range m.Words {
+				if j < len(acc[childIdx]) {
+					acc[childIdx][j] += w
+				}
+			}
+		}
+	}
+	return acc
+}
+
+// BroadcastDown floods a value from the root of a BFS tree to all in-tree
+// nodes along tree edges. Every in-tree node returns the root's words;
+// out-of-tree nodes return nil. Rounds consumed: maxDepth+1.
+func BroadcastDown(nd *Node, tree BFSTreeResult, maxDepth int, words []int64) []int64 {
+	var payload []int64
+	if tree.InTree() && tree.Dist == 0 {
+		payload = append([]int64(nil), words...)
+	}
+	for r := 0; r <= maxDepth; r++ {
+		if payload != nil && tree.Dist == r {
+			for _, c := range tree.ChildPorts {
+				nd.Send(c, payload...)
+			}
+		}
+		for _, m := range nd.Next() {
+			if tree.InTree() && m.Port == tree.ParentPort && payload == nil {
+				payload = append([]int64(nil), m.Words...)
+			}
+		}
+	}
+	return payload
+}
+
+// Flood floods the maximum (lexicographic by first word) message from all
+// origin nodes through active nodes for the given number of rounds; every
+// active node that any origin can reach within that many hops returns the
+// winning origin's words. Nodes return nil if nothing arrived. Rounds
+// consumed: rounds.
+func Flood(nd *Node, active, origin bool, words []int64, rounds int, allow PortFilter) []int64 {
+	var best []int64
+	if active && origin {
+		best = append([]int64(nil), words...)
+	}
+	lastSent := []int64(nil)
+	for r := 0; r < rounds; r++ {
+		if active && best != nil && !sameWords(best, lastSent) {
+			for p := 0; p < nd.Degree(); p++ {
+				if allow == nil || allow(p) {
+					nd.Send(p, best...)
+				}
+			}
+			lastSent = best
+		}
+		for _, m := range nd.Next() {
+			if !active || len(m.Words) == 0 {
+				continue
+			}
+			if best == nil || m.Words[0] > best[0] {
+				best = append([]int64(nil), m.Words...)
+			}
+		}
+	}
+	return best
+}
+
+// ExchangeWithNeighbors sends the same vector to every allowed port and
+// returns what each neighbor sent (indexed by port; nil for silent ports).
+// Rounds consumed: 1.
+func ExchangeWithNeighbors(nd *Node, active bool, vals []int64, allow PortFilter) [][]int64 {
+	if active {
+		for p := 0; p < nd.Degree(); p++ {
+			if allow == nil || allow(p) {
+				nd.Send(p, vals...)
+			}
+		}
+	}
+	out := make([][]int64, nd.Degree())
+	for _, m := range nd.Next() {
+		out[m.Port] = m.Words
+	}
+	return out
+}
+
+func sameWords(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,379 @@
+package congest
+
+import (
+	"sync"
+	"testing"
+
+	"dexpander/internal/graph"
+)
+
+func TestBFSTreeOnPath(t *testing.T) {
+	const n = 6
+	e := New(pathSub(n), Config{})
+	var mu sync.Mutex
+	dists := make([]int, n)
+	parents := make([]int, n)
+	err := e.Run(func(nd *Node) {
+		res := BFSTree(nd, true, nd.V() == 0, n, nil)
+		mu.Lock()
+		dists[nd.V()] = res.Dist
+		parents[nd.V()] = res.ParentPort
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if dists[v] != v {
+			t.Errorf("dist[%d] = %d, want %d", v, dists[v], v)
+		}
+	}
+	if parents[0] != -1 {
+		t.Errorf("root parent = %d", parents[0])
+	}
+}
+
+func TestBFSTreeChildPorts(t *testing.T) {
+	// Star: root 0 with 4 leaves.
+	b := graph.NewBuilder(5)
+	for v := 1; v < 5; v++ {
+		b.AddEdge(0, v)
+	}
+	e := New(graph.WholeGraph(b.Graph()), Config{})
+	var rootChildren int
+	var mu sync.Mutex
+	err := e.Run(func(nd *Node) {
+		res := BFSTree(nd, true, nd.V() == 0, 3, nil)
+		if nd.V() == 0 {
+			mu.Lock()
+			rootChildren = len(res.ChildPorts)
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootChildren != 4 {
+		t.Errorf("root has %d children, want 4", rootChildren)
+	}
+}
+
+func TestBFSTreeInactiveNodesExcluded(t *testing.T) {
+	const n = 5
+	e := New(pathSub(n), Config{})
+	var mu sync.Mutex
+	dists := make([]int, n)
+	err := e.Run(func(nd *Node) {
+		active := nd.V() != 2 // node 2 sits out, splitting the path
+		res := BFSTree(nd, active, nd.V() == 0, n, nil)
+		mu.Lock()
+		dists[nd.V()] = res.Dist
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dists[1] != 1 {
+		t.Errorf("dist[1] = %d, want 1", dists[1])
+	}
+	for _, v := range []int{2, 3, 4} {
+		if dists[v] != -1 {
+			t.Errorf("dist[%d] = %d, want -1 (blocked by inactive node)", v, dists[v])
+		}
+	}
+}
+
+func TestBFSTreePortFilter(t *testing.T) {
+	// Triangle 0-1-2; forbid the 0-2 edge on both sides.
+	g := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	e := New(graph.WholeGraph(g), Config{})
+	var mu sync.Mutex
+	dists := make([]int, 3)
+	err := e.Run(func(nd *Node) {
+		allow := func(p int) bool { return nd.EdgeID(p) != 2 }
+		res := BFSTree(nd, true, nd.V() == 0, 3, allow)
+		mu.Lock()
+		dists[nd.V()] = res.Dist
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dists[2] != 2 {
+		t.Errorf("dist[2] = %d, want 2 (direct edge filtered)", dists[2])
+	}
+}
+
+func TestConvergecastSum(t *testing.T) {
+	const n = 7
+	e := New(pathSub(n), Config{})
+	var rootSum []int64
+	var mu sync.Mutex
+	err := e.Run(func(nd *Node) {
+		tree := BFSTree(nd, true, nd.V() == 0, n, nil)
+		sum := ConvergecastSum(nd, tree, n, []int64{int64(nd.V()), 1})
+		if nd.V() == 0 {
+			mu.Lock()
+			rootSum = sum
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootSum[0] != 21 || rootSum[1] != 7 {
+		t.Errorf("root sums = %v, want [21 7]", rootSum)
+	}
+}
+
+func TestBroadcastDown(t *testing.T) {
+	const n = 6
+	e := New(pathSub(n), Config{})
+	var mu sync.Mutex
+	got := make([][]int64, n)
+	err := e.Run(func(nd *Node) {
+		tree := BFSTree(nd, true, nd.V() == 0, n, nil)
+		words := BroadcastDown(nd, tree, n, []int64{42, 43})
+		mu.Lock()
+		got[nd.V()] = words
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if len(got[v]) != 2 || got[v][0] != 42 || got[v][1] != 43 {
+			t.Errorf("node %d received %v, want [42 43]", v, got[v])
+		}
+	}
+}
+
+func TestAggregateThenBroadcastComposition(t *testing.T) {
+	// The classic pattern: convergecast a sum to the root, then broadcast
+	// the total; every node should learn it.
+	const n = 5
+	e := New(pathSub(n), Config{})
+	var mu sync.Mutex
+	totals := make([]int64, n)
+	err := e.Run(func(nd *Node) {
+		tree := BFSTree(nd, true, nd.V() == 0, n, nil)
+		sum := ConvergecastSum(nd, tree, n, []int64{int64(nd.V() + 1)})
+		var words []int64
+		if nd.V() == 0 {
+			words = sum
+		}
+		res := BroadcastDown(nd, tree, n, words)
+		mu.Lock()
+		totals[nd.V()] = res[0]
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, tot := range totals {
+		if tot != 15 {
+			t.Errorf("node %d total = %d, want 15", v, tot)
+		}
+	}
+}
+
+func TestConvergecastMax(t *testing.T) {
+	const n = 7
+	e := New(pathSub(n), Config{})
+	var rootMax []int64
+	var mu sync.Mutex
+	err := e.Run(func(nd *Node) {
+		tree := BFSTree(nd, true, nd.V() == 0, n, nil)
+		got := ConvergecastMax(nd, tree, n, []int64{int64(nd.V() * nd.V()), int64(-nd.V())})
+		if nd.V() == 0 {
+			mu.Lock()
+			rootMax = got
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootMax[0] != 36 || rootMax[1] != 0 {
+		t.Errorf("root max = %v, want [36 0]", rootMax)
+	}
+}
+
+func TestPipelinedConvergecastSum(t *testing.T) {
+	const n = 6
+	const h = 5
+	e := New(pathSub(n), Config{})
+	var rootSums [][]int64
+	var mu sync.Mutex
+	err := e.Run(func(nd *Node) {
+		tree := BFSTree(nd, true, nd.V() == 0, n, nil)
+		vectors := make([][]int64, h)
+		for i := range vectors {
+			vectors[i] = []int64{int64(nd.V() * (i + 1)), 1}
+		}
+		got := PipelinedConvergecastSum(nd, tree, n, vectors)
+		if nd.V() == 0 {
+			mu.Lock()
+			rootSums = got
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum of v over 0..5 is 15; vector i scales it by (i+1); count 6.
+	for i := 0; i < h; i++ {
+		if rootSums[i][0] != int64(15*(i+1)) || rootSums[i][1] != 6 {
+			t.Errorf("vector %d sums = %v, want [%d 6]", i, rootSums[i], 15*(i+1))
+		}
+	}
+}
+
+func TestPipelinedConvergecastMatchesSequentialCalls(t *testing.T) {
+	// Property: the pipelined version agrees with h separate
+	// ConvergecastSum calls on a star topology.
+	b := graph.NewBuilder(5)
+	for v := 1; v < 5; v++ {
+		b.AddEdge(0, v)
+	}
+	e := New(graph.WholeGraph(b.Graph()), Config{})
+	var pipelined, sequential [][]int64
+	var mu sync.Mutex
+	err := e.Run(func(nd *Node) {
+		tree := BFSTree(nd, true, nd.V() == 0, 3, nil)
+		vectors := [][]int64{{int64(nd.V())}, {int64(nd.V() * 2)}, {7}}
+		p := PipelinedConvergecastSum(nd, tree, 3, vectors)
+		var s [][]int64
+		for _, vec := range vectors {
+			s = append(s, ConvergecastSum(nd, tree, 3, vec))
+		}
+		if nd.V() == 0 {
+			mu.Lock()
+			pipelined, sequential = p, s
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pipelined {
+		if pipelined[i][0] != sequential[i][0] {
+			t.Errorf("vector %d: pipelined %v vs sequential %v", i, pipelined[i], sequential[i])
+		}
+	}
+}
+
+func TestPipelinedConvergecastRoundCount(t *testing.T) {
+	// The pipeline must cost maxDepth + h rounds, not h*(maxDepth+1).
+	const n, h = 8, 10
+	e := New(pathSub(n), Config{})
+	err := e.Run(func(nd *Node) {
+		tree := BFSTree(nd, true, nd.V() == 0, n, nil)
+		vectors := make([][]int64, h)
+		for i := range vectors {
+			vectors[i] = []int64{1}
+		}
+		PipelinedConvergecastSum(nd, tree, n, vectors)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeRounds := 2 * (n + 1)
+	want := treeRounds + n + h
+	if e.Stats().Rounds != want {
+		t.Errorf("rounds = %d, want %d", e.Stats().Rounds, want)
+	}
+}
+
+func TestFlood(t *testing.T) {
+	const n = 6
+	e := New(pathSub(n), Config{})
+	var mu sync.Mutex
+	got := make([]int64, n)
+	err := e.Run(func(nd *Node) {
+		// Two origins with different priorities; max wins everywhere.
+		origin := nd.V() == 0 || nd.V() == 5
+		words := []int64{int64(nd.V()), 7}
+		res := Flood(nd, true, origin, words, n+2, nil)
+		mu.Lock()
+		if res != nil {
+			got[nd.V()] = res[0]
+		} else {
+			got[nd.V()] = -1
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if got[v] != 5 {
+			t.Errorf("node %d flood winner = %d, want 5", v, got[v])
+		}
+	}
+}
+
+func TestFloodRespectsRounds(t *testing.T) {
+	const n = 8
+	e := New(pathSub(n), Config{})
+	var mu sync.Mutex
+	got := make([]int64, n)
+	err := e.Run(func(nd *Node) {
+		res := Flood(nd, true, nd.V() == 0, []int64{9}, 3, nil)
+		mu.Lock()
+		if res != nil {
+			got[nd.V()] = res[0]
+		} else {
+			got[nd.V()] = -1
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		want := int64(-1)
+		if v <= 3 {
+			want = 9
+		}
+		if got[v] != want {
+			t.Errorf("node %d = %d, want %d (3-round flood)", v, got[v], want)
+		}
+	}
+}
+
+func TestExchangeWithNeighbors(t *testing.T) {
+	const n = 4
+	e := New(pathSub(n), Config{})
+	err := e.Run(func(nd *Node) {
+		vals := ExchangeWithNeighbors(nd, true, []int64{int64(nd.V() * 10)}, nil)
+		for p, v := range vals {
+			if v == nil {
+				t.Errorf("node %d port %d silent", nd.V(), p)
+				continue
+			}
+			if v[0] != int64(nd.NeighborID(p)*10) {
+				t.Errorf("node %d port %d got %d", nd.V(), p, v[0])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeInactiveSilent(t *testing.T) {
+	const n = 3
+	e := New(pathSub(n), Config{})
+	err := e.Run(func(nd *Node) {
+		vals := ExchangeWithNeighbors(nd, nd.V() != 1, []int64{1}, nil)
+		if nd.V() == 0 {
+			if vals[0] != nil {
+				t.Error("received from inactive neighbor")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

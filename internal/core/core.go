@@ -1,0 +1,416 @@
+// Package core implements the paper's primary contribution: the
+// (eps, phi)-expander decomposition of Theorem 1.
+//
+// The algorithm follows Section 2 exactly. Phase 1 alternates a
+// low-diameter decomposition (removing inter-cluster edges, Remove-1)
+// with a nearly most balanced sparse cut at parameter phi_0 (removing cut
+// edges and recursing when the cut is big enough, Remove-2); components
+// whose cut is empty are final, and components with a small cut enter
+// Phase 2. Phase 2 walks a ladder of conductance parameters
+// phi_L = hInv(phi_{L-1}) for L = 1..k, peeling cuts whose volume exceeds
+// the level threshold m_L/(2 tau) (removing all incident edges, Remove-3,
+// which turns the peeled vertices into singleton components) and
+// promoting L when cuts get small. The trade-off parameter k gives
+// Theorem 1's round bound O(n^{2/k} poly(1/phi, log n)).
+//
+// Edge removals never change degrees: removed edges become implicit
+// self-loops via the graph.Sub machinery, so every volume computed
+// anywhere in the pipeline uses original degrees, as the paper requires.
+//
+// The two subroutines (LDD and sparse cut) are injected through the
+// Subroutines interface so that the same orchestration runs with
+// sequential reference implementations (SeqSubroutines) or inside the
+// CONGEST simulator (dnibble/dldd wiring; see package dnibble). Round
+// statistics are combined the way a synchronous network would: steps over
+// vertex-disjoint sibling components run in parallel, so their cost is
+// the maximum, while successive steps add.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dexpander/internal/congest"
+	"dexpander/internal/graph"
+	"dexpander/internal/ldd"
+	"dexpander/internal/nibble"
+	"dexpander/internal/rng"
+)
+
+// Options configures a decomposition run.
+type Options struct {
+	// Eps is the target inter-cluster edge fraction (0, 1).
+	Eps float64
+	// K is Theorem 1's trade-off parameter (positive; larger K = fewer
+	// rounds, worse phi).
+	K int
+	// Preset selects Paper or Practical constants for both subroutines.
+	Preset nibble.Preset
+	// Seed drives all randomness.
+	Seed uint64
+	// MaxPhase1Depth overrides the derived depth cap d when positive
+	// (tests use it to bound runtime).
+	MaxPhase1Depth int
+}
+
+func (o Options) validate() error {
+	if o.Eps <= 0 || o.Eps >= 1 {
+		return fmt.Errorf("core: Eps = %v out of (0,1)", o.Eps)
+	}
+	if o.K < 1 {
+		return fmt.Errorf("core: K = %d must be positive", o.K)
+	}
+	if o.Preset == 0 {
+		return fmt.Errorf("core: Preset not set")
+	}
+	return nil
+}
+
+// Subroutines abstracts the decomposition's two primitives.
+type Subroutines interface {
+	// LDD decomposes the view with parameter beta (Theorem 4).
+	LDD(view *graph.Sub, beta float64, seed uint64) (*ldd.Result, congest.Stats, error)
+	// SparseCut finds a nearly most balanced sparse cut of the active
+	// members at conductance parameter phi (Theorem 3). comm is the
+	// communication graph, which may be a supergraph of the active
+	// members (Phase 2 components may be disconnected but can talk over
+	// all of G*'s edges, as the paper notes).
+	SparseCut(comm *graph.Sub, active *graph.VSet, phi float64, seed uint64) (*nibble.PartitionResult, congest.Stats, error)
+}
+
+// Decomposition is the result of Theorem 1.
+type Decomposition struct {
+	// Labels maps each member vertex to its component id; non-members
+	// hold graph.Unreachable.
+	Labels []int
+	// Count is the number of components.
+	Count int
+	// CutEdges counts removed (inter-component) edges.
+	CutEdges int64
+	// EpsAchieved is CutEdges / m.
+	EpsAchieved float64
+	// PhiTarget is phi_k, the conductance the components are certified
+	// against.
+	PhiTarget float64
+	// PhiLadder is the full parameter sequence phi_0 >= ... >= phi_k.
+	PhiLadder []float64
+	// Phase1Depth is the deepest Phase 1 recursion level reached.
+	Phase1Depth int
+	// Phase2MaxIterations is the largest Phase 2 loop count over
+	// components.
+	Phase2MaxIterations int
+	// Singletons counts vertices isolated by Remove-3.
+	Singletons int
+	// Removed1, Removed2, Removed3 split CutEdges by removal site.
+	Removed1, Removed2, Removed3 int64
+	// Stats aggregates simulated CONGEST cost (zero for sequential
+	// subroutines).
+	Stats congest.Stats
+	// FinalMask is the surviving edge mask; components are its
+	// connected components.
+	FinalMask []bool
+}
+
+// Decompose runs Theorem 1 on the view with the given subroutines.
+func Decompose(view *graph.Sub, opt Options, subs Subroutines) (*Decomposition, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	g := view.Base()
+	n := g.N()
+	m := float64(view.UsableEdgeCount())
+	if m == 0 {
+		labels, count := view.Components()
+		return &Decomposition{Labels: labels, Count: count, FinalMask: make([]bool, g.M())}, nil
+	}
+
+	// Parameter derivation (Section 2).
+	// d: smallest integer with (1 - eps/12)^d * 2*C(n,2) < 1.
+	nf := float64(n)
+	d := int(math.Ceil(math.Log(nf*nf) / -math.Log(1-opt.Eps/12)))
+	if d < 1 {
+		d = 1
+	}
+	if opt.MaxPhase1Depth > 0 && d > opt.MaxPhase1Depth {
+		d = opt.MaxPhase1Depth
+	}
+	beta := (opt.Eps / 3) / float64(d)
+	// phi_0: h(phi_0) = eps / (6 log2 |E|), so Remove-2's charging stays
+	// below (eps/3)|E|.
+	logM := math.Log2(m)
+	if logM < 1 {
+		logM = 1
+	}
+	ladder := make([]float64, opt.K+1)
+	ladder[0] = nibble.TransferHInv(view, opt.Eps/(6*logM), opt.Preset)
+	for i := 1; i <= opt.K; i++ {
+		ladder[i] = nibble.TransferHInv(view, ladder[i-1], opt.Preset)
+	}
+
+	st := &state{
+		view:   view,
+		opt:    opt,
+		subs:   subs,
+		ladder: ladder,
+		beta:   beta,
+		d:      d,
+		mask:   aliveMask(view),
+		root:   rng.New(opt.Seed),
+	}
+	dec := &Decomposition{PhiTarget: ladder[opt.K], PhiLadder: ladder}
+
+	// Phase 1, level by level so sibling costs combine as max.
+	tasks := splitComponents(st.current(), view.Members())
+	depth := 0
+	var phase2 []*graph.VSet
+	for len(tasks) > 0 && depth < d {
+		depth++
+		dec.Phase1Depth = depth
+		next, entered, err := st.phase1Level(tasks, dec)
+		if err != nil {
+			return nil, err
+		}
+		phase2 = append(phase2, entered...)
+		tasks = next
+	}
+	// Any tasks still alive at the cap enter Phase 2 directly (the cap
+	// is unreachable under the paper's d; this is the safety valve for
+	// overridden depths).
+	phase2 = append(phase2, tasks...)
+
+	// Phase 2 per component; parallel across components.
+	var maxStats congest.Stats
+	for _, u := range phase2 {
+		stats, iters, err := st.phase2(u, dec)
+		if err != nil {
+			return nil, err
+		}
+		if iters > dec.Phase2MaxIterations {
+			dec.Phase2MaxIterations = iters
+		}
+		if stats.Rounds > maxStats.Rounds {
+			maxStats = stats
+		}
+	}
+	dec.Stats.Add(maxStats)
+	dec.Stats.Rounds += st.stats.Rounds
+	dec.Stats.CongestRounds += st.stats.CongestRounds
+	dec.Stats.Messages += st.stats.Messages
+	dec.Stats.Words += st.stats.Words
+
+	// Final labeling: connected components of the surviving mask.
+	final := graph.NewSub(g, view.Members(), st.mask)
+	dec.Labels, dec.Count = final.Components()
+	dec.FinalMask = st.mask
+	dec.CutEdges = dec.Removed1 + dec.Removed2 + dec.Removed3
+	dec.EpsAchieved = float64(dec.CutEdges) / m
+	view.Members().ForEach(func(v int) {
+		if final.AliveDeg(v) == 0 {
+			dec.Singletons++
+		}
+	})
+	return dec, nil
+}
+
+// state carries the evolving edge mask and accounting.
+type state struct {
+	view   *graph.Sub
+	opt    Options
+	subs   Subroutines
+	ladder []float64
+	beta   float64
+	d      int
+	mask   []bool
+	root   *rng.RNG
+	stats  congest.Stats
+	seqNo  uint64
+}
+
+func (s *state) current() *graph.Sub {
+	return graph.NewSub(s.view.Base(), s.view.Members(), s.mask)
+}
+
+func (s *state) nextSeed() uint64 {
+	s.seqNo++
+	return s.root.Fork(s.seqNo).Uint64()
+}
+
+// phase1Level runs one recursion level of Phase 1 over all live tasks:
+// the LDD step, then the sparse-cut step on each resulting component.
+// It returns the tasks for the next level and the components entering
+// Phase 2. Sibling costs combine as max; the two steps add.
+func (s *state) phase1Level(tasks []*graph.VSet, dec *Decomposition) (next []*graph.VSet, phase2 []*graph.VSet, err error) {
+	var lddMax, cutMax congest.Stats
+	var afterLDD []*graph.VSet
+	for _, u := range tasks {
+		sub := s.current().Restrict(u)
+		res, stats, err := s.subs.LDD(sub, s.beta, s.nextSeed())
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: phase 1 LDD: %w", err)
+		}
+		if stats.Rounds > lddMax.Rounds {
+			lddMax = stats
+		}
+		// Remove-1: inter-cluster edges.
+		dec.Removed1 += s.removeInterLabel(u, res.Labels)
+		afterLDD = append(afterLDD, splitComponents(s.current(), u)...)
+	}
+	for _, u := range afterLDD {
+		sub := s.current().Restrict(u)
+		cut, stats, err := s.subs.SparseCut(sub, u, s.ladder[0], s.nextSeed())
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: phase 1 sparse cut: %w", err)
+		}
+		if stats.Rounds > cutMax.Rounds {
+			cutMax = stats
+		}
+		switch {
+		case cut.Empty():
+			// Final component: conductance certified at phi_0 >= phi_k.
+		case float64(s.view.Base().Vol(cut.C)) <= s.opt.Eps/12*float64(s.view.Base().Vol(u)):
+			// Small cut: enter Phase 2 WITHOUT removing the cut edges.
+			phase2 = append(phase2, u)
+		default:
+			// Remove-2 and recurse on both sides.
+			dec.Removed2 += s.removeCut(u, cut.C)
+			rest := u.Minus(cut.C)
+			next = append(next, splitComponents(s.current(), cut.C)...)
+			next = append(next, splitComponents(s.current(), rest)...)
+		}
+	}
+	s.stats.Add(lddMax)
+	s.stats.Add(cutMax)
+	return next, phase2, nil
+}
+
+// phase2 runs the level ladder on one component U (the paper's G*).
+func (s *state) phase2(u *graph.VSet, dec *Decomposition) (congest.Stats, int, error) {
+	g := s.view.Base()
+	volU := float64(g.Vol(u))
+	k := s.opt.K
+	tau := math.Pow(s.opt.Eps/6*volU, 1/float64(k))
+	if tau < 2 {
+		tau = 2
+	}
+	mL := s.opt.Eps / 6 * volU // m_1
+	level := 1
+	active := u.Clone()
+	var stats congest.Stats
+	iters := 0
+	// Iteration safety cap: each level survives at most 2*tau
+	// productive iterations (Lemma 2) plus level bumps.
+	maxIters := k*(int(2*tau)+4) + 8
+	for iters < maxIters {
+		iters++
+		// The paper lets Phase 2 communicate over all of G*'s edges even
+		// when U' shrinks; we pass G{U} under the current mask (alive
+		// edges of U), which is a subset only by the Remove-3 edges of
+		// already-peeled satellites — their endpoints are isolated
+		// singletons that take no further part either way.
+		comm := s.current().Restrict(u)
+		cut, cs, err := s.subs.SparseCut(comm, active, s.ladder[level], s.nextSeed())
+		if err != nil {
+			return stats, iters, fmt.Errorf("core: phase 2 sparse cut: %w", err)
+		}
+		stats.Add(cs)
+		switch {
+		case cut.Empty():
+			return stats, iters, nil
+		case float64(g.Vol(cut.C)) <= mL/(2*tau):
+			if level == k {
+				// m_k/(2 tau) < 1 in the paper, so this cannot recur;
+				// with practical constants guard explicitly.
+				return stats, iters, nil
+			}
+			level++
+			mL /= tau
+		default:
+			// Remove-3: peel C entirely; its vertices become
+			// singletons.
+			dec.Removed3 += s.removeIncident(u, cut.C)
+			active.RemoveAll(cut.C)
+			if active.Empty() {
+				return stats, iters, nil
+			}
+		}
+	}
+	return stats, iters, nil
+}
+
+// removeInterLabel kills usable edges within u whose endpoints carry
+// different labels; returns the number removed.
+func (s *state) removeInterLabel(u *graph.VSet, labels []int) int64 {
+	g := s.view.Base()
+	var removed int64
+	for e := 0; e < g.M(); e++ {
+		if !s.mask[e] {
+			continue
+		}
+		a, b := g.EdgeEndpoints(e)
+		if a == b || !u.Has(a) || !u.Has(b) {
+			continue
+		}
+		la, lb := labels[a], labels[b]
+		if la != graph.Unreachable && lb != graph.Unreachable && la != lb {
+			s.mask[e] = false
+			removed++
+		}
+	}
+	return removed
+}
+
+// removeCut kills usable edges within u crossing c; returns the count.
+func (s *state) removeCut(u, c *graph.VSet) int64 {
+	g := s.view.Base()
+	var removed int64
+	for e := 0; e < g.M(); e++ {
+		if !s.mask[e] {
+			continue
+		}
+		a, b := g.EdgeEndpoints(e)
+		if a == b || !u.Has(a) || !u.Has(b) {
+			continue
+		}
+		if c.Has(a) != c.Has(b) {
+			s.mask[e] = false
+			removed++
+		}
+	}
+	return removed
+}
+
+// removeIncident kills all usable edges within u incident to c; returns
+// the count.
+func (s *state) removeIncident(u, c *graph.VSet) int64 {
+	g := s.view.Base()
+	var removed int64
+	for e := 0; e < g.M(); e++ {
+		if !s.mask[e] {
+			continue
+		}
+		a, b := g.EdgeEndpoints(e)
+		if !u.Has(a) || !u.Has(b) {
+			continue
+		}
+		if c.Has(a) || c.Has(b) {
+			s.mask[e] = false
+			removed++
+		}
+	}
+	return removed
+}
+
+// splitComponents returns the connected components of the given member
+// subset under the current mask.
+func splitComponents(cur *graph.Sub, members *graph.VSet) []*graph.VSet {
+	return cur.Restrict(members).ComponentSets()
+}
+
+func aliveMask(view *graph.Sub) []bool {
+	g := view.Base()
+	mask := make([]bool, g.M())
+	for e := 0; e < g.M(); e++ {
+		mask[e] = view.EdgeAlive(e)
+	}
+	return mask
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/nibble"
+)
+
+func decompose(t *testing.T, g *graph.Graph, eps float64, k int, seed uint64) (*Decomposition, *graph.Sub) {
+	t.Helper()
+	view := graph.WholeGraph(g)
+	opt := Options{Eps: eps, K: k, Preset: nibble.Practical, Seed: seed}
+	dec, err := Decompose(view, opt, SeqSubroutines{Preset: nibble.Practical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.CheckPartition(view); err != nil {
+		t.Fatalf("invalid partition: %v", err)
+	}
+	return dec, view
+}
+
+func TestDecomposeExpanderStaysWhole(t *testing.T) {
+	g := gen.Complete(24)
+	dec, _ := decompose(t, g, 0.2, 2, 1)
+	if dec.Count != 1 {
+		t.Fatalf("K24 split into %d parts", dec.Count)
+	}
+	if dec.CutEdges != 0 {
+		t.Fatalf("K24 lost %d edges", dec.CutEdges)
+	}
+}
+
+func TestDecomposeDumbbellSplits(t *testing.T) {
+	// Splittable regime: the bridge conductance 1/(24*23+1) ~ 0.0018
+	// must lie below phi_0 ~ eps/(12 log2 m) ~ 0.0036.
+	g := gen.Dumbbell(24, 1, 1)
+	dec, view := decompose(t, g, 0.4, 2, 2)
+	if dec.Count < 2 {
+		t.Fatalf("dumbbell stayed whole (eps=%v, phi0=%v)", dec.EpsAchieved, dec.PhiLadder[0])
+	}
+	if dec.EpsAchieved > 0.4 {
+		t.Fatalf("eps achieved %v above target", dec.EpsAchieved)
+	}
+	q := dec.Evaluate(view)
+	// Each clique has conductance ~ 0.5; certified value must clear the
+	// target by a wide margin.
+	if q.MinPhiLower < dec.PhiTarget {
+		t.Fatalf("component conductance %v below target %v", q.MinPhiLower, dec.PhiTarget)
+	}
+}
+
+func TestDecomposeBelowThresholdStaysWhole(t *testing.T) {
+	// Contract case: when the sparsest cut is above phi_0, a single
+	// component IS the correct (eps, phi)-decomposition. The small
+	// dumbbell's bridge (1/91 ~ 0.011) sits above phi_0 ~ 0.0033 at
+	// eps = 0.3, so no edge should be removed and the certificate holds.
+	g := gen.Dumbbell(10, 1, 1)
+	dec, view := decompose(t, g, 0.3, 2, 2)
+	if dec.Count != 1 || dec.CutEdges != 0 {
+		t.Fatalf("sub-threshold dumbbell split: count=%d cuts=%d", dec.Count, dec.CutEdges)
+	}
+	// The whole graph's true conductance must certify phi_target.
+	q := dec.Evaluate(view)
+	if q.MinPhiLower < dec.PhiTarget {
+		t.Fatalf("certificate %v below phi target %v", q.MinPhiLower, dec.PhiTarget)
+	}
+}
+
+func TestDecomposeRingOfCliques(t *testing.T) {
+	// Ring of 6 K12s: the balanced ring cuts have conductance
+	// ~2/(vol/2) ~ 0.005 < phi_0 = 0.6/(12 log2 402) ~ 0.0058, so the
+	// ring must break apart.
+	g := gen.RingOfCliques(6, 12, 3)
+	dec, view := decompose(t, g, 0.6, 2, 3)
+	if dec.EpsAchieved > 0.6 {
+		t.Fatalf("eps achieved %v above target 0.6", dec.EpsAchieved)
+	}
+	q := dec.Evaluate(view)
+	if q.Components < 2 {
+		t.Fatalf("ring of cliques not separated: %s", q)
+	}
+	if q.MinPhiLower < dec.PhiTarget {
+		t.Fatalf("component certificate below target: %s (target %v)", q, dec.PhiTarget)
+	}
+}
+
+func TestDecomposeEpsBudgetRespected(t *testing.T) {
+	// The total removed fraction must stay below eps on a graph that
+	// forces lots of cutting.
+	g := gen.PlantedPartition(5, 12, 0.7, 0.03, 5)
+	dec, _ := decompose(t, g, 0.4, 2, 4)
+	if dec.EpsAchieved > 0.4 {
+		t.Fatalf("eps achieved %v above budget", dec.EpsAchieved)
+	}
+	if dec.Removed1+dec.Removed2+dec.Removed3 != dec.CutEdges {
+		t.Fatal("removal accounting inconsistent")
+	}
+}
+
+func TestDecomposePhiLadderMonotone(t *testing.T) {
+	g := gen.RingOfCliques(4, 6, 7)
+	dec, _ := decompose(t, g, 0.3, 3, 5)
+	if len(dec.PhiLadder) != 4 {
+		t.Fatalf("ladder length %d, want k+1=4", len(dec.PhiLadder))
+	}
+	for i := 1; i < len(dec.PhiLadder); i++ {
+		if dec.PhiLadder[i] >= dec.PhiLadder[i-1] {
+			t.Fatalf("ladder not strictly decreasing: %v", dec.PhiLadder)
+		}
+	}
+	if dec.PhiTarget != dec.PhiLadder[3] {
+		t.Fatal("PhiTarget != last ladder entry")
+	}
+}
+
+func TestDecomposePhase1DepthBound(t *testing.T) {
+	g := gen.Torus(10)
+	view := graph.WholeGraph(g)
+	eps := 0.3
+	opt := Options{Eps: eps, K: 2, Preset: nibble.Practical, Seed: 6}
+	dec, err := Decompose(view, opt, SeqSubroutines{Preset: nibble.Practical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(g.N())
+	d := int(math.Ceil(math.Log(n*n) / -math.Log(1-eps/12)))
+	if dec.Phase1Depth > d {
+		t.Fatalf("Phase 1 depth %d above Lemma 1 bound %d", dec.Phase1Depth, d)
+	}
+}
+
+func TestDecomposeEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(5).Graph()
+	view := graph.WholeGraph(g)
+	dec, err := Decompose(view, Options{Eps: 0.2, K: 2, Preset: nibble.Practical}, SeqSubroutines{Preset: nibble.Practical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Count != 5 || dec.CutEdges != 0 {
+		t.Fatalf("empty graph: count=%d cuts=%d", dec.Count, dec.CutEdges)
+	}
+}
+
+func TestDecomposeOptionValidation(t *testing.T) {
+	g := gen.Path(4)
+	view := graph.WholeGraph(g)
+	subs := SeqSubroutines{Preset: nibble.Practical}
+	for _, opt := range []Options{
+		{Eps: 0, K: 1, Preset: nibble.Practical},
+		{Eps: 1, K: 1, Preset: nibble.Practical},
+		{Eps: 0.2, K: 0, Preset: nibble.Practical},
+		{Eps: 0.2, K: 1},
+	} {
+		if _, err := Decompose(view, opt, subs); err == nil {
+			t.Errorf("options %+v accepted", opt)
+		}
+	}
+}
+
+func TestDecomposeDeterministicInSeed(t *testing.T) {
+	g := gen.RingOfCliques(4, 6, 9)
+	a, _ := decompose(t, g, 0.3, 2, 42)
+	b, _ := decompose(t, g, 0.3, 2, 42)
+	if a.Count != b.Count || a.CutEdges != b.CutEdges {
+		t.Fatal("decomposition not deterministic for fixed seed")
+	}
+	for v := range a.Labels {
+		if a.Labels[v] != b.Labels[v] {
+			t.Fatalf("labels differ at %d", v)
+		}
+	}
+}
+
+func TestDecomposeDegreesNeverChange(t *testing.T) {
+	// The degree-preserving convention: every volume in the pipeline
+	// uses base degrees, so the total volume of all components equals
+	// the graph volume regardless of removals.
+	g := gen.PlantedPartition(3, 10, 0.6, 0.05, 11)
+	dec, view := decompose(t, g, 0.35, 2, 7)
+	var total int64
+	final := graph.NewSub(g, view.Members(), dec.FinalMask)
+	for _, c := range final.ComponentSets() {
+		total += g.Vol(c)
+	}
+	if total != g.TotalVol() {
+		t.Fatalf("component volumes sum to %d, want %d", total, g.TotalVol())
+	}
+}
+
+func TestDecomposeSBMRecoversBlocks(t *testing.T) {
+	// Planted partition with near-disconnected communities (~1 crossing
+	// edge per block pair): the decomposition should cut roughly along
+	// the planted blocks (most intra-block pairs stay together).
+	const k, s = 3, 14
+	g := gen.PlantedPartition(k, s, 0.8, 0.005, 13)
+	dec, _ := decompose(t, g, 0.6, 2, 8)
+	// Count intra-block pairs that share a component.
+	same, pairs := 0, 0
+	for b := 0; b < k; b++ {
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				u, v := b*s+i, b*s+j
+				pairs++
+				if dec.Labels[u] == dec.Labels[v] {
+					same++
+				}
+			}
+		}
+	}
+	if frac := float64(same) / float64(pairs); frac < 0.8 {
+		t.Fatalf("only %.2f of intra-block pairs kept together", frac)
+	}
+}
+
+func TestQualityEvaluateSmallExact(t *testing.T) {
+	g := gen.Dumbbell(6, 1, 1)
+	dec, view := decompose(t, g, 0.3, 2, 10)
+	q := dec.Evaluate(view)
+	if !q.MinPhiExactKnown {
+		t.Fatal("small components should be verified exactly")
+	}
+	if q.String() == "" {
+		t.Fatal("empty quality string")
+	}
+}
+
+func TestPhase2ExercisedBySatellites(t *testing.T) {
+	// Satellite cliques sized for Phase 2 peeling: K19 satellites have
+	// conductance 1/343 below BOTH phi_0 ~ eps/(12 log2 m) ~ 0.0066 and
+	// phi_1 = phi_0/2 (at tiny phi the (j_x) sequence is all-consecutive
+	// so only the strict (C.1) fires), and volume 343 below the
+	// (eps/12) Vol ~ 414 gate, so Phase 1 hands the component to
+	// Phase 2 and the ladder peels the satellites with Remove-3.
+	g := gen.SatelliteCliques(70, 19, 2, 1)
+	dec, view := decompose(t, g, 0.9, 2, 3)
+	if dec.Singletons == 0 || dec.Removed3 == 0 {
+		t.Fatalf("Phase 2 did not peel: singletons=%d rm3=%d", dec.Singletons, dec.Removed3)
+	}
+	if dec.Phase2MaxIterations == 0 {
+		t.Fatal("Phase 2 never ran on the satellite workload")
+	}
+	if dec.EpsAchieved > 0.9 {
+		t.Fatalf("eps %v above target", dec.EpsAchieved)
+	}
+	q := dec.Evaluate(view)
+	if q.MinPhiLower < dec.PhiTarget {
+		t.Fatalf("certificate %v below target %v", q.MinPhiLower, dec.PhiTarget)
+	}
+}
+
+func TestPhase2LevelLadderDeepK(t *testing.T) {
+	// With K = 3 the ladder has four levels; the satellite workload
+	// must still respect the iteration bound k*(2 tau + 4) + 8.
+	g := gen.SatelliteCliques(70, 19, 2, 5)
+	view := graph.WholeGraph(g)
+	opt := Options{Eps: 0.9, K: 3, Preset: nibble.Practical, Seed: 7}
+	dec, err := Decompose(view, opt, SeqSubroutines{Preset: nibble.Practical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	volU := float64(g.TotalVol())
+	tau := math.Pow(0.9/6*volU, 1.0/3)
+	if tau < 2 {
+		tau = 2
+	}
+	maxIters := 3*(int(2*tau)+4) + 8
+	if dec.Phase2MaxIterations > maxIters {
+		t.Fatalf("Phase 2 iterations %d above bound %d", dec.Phase2MaxIterations, maxIters)
+	}
+}
+
+func TestPhase2SingletonAccounting(t *testing.T) {
+	// Force Phase 2 peeling with an unbalanced dumbbell whose small
+	// side is below the eps/12 threshold: the component enters Phase 2
+	// and the small clique is either peeled (singletons) or leveled
+	// out. Either way the partition must stay valid (checked by
+	// decompose) and eps respected.
+	g := gen.UnbalancedDumbbell(30, 4, 1)
+	dec, _ := decompose(t, g, 0.2, 2, 12)
+	if dec.EpsAchieved > 0.2 {
+		t.Fatalf("eps %v above target", dec.EpsAchieved)
+	}
+	if dec.Singletons > 0 && dec.Removed3 == 0 {
+		t.Fatal("singletons without Remove-3 edges")
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/nibble"
+	"dexpander/internal/rng"
+)
+
+// TestDecomposePropertyContract checks the Theorem 1 contract on random
+// graphs: valid partition, eps budget respected, volumes conserved.
+func TestDecomposePropertyContract(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 12 + r.Intn(24)
+		b := graph.NewBuilder(n)
+		for v := 1; v < n; v++ {
+			b.AddEdge(r.Intn(v), v)
+		}
+		for i := 0; i < 2*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Graph()
+		view := graph.WholeGraph(g)
+		eps := 0.3 + 0.4*r.Float64()
+		dec, err := Decompose(view, Options{
+			Eps: eps, K: 1 + r.Intn(3), Preset: nibble.Practical, Seed: seed,
+		}, SeqSubroutines{Preset: nibble.Practical})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := dec.CheckPartition(view); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if dec.EpsAchieved > eps {
+			t.Logf("seed %d: eps %v > %v", seed, dec.EpsAchieved, eps)
+			return false
+		}
+		// Volume conservation under the loop convention.
+		final := graph.NewSub(g, view.Members(), dec.FinalMask)
+		var total int64
+		for _, c := range final.ComponentSets() {
+			total += g.Vol(c)
+		}
+		return total == g.TotalVol()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeOnPreMaskedView(t *testing.T) {
+	// Decomposing a view that already has dead edges must treat them as
+	// loops, never resurrect them, and only remove alive edges.
+	g := gen.RingOfCliques(4, 10, 3)
+	mask := make([]bool, g.M())
+	for e := range mask {
+		mask[e] = true
+	}
+	// Kill one clique-internal edge up front.
+	mask[0] = false
+	view := graph.NewSub(g, nil, mask)
+	dec, err := Decompose(view, Options{
+		Eps: 0.6, K: 2, Preset: nibble.Practical, Seed: 5,
+	}, SeqSubroutines{Preset: nibble.Practical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.FinalMask[0] {
+		t.Fatal("dead edge resurrected")
+	}
+	if err := dec.CheckPartition(view); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeWithBaseLoops(t *testing.T) {
+	// Self-loops in the base graph contribute volume but are never cut.
+	b := graph.NewBuilder(8)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(i+4, j+4)
+		}
+	}
+	b.AddEdge(0, 0)
+	b.AddEdge(3, 4)
+	g := b.Graph()
+	view := graph.WholeGraph(g)
+	dec, err := Decompose(view, Options{
+		Eps: 0.9, K: 1, Preset: nibble.Practical, Seed: 7,
+	}, SeqSubroutines{Preset: nibble.Practical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.CheckPartition(view); err != nil {
+		t.Fatal(err)
+	}
+	// The loop edge must survive in the final mask (never "removed").
+	loopEdge := -1
+	for e := 0; e < g.M(); e++ {
+		if g.IsLoop(e) {
+			loopEdge = e
+		}
+	}
+	if loopEdge >= 0 && !dec.FinalMask[loopEdge] {
+		t.Fatal("self-loop was removed")
+	}
+}
+
+func TestDecomposeStarGraph(t *testing.T) {
+	// A star is an expander in the conductance sense (every cut's small
+	// side has volume <= half, cut size = leaves on that side), so it
+	// should stay whole.
+	g := gen.Star(30)
+	dec, view := func() (*Decomposition, *graph.Sub) {
+		view := graph.WholeGraph(g)
+		dec, err := Decompose(view, Options{
+			Eps: 0.4, K: 2, Preset: nibble.Practical, Seed: 9,
+		}, SeqSubroutines{Preset: nibble.Practical})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dec, view
+	}()
+	if dec.CutEdges != 0 || dec.Count != 1 {
+		t.Fatalf("star split: %d parts, %d cuts", dec.Count, dec.CutEdges)
+	}
+	if err := dec.CheckPartition(view); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"dexpander/internal/congest"
+	"dexpander/internal/graph"
+	"dexpander/internal/ldd"
+	"dexpander/internal/nibble"
+	"dexpander/internal/rng"
+)
+
+// SeqSubroutines runs both primitives with the sequential reference
+// implementations (packages ldd and nibble). Round statistics are zero;
+// use the distributed wiring for CONGEST cost measurements.
+type SeqSubroutines struct {
+	// Preset selects the constant family for both subroutines.
+	Preset nibble.Preset
+}
+
+var _ Subroutines = SeqSubroutines{}
+
+// LDD implements Subroutines with ldd.Decompose.
+func (s SeqSubroutines) LDD(view *graph.Sub, beta float64, seed uint64) (*ldd.Result, congest.Stats, error) {
+	pr := ldd.NewParams(view.Members().Len(), beta, lddPreset(s.Preset))
+	return ldd.Decompose(view, pr, rng.New(seed)), congest.Stats{}, nil
+}
+
+// SparseCut implements Subroutines with nibble.SparseCut on the active
+// member set.
+func (s SeqSubroutines) SparseCut(comm *graph.Sub, active *graph.VSet, phi float64, seed uint64) (*nibble.PartitionResult, congest.Stats, error) {
+	view := comm.Restrict(active)
+	res := nibble.SparseCut(view, phi, s.Preset, rng.New(seed))
+	return res, congest.Stats{}, nil
+}
+
+func lddPreset(p nibble.Preset) ldd.Preset {
+	if p == nibble.Paper {
+		return ldd.Paper
+	}
+	return ldd.Practical
+}

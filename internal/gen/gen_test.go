@@ -1,0 +1,313 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dexpander/internal/graph"
+)
+
+func TestGNPDeterminism(t *testing.T) {
+	a := GNP(50, 0.3, 7)
+	b := GNP(50, 0.3, 7)
+	if a.M() != b.M() {
+		t.Fatalf("same seed produced different graphs: %d vs %d edges", a.M(), b.M())
+	}
+	c := GNP(50, 0.3, 8)
+	if a.M() == c.M() && a.TotalVol() == c.TotalVol() {
+		t.Log("warning: different seeds produced same edge count (possible but unlikely)")
+	}
+}
+
+func TestGNPEdgeCount(t *testing.T) {
+	n, p := 200, 0.1
+	g := GNP(n, p, 3)
+	want := p * float64(n*(n-1)/2)
+	got := float64(g.M())
+	if got < 0.8*want || got > 1.2*want {
+		t.Fatalf("G(%d,%v) has %v edges, want ~%v", n, p, got, want)
+	}
+}
+
+func TestGNPConnected(t *testing.T) {
+	g := GNPConnected(100, 0.01, 5)
+	if !graph.WholeGraph(g).IsConnected() {
+		t.Fatal("GNPConnected produced a disconnected graph")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	g := RandomRegular(60, 4, 11)
+	for v := 0; v < g.N(); v++ {
+		if g.Deg(v) != 4 {
+			t.Fatalf("Deg(%d) = %d, want 4", v, g.Deg(v))
+		}
+	}
+	// Simple: no loops, no parallel edges.
+	seen := make(map[[2]int]bool)
+	for e := 0; e < g.M(); e++ {
+		u, v := g.EdgeEndpoints(e)
+		if u == v {
+			t.Fatal("self-loop in random regular graph")
+		}
+		if seen[[2]int{u, v}] {
+			t.Fatal("parallel edge in random regular graph")
+		}
+		seen[[2]int{u, v}] = true
+	}
+}
+
+func TestRandomRegularOddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd n*d did not panic")
+		}
+	}()
+	RandomRegular(5, 3, 1)
+}
+
+func TestRingOfCliques(t *testing.T) {
+	k, s := 5, 6
+	g := RingOfCliques(k, s, 1)
+	if g.N() != k*s {
+		t.Fatalf("N = %d", g.N())
+	}
+	wantM := k*(s*(s-1)/2) + k
+	if g.M() != wantM {
+		t.Fatalf("M = %d, want %d", g.M(), wantM)
+	}
+	if !graph.WholeGraph(g).IsConnected() {
+		t.Fatal("ring of cliques disconnected")
+	}
+	// Each clique is a sparse cut: conductance = 2 bridges / clique vol.
+	clique := graph.NewVSet(g.N())
+	for i := 0; i < s; i++ {
+		clique.Add(i)
+	}
+	view := graph.WholeGraph(g)
+	if got := view.CutEdges(clique); got != 2 {
+		t.Fatalf("clique cut = %d, want 2", got)
+	}
+}
+
+func TestRingOfCliquesTwoCliques(t *testing.T) {
+	g := RingOfCliques(2, 4, 1)
+	if !graph.WholeGraph(g).IsConnected() {
+		t.Fatal("2-ring disconnected")
+	}
+	if g.M() != 2*6+2 {
+		t.Fatalf("M = %d, want 14", g.M())
+	}
+}
+
+func TestDumbbell(t *testing.T) {
+	g := Dumbbell(10, 1, 1)
+	left := graph.NewVSet(20)
+	for i := 0; i < 10; i++ {
+		left.Add(i)
+	}
+	view := graph.WholeGraph(g)
+	if got := view.CutEdges(left); got != 1 {
+		t.Fatalf("bridge count = %d", got)
+	}
+	if bal := view.Balance(left); bal != 0.5 {
+		t.Fatalf("balance = %v, want 0.5", bal)
+	}
+}
+
+func TestUnbalancedDumbbellBalance(t *testing.T) {
+	g := UnbalancedDumbbell(20, 5, 1)
+	small := graph.NewVSet(25)
+	for i := 20; i < 25; i++ {
+		small.Add(i)
+	}
+	view := graph.WholeGraph(g)
+	bal := view.Balance(small)
+	// Vol(small) = 5*4 + 1 = 21; total = 20*19 + 5*4 + 2 = 402.
+	want := 21.0 / 402.0
+	if diff := bal - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("balance = %v, want %v", bal, want)
+	}
+}
+
+func TestSatelliteCliques(t *testing.T) {
+	g := SatelliteCliques(10, 3, 4, 1)
+	if g.N() != 10+4*3 {
+		t.Fatalf("N = %d", g.N())
+	}
+	wantM := 10*9/2 + 4*3 + 4 // core + satellites + attachments
+	if g.M() != wantM {
+		t.Fatalf("M = %d, want %d", g.M(), wantM)
+	}
+	if !graph.WholeGraph(g).IsConnected() {
+		t.Fatal("satellite graph disconnected")
+	}
+	// Each satellite is a sparse, very unbalanced cut.
+	view := graph.WholeGraph(g)
+	sat := graph.NewVSet(g.N())
+	for v := 10; v < 13; v++ {
+		sat.Add(v)
+	}
+	if got := view.CutEdges(sat); got != 1 {
+		t.Fatalf("satellite cut = %d, want 1", got)
+	}
+	if bal := view.Balance(sat); bal > 0.1 {
+		t.Fatalf("satellite balance = %v, want small", bal)
+	}
+}
+
+func TestSatelliteCliquesValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("satCount > core did not panic")
+		}
+	}()
+	SatelliteCliques(3, 3, 4, 1)
+}
+
+func TestPlantedPartition(t *testing.T) {
+	g := PlantedPartition(4, 25, 0.5, 0.01, 9)
+	if g.N() != 100 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Count intra vs inter block edges.
+	var intra, inter int
+	for e := 0; e < g.M(); e++ {
+		u, v := g.EdgeEndpoints(e)
+		if u/25 == v/25 {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra < 4*100 { // expected 4 * 0.5 * 300 = 600
+		t.Fatalf("too few intra edges: %d", intra)
+	}
+	if inter > intra/3 { // expected ~0.01 * 3750 = 37.5
+		t.Fatalf("too many inter edges: %d vs intra %d", inter, intra)
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 || g.M() != 32 {
+		t.Fatalf("N,M = %d,%d, want 16,32", g.N(), g.M())
+	}
+	for v := 0; v < 16; v++ {
+		if g.Deg(v) != 4 {
+			t.Fatalf("Deg(%d) = %d", v, g.Deg(v))
+		}
+	}
+	if d := graph.WholeGraph(g).Diameter(); d != 4 {
+		t.Fatalf("hypercube diameter = %d, want 4", d)
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(5)
+	if g.N() != 25 || g.M() != 50 {
+		t.Fatalf("N,M = %d,%d, want 25,50", g.N(), g.M())
+	}
+	for v := 0; v < 25; v++ {
+		if g.Deg(v) != 4 {
+			t.Fatalf("Deg(%d) = %d", v, g.Deg(v))
+		}
+	}
+	if !graph.WholeGraph(g).IsConnected() {
+		t.Fatal("torus disconnected")
+	}
+}
+
+func TestPathCycleStarComplete(t *testing.T) {
+	if g := Path(5); g.M() != 4 || graph.WholeGraph(g).Diameter() != 4 {
+		t.Error("Path(5) malformed")
+	}
+	if g := Cycle(6); g.M() != 6 || g.MaxDeg() != 2 {
+		t.Error("Cycle(6) malformed")
+	}
+	if g := Star(5); g.M() != 4 || g.Deg(0) != 4 {
+		t.Error("Star(5) malformed")
+	}
+	if g := Complete(5); g.M() != 10 {
+		t.Error("Complete(5) malformed")
+	}
+}
+
+func TestExpanderByMatchings(t *testing.T) {
+	g := ExpanderByMatchings(64, 5, 13)
+	if g.MaxDeg() > 5 {
+		t.Fatalf("MaxDeg = %d > 5", g.MaxDeg())
+	}
+	if !graph.WholeGraph(g).IsConnected() {
+		t.Fatal("expander disconnected (unlucky seed?)")
+	}
+	// Expanders have logarithmic diameter.
+	if d := graph.WholeGraph(g).DiameterApprox(0); d > 10 {
+		t.Fatalf("diameter approx = %d, too large for an expander", d)
+	}
+}
+
+func TestChungLuDegreeTail(t *testing.T) {
+	g := ChungLu(300, 2.5, 6, 17)
+	if g.M() == 0 {
+		t.Fatal("empty Chung-Lu graph")
+	}
+	seq := g.DegreeSequence()
+	if seq[0] <= seq[len(seq)/2]*2 {
+		t.Logf("warning: degree tail not heavy (max=%d med=%d)", seq[0], seq[len(seq)/2])
+	}
+	avg := float64(g.TotalVol()) / float64(g.N())
+	if avg < 3 || avg > 12 {
+		t.Fatalf("average degree = %v, want ~6", avg)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	b := graph.NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4) // smaller component
+	g := b.Graph()
+	lc, ids := LargestComponent(g)
+	if lc.N() != 3 {
+		t.Fatalf("largest component size = %d, want 3", lc.N())
+	}
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 1 || ids[2] != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if lc.M() != 2 {
+		t.Fatalf("largest component M = %d, want 2", lc.M())
+	}
+}
+
+func TestGeneratorsProduceValidGraphs(t *testing.T) {
+	// Property: every generator output has consistent volume accounting.
+	f := func(seed uint64) bool {
+		gs := []*graph.Graph{
+			GNP(30, 0.2, seed),
+			RingOfCliques(3, 4, seed),
+			PlantedPartition(2, 10, 0.5, 0.05, seed),
+			ExpanderByMatchings(20, 3, seed),
+		}
+		for _, g := range gs {
+			var vol int64
+			for v := 0; v < g.N(); v++ {
+				vol += int64(g.Deg(v))
+			}
+			if vol != g.TotalVol() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe(Path(4))
+	if s == "" {
+		t.Fatal("empty description")
+	}
+}

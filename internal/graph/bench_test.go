@@ -1,0 +1,69 @@
+package graph
+
+import "testing"
+
+func benchGraph() *Graph {
+	// 40x40 torus-like grid built inline to avoid importing gen.
+	const k = 40
+	b := NewBuilder(k * k)
+	id := func(i, j int) int { return ((i%k+k)%k)*k + (j%k+k)%k }
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			b.AddEdge(id(i, j), id(i+1, j))
+			b.AddEdge(id(i, j), id(i, j+1))
+		}
+	}
+	return b.Graph()
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := benchGraph()
+	view := WholeGraph(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view.BFS(0)
+	}
+}
+
+func BenchmarkComponents(b *testing.B) {
+	g := benchGraph()
+	view := WholeGraph(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view.Components()
+	}
+}
+
+func BenchmarkConductance(b *testing.B) {
+	g := benchGraph()
+	view := WholeGraph(g)
+	half := NewVSet(g.N())
+	for v := 0; v < g.N()/2; v++ {
+		half.Add(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view.Conductance(half)
+	}
+}
+
+func BenchmarkMinConductanceBrute(b *testing.B) {
+	g := FromEdges(12, [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}, {5, 6}, {6, 7}, {7, 4},
+		{0, 4}, {8, 9}, {9, 10}, {10, 11}, {11, 8}, {1, 8},
+	})
+	view := WholeGraph(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view.MinConductanceBrute()
+	}
+}
+
+func BenchmarkBallEdgeCount(b *testing.B) {
+	g := benchGraph()
+	view := WholeGraph(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view.BallEdgeCount(0, 5)
+	}
+}

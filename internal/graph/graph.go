@@ -1,0 +1,207 @@
+// Package graph implements the static undirected graph substrate used by
+// every algorithm in this repository.
+//
+// The paper's algorithms never change vertex degrees: whenever an edge
+// {u, v} is removed, a self-loop is added at both u and v, and G{S} denotes
+// the subgraph induced by S with deg_V(v) - deg_S(v) self-loops added at
+// each v (each loop contributing 1 to the degree). We therefore represent a
+// "current" graph as an immutable base Graph plus an alive-edge mask and a
+// member vertex set; the implied self-loop count at v is always
+// Deg(v) minus the number of alive edges from v to members. Volumes and
+// conductances are always computed with original degrees, exactly as in the
+// paper.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Arc is one directed half of an undirected edge: the neighbor it leads to
+// and the identifier of the undirected edge it belongs to.
+type Arc struct {
+	To   int // neighbor vertex
+	Edge int // undirected edge id, index into the graph's edge list
+}
+
+// Edge is an undirected edge between U and V. Self-loops have U == V.
+type Edge struct {
+	U, V int
+}
+
+// Graph is an immutable undirected multigraph. Vertices are 0..N()-1.
+// Self-loops are permitted and contribute 1 to the degree of their vertex,
+// following the paper's convention.
+type Graph struct {
+	n     int
+	deg   []int
+	off   []int // CSR offsets into arcs, length n+1
+	arcs  []Arc
+	edges []Edge
+	vol   int64 // sum of all degrees
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a builder for a graph with n vertices and no edges.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records an undirected edge between u and v. A self-loop (u == v)
+// is allowed. Parallel edges are allowed and kept distinct.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v})
+}
+
+// Graph finalizes the builder into an immutable graph. The builder may be
+// reused afterwards; the produced graph does not alias builder state.
+func (b *Builder) Graph() *Graph {
+	g := &Graph{
+		n:     b.n,
+		deg:   make([]int, b.n),
+		edges: make([]Edge, len(b.edges)),
+	}
+	copy(g.edges, b.edges)
+	for _, e := range g.edges {
+		if e.U == e.V {
+			g.deg[e.U]++ // loop contributes 1, per the paper
+		} else {
+			g.deg[e.U]++
+			g.deg[e.V]++
+		}
+	}
+	g.off = make([]int, b.n+1)
+	// Arc slots: loops get one arc (to self); regular edges get two.
+	slots := make([]int, b.n)
+	for _, e := range g.edges {
+		slots[e.U]++
+		if e.U != e.V {
+			slots[e.V]++
+		}
+	}
+	for v := 0; v < b.n; v++ {
+		g.off[v+1] = g.off[v] + slots[v]
+	}
+	g.arcs = make([]Arc, g.off[b.n])
+	fill := make([]int, b.n)
+	for id, e := range g.edges {
+		g.arcs[g.off[e.U]+fill[e.U]] = Arc{To: e.V, Edge: id}
+		fill[e.U]++
+		if e.U != e.V {
+			g.arcs[g.off[e.V]+fill[e.V]] = Arc{To: e.U, Edge: id}
+			fill[e.V]++
+		}
+	}
+	for v := range g.deg {
+		g.vol += int64(g.deg[v])
+	}
+	return g
+}
+
+// FromEdges builds a graph with n vertices from an explicit edge list.
+func FromEdges(n int, edges [][2]int) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Graph()
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges, counting self-loops once.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Deg returns the degree of v in the base graph (loops count 1).
+// This is the degree used for all volume computations, at every stage of
+// every algorithm, per the paper's degree-preserving convention.
+func (g *Graph) Deg(v int) int { return g.deg[v] }
+
+// TotalVol returns Vol(V) = sum of all degrees.
+func (g *Graph) TotalVol() int64 { return g.vol }
+
+// Neighbors returns the arcs out of v. The returned slice aliases internal
+// storage and must not be modified.
+func (g *Graph) Neighbors(v int) []Arc { return g.arcs[g.off[v]:g.off[v+1]] }
+
+// EdgeEndpoints returns the endpoints of edge id e, with U <= V.
+func (g *Graph) EdgeEndpoints(e int) (u, v int) {
+	ed := g.edges[e]
+	return ed.U, ed.V
+}
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// IsLoop reports whether edge e is a self-loop.
+func (g *Graph) IsLoop(e int) bool { return g.edges[e].U == g.edges[e].V }
+
+// Other returns the endpoint of edge e that is not v. For a self-loop it
+// returns v itself. It panics if v is not an endpoint of e.
+func (g *Graph) Other(e, v int) int {
+	ed := g.edges[e]
+	switch v {
+	case ed.U:
+		return ed.V
+	case ed.V:
+		return ed.U
+	default:
+		panic(fmt.Sprintf("graph: vertex %d not an endpoint of edge %d", v, e))
+	}
+}
+
+// Vol returns the volume (sum of base degrees) of the vertices in s.
+func (g *Graph) Vol(s *VSet) int64 {
+	var vol int64
+	s.ForEach(func(v int) {
+		vol += int64(g.deg[v])
+	})
+	return vol
+}
+
+// VolOf returns the volume of an explicit vertex list.
+func (g *Graph) VolOf(vs []int) int64 {
+	var vol int64
+	for _, v := range vs {
+		vol += int64(g.deg[v])
+	}
+	return vol
+}
+
+// MaxDeg returns the maximum degree, or 0 for an empty graph.
+func (g *Graph) MaxDeg() int {
+	max := 0
+	for _, d := range g.deg {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DegreeSequence returns the sorted (descending) degree sequence.
+func (g *Graph) DegreeSequence() []int {
+	s := make([]int, g.n)
+	copy(s, g.deg)
+	sort.Sort(sort.Reverse(sort.IntSlice(s)))
+	return s
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"testing"
+)
+
+// path4 is 0-1-2-3.
+func path4() *Graph {
+	return FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+}
+
+// triangleGraph is K3.
+func triangleGraph() *Graph {
+	return FromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+}
+
+func TestBuilderDegrees(t *testing.T) {
+	g := path4()
+	want := []int{1, 2, 2, 1}
+	for v, w := range want {
+		if g.Deg(v) != w {
+			t.Errorf("Deg(%d) = %d, want %d", v, g.Deg(v), w)
+		}
+	}
+	if g.TotalVol() != 6 {
+		t.Errorf("TotalVol = %d, want 6", g.TotalVol())
+	}
+	if g.M() != 3 || g.N() != 4 {
+		t.Errorf("M,N = %d,%d, want 3,4", g.M(), g.N())
+	}
+}
+
+func TestSelfLoopDegreeConvention(t *testing.T) {
+	// Per the paper, each self-loop contributes 1 to the degree.
+	g := FromEdges(2, [][2]int{{0, 0}, {0, 1}})
+	if g.Deg(0) != 2 {
+		t.Errorf("Deg(0) = %d, want 2 (loop counts 1)", g.Deg(0))
+	}
+	if g.Deg(1) != 1 {
+		t.Errorf("Deg(1) = %d, want 1", g.Deg(1))
+	}
+	if g.TotalVol() != 3 {
+		t.Errorf("TotalVol = %d, want 3", g.TotalVol())
+	}
+	if !g.IsLoop(0) || g.IsLoop(1) {
+		t.Error("IsLoop misidentified edges")
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := FromEdges(2, [][2]int{{0, 1}, {0, 1}})
+	if g.Deg(0) != 2 || g.Deg(1) != 2 {
+		t.Errorf("parallel edge degrees = %d,%d, want 2,2", g.Deg(0), g.Deg(1))
+	}
+	if got := len(g.Neighbors(0)); got != 2 {
+		t.Errorf("Neighbors(0) count = %d, want 2", got)
+	}
+}
+
+func TestNeighborsAndOther(t *testing.T) {
+	g := path4()
+	nbrs := g.Neighbors(1)
+	if len(nbrs) != 2 {
+		t.Fatalf("Neighbors(1) = %v", nbrs)
+	}
+	for _, a := range nbrs {
+		if g.Other(a.Edge, 1) != a.To {
+			t.Errorf("Other(%d, 1) = %d, want %d", a.Edge, g.Other(a.Edge, 1), a.To)
+		}
+	}
+}
+
+func TestOtherPanicsOnNonEndpoint(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other on non-endpoint did not panic")
+		}
+	}()
+	path4().Other(0, 3)
+}
+
+func TestEdgeEndpointsOrdered(t *testing.T) {
+	g := FromEdges(3, [][2]int{{2, 0}})
+	u, v := g.EdgeEndpoints(0)
+	if u != 0 || v != 2 {
+		t.Errorf("EdgeEndpoints = (%d,%d), want (0,2)", u, v)
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge out of range did not panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 2)
+}
+
+func TestVolOfSets(t *testing.T) {
+	g := path4()
+	s := VSetOf(4, 1, 2)
+	if g.Vol(s) != 4 {
+		t.Errorf("Vol({1,2}) = %d, want 4", g.Vol(s))
+	}
+	if g.VolOf([]int{0, 3}) != 2 {
+		t.Errorf("VolOf([0,3]) = %d, want 2", g.VolOf([]int{0, 3}))
+	}
+}
+
+func TestMaxDegAndDegreeSequence(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	if g.MaxDeg() != 3 {
+		t.Errorf("MaxDeg = %d, want 3", g.MaxDeg())
+	}
+	seq := g.DegreeSequence()
+	want := []int{3, 1, 1, 1}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("DegreeSequence = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestBuilderReuseDoesNotAlias(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	g1 := b.Graph()
+	b.AddEdge(1, 2)
+	g2 := b.Graph()
+	if g1.M() != 1 || g2.M() != 2 {
+		t.Errorf("builder aliasing: g1.M=%d g2.M=%d", g1.M(), g2.M())
+	}
+}
+
+func TestEdgesReturnsCopy(t *testing.T) {
+	g := path4()
+	es := g.Edges()
+	es[0].U = 99
+	u, _ := g.EdgeEndpoints(0)
+	if u == 99 {
+		t.Fatal("Edges() exposed internal storage")
+	}
+}

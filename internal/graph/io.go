@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList serializes the graph in the whitespace edge-list format
+// common to graph datasets: a header line "n m" followed by one "u v"
+// line per edge (self-loops included). Deterministic: edges appear in id
+// order.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.EdgeEndpoints(e)
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Lines that
+// are empty or start with '#' are skipped; the header is required.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	var b *Builder
+	edges := 0
+	wantEdges := -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: malformed line %q", line)
+		}
+		a, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad number in %q: %w", line, err)
+		}
+		c, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad number in %q: %w", line, err)
+		}
+		if b == nil {
+			if a < 0 || c < 0 {
+				return nil, fmt.Errorf("graph: negative header %q", line)
+			}
+			b = NewBuilder(a)
+			wantEdges = c
+			continue
+		}
+		if a < 0 || a >= bN(b) || c < 0 || c >= bN(b) {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range", a, c)
+		}
+		b.AddEdge(a, c)
+		edges++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: missing header")
+	}
+	if wantEdges >= 0 && edges != wantEdges {
+		return nil, fmt.Errorf("graph: header promised %d edges, found %d", wantEdges, edges)
+	}
+	return b.Graph(), nil
+}
+
+func bN(b *Builder) int { return b.n }
+
+// WriteDOT renders the view in Graphviz DOT format. When labels is
+// non-nil, vertices are colored by their component label (cycling a
+// small palette); dead edges are drawn dashed.
+func WriteDOT(w io.Writer, view *Sub, labels []int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph G {")
+	fmt.Fprintln(bw, "  node [shape=circle, style=filled];")
+	palette := []string{
+		"lightblue", "lightcoral", "lightgreen", "gold", "plum",
+		"lightsalmon", "paleturquoise", "khaki",
+	}
+	view.Members().ForEach(func(v int) {
+		color := "white"
+		if labels != nil && labels[v] != Unreachable {
+			color = palette[labels[v]%len(palette)]
+		}
+		fmt.Fprintf(bw, "  %d [fillcolor=%s];\n", v, color)
+	})
+	g := view.Base()
+	for e := 0; e < g.M(); e++ {
+		u, v := g.EdgeEndpoints(e)
+		if !view.Has(u) || !view.Has(v) {
+			continue
+		}
+		attr := ""
+		if !view.EdgeAlive(e) {
+			attr = " [style=dashed, color=gray]"
+		}
+		fmt.Fprintf(bw, "  %d -- %d%s;\n", u, v, attr)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dexpander/internal/rng"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 2}, {3, 4}, {0, 4}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("round trip: N,M = %d,%d", back.N(), back.M())
+	}
+	for e := 0; e < g.M(); e++ {
+		u1, v1 := g.EdgeEndpoints(e)
+		u2, v2 := back.EdgeEndpoints(e)
+		if u1 != u2 || v1 != v2 {
+			t.Fatalf("edge %d: (%d,%d) vs (%d,%d)", e, u1, v1, u2, v2)
+		}
+	}
+}
+
+func TestEdgeListRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(20)
+		b := NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		g := b.Graph()
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		return back.N() == g.N() && back.M() == g.M() && back.TotalVol() == g.TotalVol()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEdgeListSkipsComments(t *testing.T) {
+	in := "# a comment\n3 2\n\n0 1\n# another\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("N,M = %d,%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"garbage":     "x y\n",
+		"short line":  "3 1\n0\n",
+		"out of rng":  "2 1\n0 5\n",
+		"wrong count": "3 5\n0 1\n",
+		"neg header":  "-1 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	mask := []bool{true, false}
+	labels := []int{0, 0, 1}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, NewSub(g, nil, mask), labels); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph G {", "0 -- 1;", "1 -- 2 [style=dashed", "fillcolor=lightblue", "fillcolor=lightcoral"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTNilLabels(t *testing.T) {
+	g := FromEdges(2, [][2]int{{0, 1}})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, WholeGraph(g), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fillcolor=white") {
+		t.Fatal("unlabeled vertices should be white")
+	}
+}

@@ -1,0 +1,224 @@
+package graph
+
+// Unreachable is the distance reported by BFS for vertices not reachable
+// from the source within the view.
+const Unreachable = -1
+
+// BFS computes hop distances from src to every member of the view, using
+// only usable edges. Non-members and unreachable members get Unreachable.
+func (s *Sub) BFS(src int) []int {
+	dist := make([]int, s.g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if !s.members.Has(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range s.g.Neighbors(v) {
+			if !s.Usable(a.Edge) || a.To == v {
+				continue
+			}
+			if dist[a.To] == Unreachable {
+				dist[a.To] = dist[v] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return dist
+}
+
+// Components labels every member vertex with a component id in [0, count)
+// using usable edges only; non-members are labeled Unreachable. Component
+// ids are assigned in increasing order of smallest member vertex.
+func (s *Sub) Components() (labels []int, count int) {
+	labels = make([]int, s.g.N())
+	for i := range labels {
+		labels[i] = Unreachable
+	}
+	for v := 0; v < s.g.N(); v++ {
+		if !s.members.Has(v) || labels[v] != Unreachable {
+			continue
+		}
+		labels[v] = count
+		queue := []int{v}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range s.g.Neighbors(u) {
+				if !s.Usable(a.Edge) || a.To == u {
+					continue
+				}
+				if labels[a.To] == Unreachable {
+					labels[a.To] = count
+					queue = append(queue, a.To)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// ComponentSets returns the connected components of the view as vertex
+// sets, ordered by smallest member vertex.
+func (s *Sub) ComponentSets() []*VSet {
+	labels, count := s.Components()
+	sets := make([]*VSet, count)
+	for i := range sets {
+		sets[i] = NewVSet(s.g.N())
+	}
+	for v, l := range labels {
+		if l != Unreachable {
+			sets[l].Add(v)
+		}
+	}
+	return sets
+}
+
+// IsConnected reports whether the view's member set induces a single
+// connected component (an empty view counts as connected).
+func (s *Sub) IsConnected() bool {
+	_, count := s.Components()
+	return count <= 1
+}
+
+// Eccentricity returns the maximum BFS distance from src to any member
+// reachable from it, or 0 if src is isolated or not a member.
+func (s *Sub) Eccentricity(src int) int {
+	dist := s.BFS(src)
+	max := 0
+	for _, d := range dist {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Diameter returns the exact hop diameter of the view, the maximum over
+// connected pairs of their distance. Disconnected pairs are ignored (so a
+// disconnected view reports the max component diameter). It runs one BFS
+// per member vertex: O(n(n+m)); use only where views are small, as in
+// tests and quality verification.
+func (s *Sub) Diameter() int {
+	max := 0
+	s.members.ForEach(func(v int) {
+		if ecc := s.Eccentricity(v); ecc > max {
+			max = ecc
+		}
+	})
+	return max
+}
+
+// DiameterApprox returns a 2-approximation of the diameter of the
+// component containing src via double BFS: the eccentricity of the vertex
+// farthest from src. The true diameter lies in [result, 2*result].
+func (s *Sub) DiameterApprox(src int) int {
+	dist := s.BFS(src)
+	far, farD := src, 0
+	for v, d := range dist {
+		if d > farD {
+			far, farD = v, d
+		}
+	}
+	return s.Eccentricity(far)
+}
+
+// Ball returns the set of members within hop distance at most d of v
+// (N^d(v) in the paper's notation, intersected with the view).
+func (s *Sub) Ball(v, d int) *VSet {
+	out := NewVSet(s.g.N())
+	if !s.members.Has(v) {
+		return out
+	}
+	dist := s.boundedBFS(v, d)
+	for u, du := range dist {
+		if du != Unreachable && du <= d {
+			out.Add(u)
+		}
+	}
+	return out
+}
+
+// BallEdgeCount returns |E(N^d(v))| in the view: the number of usable
+// edges with both endpoints within distance d of v. This is the quantity
+// the low-diameter decomposition thresholds on.
+func (s *Sub) BallEdgeCount(v, d int) int64 {
+	ball := s.Ball(v, d)
+	var cnt int64
+	for e := 0; e < s.g.M(); e++ {
+		if !s.Usable(e) {
+			continue
+		}
+		ed := s.g.edges[e]
+		if ball.Has(ed.U) && ball.Has(ed.V) {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// boundedBFS is BFS truncated at depth d.
+func (s *Sub) boundedBFS(src, d int) []int {
+	dist := make([]int, s.g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if dist[v] >= d {
+			continue
+		}
+		for _, a := range s.g.Neighbors(v) {
+			if !s.Usable(a.Edge) || a.To == v {
+				continue
+			}
+			if dist[a.To] == Unreachable {
+				dist[a.To] = dist[v] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSTree returns, for each member reachable from src, its parent in a BFS
+// tree rooted at src (parent[src] = src; unreachable/non-member = -1), and
+// the distance array.
+func (s *Sub) BFSTree(src int) (parent, dist []int) {
+	parent = make([]int, s.g.N())
+	dist = make([]int, s.g.N())
+	for i := range parent {
+		parent[i] = -1
+		dist[i] = Unreachable
+	}
+	if !s.members.Has(src) {
+		return parent, dist
+	}
+	parent[src] = src
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range s.g.Neighbors(v) {
+			if !s.Usable(a.Edge) || a.To == v {
+				continue
+			}
+			if dist[a.To] == Unreachable {
+				dist[a.To] = dist[v] + 1
+				parent[a.To] = v
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return parent, dist
+}

@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := path4()
+	dist := WholeGraph(g).BFS(0)
+	want := []int{0, 1, 2, 3}
+	for v, w := range want {
+		if dist[v] != w {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], w)
+		}
+	}
+}
+
+func TestBFSRespectsEdgeMask(t *testing.T) {
+	g := path4()
+	mask := []bool{true, false, true} // kill edge 1-2
+	dist := NewSub(g, nil, mask).BFS(0)
+	if dist[1] != 1 {
+		t.Errorf("dist[1] = %d, want 1", dist[1])
+	}
+	if dist[2] != Unreachable || dist[3] != Unreachable {
+		t.Errorf("masked vertices reachable: dist = %v", dist)
+	}
+}
+
+func TestBFSRespectsMembers(t *testing.T) {
+	g := path4()
+	dist := NewSub(g, VSetOf(4, 0, 1), nil).BFS(0)
+	if dist[1] != 1 || dist[2] != Unreachable {
+		t.Errorf("member-restricted BFS dist = %v", dist)
+	}
+	// BFS from a non-member yields all-unreachable.
+	dist = NewSub(g, VSetOf(4, 0, 1), nil).BFS(3)
+	for v, d := range dist {
+		if d != Unreachable {
+			t.Errorf("dist[%d] = %d from non-member source", v, d)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := FromEdges(5, [][2]int{{0, 1}, {2, 3}})
+	labels, count := WholeGraph(g).Components()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[3] || labels[0] == labels[2] {
+		t.Errorf("labels = %v", labels)
+	}
+	if labels[4] == labels[0] || labels[4] == labels[2] {
+		t.Errorf("isolated vertex shares label: %v", labels)
+	}
+}
+
+func TestComponentSets(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	sets := WholeGraph(g).ComponentSets()
+	if len(sets) != 2 {
+		t.Fatalf("got %d components", len(sets))
+	}
+	if !sets[0].Equal(VSetOf(4, 0, 1)) || !sets[1].Equal(VSetOf(4, 2, 3)) {
+		t.Errorf("sets = %v, %v", sets[0].Members(), sets[1].Members())
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !WholeGraph(path4()).IsConnected() {
+		t.Error("path4 reported disconnected")
+	}
+	g := FromEdges(4, [][2]int{{0, 1}})
+	if WholeGraph(g).IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := WholeGraph(path4()).Diameter(); d != 3 {
+		t.Errorf("path diameter = %d, want 3", d)
+	}
+	if d := WholeGraph(triangleGraph()).Diameter(); d != 1 {
+		t.Errorf("triangle diameter = %d, want 1", d)
+	}
+}
+
+func TestDiameterApproxBounds(t *testing.T) {
+	g := path4()
+	s := WholeGraph(g)
+	got := s.DiameterApprox(1)
+	// Double-BFS is exact on trees.
+	if got != 3 {
+		t.Errorf("DiameterApprox = %d, want 3", got)
+	}
+}
+
+func TestBall(t *testing.T) {
+	g := path4()
+	s := WholeGraph(g)
+	if b := s.Ball(1, 1); !b.Equal(VSetOf(4, 0, 1, 2)) {
+		t.Errorf("Ball(1,1) = %v", b.Members())
+	}
+	if b := s.Ball(0, 0); !b.Equal(VSetOf(4, 0)) {
+		t.Errorf("Ball(0,0) = %v", b.Members())
+	}
+	if b := s.Ball(0, 10); b.Len() != 4 {
+		t.Errorf("Ball(0,10) = %v", b.Members())
+	}
+}
+
+func TestBallEdgeCount(t *testing.T) {
+	g, _ := dumbbell()
+	s := WholeGraph(g)
+	// N^1(0) = {0,1,2,3}: the left K4 = 6 edges (bridge endpoint 4 not
+	// included since dist(0,4)=2).
+	if got := s.BallEdgeCount(0, 1); got != 6 {
+		t.Errorf("BallEdgeCount(0,1) = %d, want 6", got)
+	}
+	// N^2(0) adds vertex 4: bridge plus 4's K4 edges are partially in.
+	if got := s.BallEdgeCount(0, 2); got != 7 {
+		t.Errorf("BallEdgeCount(0,2) = %d, want 7", got)
+	}
+}
+
+func TestBFSTree(t *testing.T) {
+	g := path4()
+	parent, dist := WholeGraph(g).BFSTree(0)
+	if parent[0] != 0 || parent[1] != 0 || parent[2] != 1 || parent[3] != 2 {
+		t.Errorf("parents = %v", parent)
+	}
+	if dist[3] != 3 {
+		t.Errorf("dist[3] = %d", dist[3])
+	}
+}
+
+func TestBFSIgnoresSelfLoops(t *testing.T) {
+	g := FromEdges(2, [][2]int{{0, 0}, {0, 1}})
+	dist := WholeGraph(g).BFS(0)
+	if dist[0] != 0 || dist[1] != 1 {
+		t.Errorf("dist = %v", dist)
+	}
+}
+
+func TestVSetOperations(t *testing.T) {
+	a := VSetOf(5, 0, 1, 2)
+	b := VSetOf(5, 2, 3)
+	if got := a.Minus(b); !got.Equal(VSetOf(5, 0, 1)) {
+		t.Errorf("Minus = %v", got.Members())
+	}
+	if got := a.Intersect(b); !got.Equal(VSetOf(5, 2)) {
+		t.Errorf("Intersect = %v", got.Members())
+	}
+	if a.Disjoint(b) {
+		t.Error("Disjoint false positive")
+	}
+	if !VSetOf(5, 0).Disjoint(VSetOf(5, 1)) {
+		t.Error("Disjoint false negative")
+	}
+	c := a.Clone()
+	c.Remove(0)
+	if !a.Has(0) {
+		t.Error("Clone aliased storage")
+	}
+	c.Add(0)
+	c.Add(0) // idempotent
+	if c.Len() != 3 {
+		t.Errorf("Len after double-add = %d", c.Len())
+	}
+	c.Remove(4) // non-member no-op
+	if c.Len() != 3 {
+		t.Errorf("Len after removing non-member = %d", c.Len())
+	}
+}

@@ -1,0 +1,214 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"a", "longheader"},
+	}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("xyz", 0.00001)
+	tbl.AddNote("note %d", 7)
+	s := tbl.String()
+	for _, want := range []string{"demo", "longheader", "xyz", "2.50", "1.00e-05", "* note 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 1.5)
+	}
+	e, r2 := FitPowerLaw(xs, ys)
+	if math.Abs(e-1.5) > 1e-9 || r2 < 0.999 {
+		t.Fatalf("fit = (%v, %v), want (1.5, ~1)", e, r2)
+	}
+}
+
+func TestFitPowerLawDegenerate(t *testing.T) {
+	if e, r2 := FitPowerLaw([]float64{1}, []float64{2}); e != 0 || r2 != 0 {
+		t.Fatal("single point should yield zero fit")
+	}
+	if e, _ := FitPowerLaw([]float64{0, -1}, []float64{1, 2}); e != 0 {
+		t.Fatal("invalid points should be skipped")
+	}
+	// Constant y: exponent 0.
+	e, _ := FitPowerLaw([]float64{1, 2, 4}, []float64{5, 5, 5})
+	if math.Abs(e) > 1e-9 {
+		t.Fatalf("constant fit exponent = %v", e)
+	}
+}
+
+// The experiment smoke tests run each table at Small scale and require
+// every verification column to read true.
+func checkAllOK(t *testing.T, tbl *Table, okCol int) {
+	t.Helper()
+	for _, row := range tbl.Rows {
+		if okCol < len(row) && row[okCol] == "false" {
+			t.Errorf("experiment row failed its bound:\n%s", tbl)
+		}
+	}
+}
+
+func TestE1Small(t *testing.T) {
+	tbl, err := E1Decomposition(Small, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestE1KSmall(t *testing.T) {
+	tbl, err := E1KTradeoff(Small, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestE2Small(t *testing.T) {
+	tbl, err := E2TriangleScaling(Small, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// verified column (index 3) must be true everywhere.
+	for _, row := range tbl.Rows {
+		if row[3] != "true" {
+			t.Fatalf("unverified triangle row:\n%s", tbl)
+		}
+	}
+}
+
+func TestE3Small(t *testing.T) {
+	tbl, err := E3SparseCutBalance(Small, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllOK(t, tbl, 5)
+}
+
+func TestE3bSmall(t *testing.T) {
+	tbl, err := E3ExpanderCase(Small, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllOK(t, tbl, 5)
+}
+
+func TestE4Small(t *testing.T) {
+	tbl, err := E4LDD(Small, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllOK(t, tbl, 6)
+}
+
+func TestE4bSmall(t *testing.T) {
+	tbl, err := E4Distributed(Small, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1 at Small scale", len(tbl.Rows))
+	}
+}
+
+func TestE5Small(t *testing.T) {
+	tbl, err := E5ClusteringCutProb(Small, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllOK(t, tbl, 4)
+}
+
+func TestE6Small(t *testing.T) {
+	tbl, err := E6RoutingTradeoff(Small, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestE7Small(t *testing.T) {
+	tbl, err := E7ModelComparison(Small, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[5] != "true" {
+			t.Fatalf("model disagreement:\n%s", tbl)
+		}
+	}
+}
+
+func TestE8Small(t *testing.T) {
+	tbl, err := E8Mixing(Small, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllOK(t, tbl, 6)
+}
+
+func TestE9Small(t *testing.T) {
+	tbl, err := E9PhaseDepths(Small, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllOK(t, tbl, 4)
+}
+
+func TestTriangleCustom(t *testing.T) {
+	tbl, err := TriangleCustom([]int{12, 18}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "true" {
+			t.Fatalf("custom run unverified:\n%s", tbl)
+		}
+	}
+}
+
+func TestAllSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	tables, err := All(Small, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 13 {
+		t.Fatalf("got %d tables, want 13", len(tables))
+	}
+	for _, tbl := range tables {
+		if tbl.Title == "" || len(tbl.Rows) == 0 {
+			t.Fatalf("empty table: %+v", tbl)
+		}
+	}
+}
+
+func TestE10Small(t *testing.T) {
+	tbl, err := E10WalkSupport(Small, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllOK(t, tbl, 4)
+}

@@ -1,0 +1,51 @@
+package ldd
+
+import (
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/rng"
+)
+
+func BenchmarkClusteringSequential(b *testing.B) {
+	g := gen.Torus(30)
+	view := graph.WholeGraph(g)
+	pr := NewParams(g.N(), 0.5, Practical)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Clustering(view, pr, rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkClusteringDistributed(b *testing.B) {
+	g := gen.Torus(20)
+	view := graph.WholeGraph(g)
+	pr := NewParams(g.N(), 0.5, Practical)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DistClustering(view, pr, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecomposeSequential(b *testing.B) {
+	g := gen.Path(1000)
+	view := graph.WholeGraph(g)
+	pr := NewParams(g.N(), 0.9, Practical)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decompose(view, pr, rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkDensityPartition(b *testing.B) {
+	g := gen.Path(800)
+	view := graph.WholeGraph(g)
+	pr := NewParams(g.N(), 0.9, Practical)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DensityPartition(view, pr)
+	}
+}

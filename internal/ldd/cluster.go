@@ -1,0 +1,155 @@
+package ldd
+
+import (
+	"dexpander/internal/congest"
+	"dexpander/internal/graph"
+	"dexpander/internal/rng"
+)
+
+// Clustering runs the Miller–Peng–Xu exponential-shift clustering
+// (Appendix B, algorithm Clustering(beta)) sequentially on the view.
+// Every member vertex v draws delta_v ~ Exponential(beta) and starts its
+// own cluster at epoch max(1, T - floor(delta_v)); unclustered vertices
+// adjacent to a cluster join it one hop per epoch. Cluster ids are center
+// vertex ids; the result satisfies Lemma 12: each edge is cut with
+// probability at most 2*beta, and cluster radius is below T.
+func Clustering(view *graph.Sub, pr Params, r *rng.RNG) *Result {
+	g := view.Base()
+	n := g.N()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = graph.Unreachable
+	}
+	start := make([]int, n)
+	view.Members().ForEach(func(v int) {
+		delta := r.Fork(uint64(v)).Exponential(pr.Beta)
+		s := pr.T - int(delta)
+		if s < 1 {
+			s = 1
+		}
+		start[v] = s
+	})
+	// clusteredAt[v] = epoch at which v got its label.
+	clusteredAt := make([]int, n)
+	for t := 1; t <= pr.T; t++ {
+		// Join moves first read only labels assigned before epoch t,
+		// then new centers appear; mirroring the paper's "clustered
+		// before epoch t" condition. Collect joins before mutating.
+		type join struct{ v, label int }
+		var joins []join
+		view.Members().ForEach(func(v int) {
+			if labels[v] != graph.Unreachable || start[v] == t {
+				return
+			}
+			best := graph.Unreachable
+			for _, a := range g.Neighbors(v) {
+				if !view.Usable(a.Edge) || a.To == v {
+					continue
+				}
+				u := a.To
+				if labels[u] != graph.Unreachable && clusteredAt[u] < t {
+					if best == graph.Unreachable || labels[u] < best {
+						best = labels[u]
+					}
+				}
+			}
+			if best != graph.Unreachable {
+				joins = append(joins, join{v, best})
+			}
+		})
+		for _, j := range joins {
+			labels[j.v] = j.label
+			clusteredAt[j.v] = t
+		}
+		view.Members().ForEach(func(v int) {
+			if labels[v] == graph.Unreachable && start[v] == t {
+				labels[v] = v
+				clusteredAt[v] = t
+			}
+		})
+	}
+	return finishClusters(view, labels)
+}
+
+// DistClustering runs Clustering(beta) in the CONGEST simulator: one
+// round per epoch, newly clustered vertices announcing their cluster id.
+// It returns the decomposition and the run's round statistics. The
+// sequential and distributed versions follow the same specification but
+// draw their randomness differently, so their outputs agree in law, not
+// pointwise.
+func DistClustering(view *graph.Sub, pr Params, seed uint64) (*Result, congest.Stats, error) {
+	g := view.Base()
+	n := g.N()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = graph.Unreachable
+	}
+	eng := congest.New(view, congest.Config{Seed: seed})
+	err := eng.Run(func(nd *congest.Node) {
+		delta := nd.Rand().Exponential(pr.Beta)
+		start := pr.T - int(delta)
+		if start < 1 {
+			start = 1
+		}
+		label := graph.Unreachable
+		announced := false
+		for t := 1; t <= pr.T; t++ {
+			// Announce if clustered in a previous epoch.
+			if label != graph.Unreachable && !announced {
+				nd.SendToAll(int64(label))
+				announced = true
+			}
+			msgs := nd.Next()
+			if label == graph.Unreachable {
+				if start == t {
+					label = nd.V()
+				} else {
+					best := graph.Unreachable
+					for _, m := range msgs {
+						if c := int(m.Words[0]); best == graph.Unreachable || c < best {
+							best = c
+						}
+					}
+					if best != graph.Unreachable {
+						label = best
+					}
+				}
+			}
+		}
+		// One trailing round so final-epoch announcements are not
+		// needed; labels are complete after T epochs.
+		labels[nd.V()] = label
+	})
+	if err != nil {
+		return nil, eng.Stats(), err
+	}
+	return finishClusters(view, labels), eng.Stats(), nil
+}
+
+// finishClusters renumbers raw center-id labels densely and counts cut
+// edges.
+func finishClusters(view *graph.Sub, labels []int) *Result {
+	g := view.Base()
+	dense := make(map[int]int)
+	out := make([]int, g.N())
+	for v := range out {
+		out[v] = graph.Unreachable
+	}
+	view.Members().ForEach(func(v int) {
+		l := labels[v]
+		if l == graph.Unreachable {
+			// Unclustered members become singletons (cannot happen
+			// within T epochs, but keep the invariant under faults).
+			l = v
+		}
+		id, ok := dense[l]
+		if !ok {
+			id = len(dense)
+			dense[l] = id
+		}
+		out[v] = id
+	})
+	res := &Result{Labels: out, Count: len(dense)}
+	res.CutEdges = view.InterComponentEdges(out)
+	return res
+}

@@ -1,0 +1,297 @@
+package ldd
+
+import (
+	"math"
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/rng"
+)
+
+func TestParamsForms(t *testing.T) {
+	pr := NewParams(1000, 0.5, Paper)
+	lnN := math.Log(1000.0)
+	if want := int(math.Ceil(2 * lnN / 0.5)); pr.T != want {
+		t.Errorf("T = %d, want %d", pr.T, want)
+	}
+	if want := int(math.Ceil(5 * lnN / 0.5)); pr.A != want {
+		t.Errorf("A = %d, want %d", pr.A, want)
+	}
+	if want := int(math.Ceil(40 * lnN / 0.5)); pr.B != want {
+		t.Errorf("B = %d, want %d", pr.B, want)
+	}
+	prac := NewParams(1000, 0.5, Practical)
+	if prac.A != prac.T+1 {
+		t.Errorf("practical A=%d, want T+1=%d", prac.A, prac.T+1)
+	}
+	if prac.B < 2 {
+		t.Errorf("practical B = %d", prac.B)
+	}
+}
+
+func TestParamsBadBetaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("beta=0 did not panic")
+		}
+	}()
+	NewParams(100, 0, Practical)
+}
+
+func TestClusteringCoversAllMembers(t *testing.T) {
+	g := gen.Torus(12)
+	view := graph.WholeGraph(g)
+	pr := NewParams(g.N(), 0.4, Practical)
+	res := Clustering(view, pr, rng.New(1))
+	for v := 0; v < g.N(); v++ {
+		if res.Labels[v] == graph.Unreachable {
+			t.Fatalf("vertex %d unclustered", v)
+		}
+	}
+	if res.Count < 1 {
+		t.Fatal("no clusters")
+	}
+}
+
+func TestClusteringRadiusBound(t *testing.T) {
+	// Cluster radius < T, so diameter <= 2(T-1).
+	g := gen.Torus(15)
+	view := graph.WholeGraph(g)
+	pr := NewParams(g.N(), 0.6, Practical)
+	res := Clustering(view, pr, rng.New(2))
+	for _, c := range res.Components(g.N()) {
+		if c.Len() <= 1 {
+			continue
+		}
+		if d := view.Restrict(c).Diameter(); d > 2*(pr.T-1) {
+			t.Fatalf("cluster diameter %d exceeds 2(T-1)=%d", d, 2*(pr.T-1))
+		}
+	}
+}
+
+func TestClusteringClustersAreConnected(t *testing.T) {
+	g := gen.GNPConnected(80, 0.05, 3)
+	view := graph.WholeGraph(g)
+	pr := NewParams(g.N(), 0.3, Practical)
+	res := Clustering(view, pr, rng.New(3))
+	for i, c := range res.Components(g.N()) {
+		if c.Len() > 1 && !view.Restrict(c).IsConnected() {
+			t.Fatalf("cluster %d disconnected: %v", i, c.Members())
+		}
+	}
+}
+
+func TestClusteringLemma12CutProbability(t *testing.T) {
+	// Lemma 12: Pr[edge cut] <= 2 beta, per edge. Empirical with slack
+	// for sampling noise.
+	g := gen.Torus(10)
+	view := graph.WholeGraph(g)
+	beta := 0.3
+	pr := NewParams(g.N(), beta, Practical)
+	maxFreq, meanFrac := EdgeCutProbability(view, pr, 300, 7)
+	if maxFreq > 2*beta+0.12 {
+		t.Fatalf("max per-edge cut frequency %v above 2*beta=%v", maxFreq, 2*beta)
+	}
+	if meanFrac > 2*beta {
+		t.Fatalf("mean cut fraction %v above 2*beta=%v", meanFrac, 2*beta)
+	}
+	if meanFrac == 0 {
+		t.Fatal("clustering never cut anything on a torus (suspicious)")
+	}
+}
+
+func TestDistClusteringMatchesSpec(t *testing.T) {
+	g := gen.Torus(10)
+	view := graph.WholeGraph(g)
+	pr := NewParams(g.N(), 0.4, Practical)
+	res, stats, err := DistClustering(view, pr, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if res.Labels[v] == graph.Unreachable {
+			t.Fatalf("vertex %d unclustered", v)
+		}
+	}
+	// Rounds = T epochs exactly.
+	if stats.Rounds != pr.T {
+		t.Errorf("rounds = %d, want T = %d", stats.Rounds, pr.T)
+	}
+	// Same structural guarantees as sequential.
+	for _, c := range res.Components(g.N()) {
+		if c.Len() > 1 {
+			if !view.Restrict(c).IsConnected() {
+				t.Fatal("distributed cluster disconnected")
+			}
+			if d := view.Restrict(c).Diameter(); d > 2*(pr.T-1) {
+				t.Fatalf("distributed cluster diameter %d > %d", d, 2*(pr.T-1))
+			}
+		}
+	}
+}
+
+func TestDistClusteringDeterministicSeed(t *testing.T) {
+	g := gen.Torus(8)
+	view := graph.WholeGraph(g)
+	pr := NewParams(g.N(), 0.4, Practical)
+	a, _, err := DistClustering(view, pr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := DistClustering(view, pr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Labels {
+		if a.Labels[v] != b.Labels[v] {
+			t.Fatalf("non-deterministic label at %d", v)
+		}
+	}
+}
+
+func TestDensityPartitionExpanderAllDense(t *testing.T) {
+	// On a small-diameter graph, N^A covers everything, so every vertex
+	// is dense (ball ratio 1 >= 1/(2b)) and V'_S is empty.
+	g := gen.Complete(20)
+	view := graph.WholeGraph(g)
+	pr := NewParams(g.N(), 0.3, Practical)
+	vd, vs := DensityPartition(view, pr)
+	if !vs.Empty() || vd.Len() != 20 {
+		t.Fatalf("K20: |VD'|=%d |VS'|=%d, want 20/0", vd.Len(), vs.Len())
+	}
+}
+
+func TestDensityPartitionPathMostlySparse(t *testing.T) {
+	// On a long path, local balls hold a tiny fraction of edges, so most
+	// vertices are sparse.
+	g := gen.Path(4000)
+	view := graph.WholeGraph(g)
+	pr := NewParams(g.N(), 0.9, Practical)
+	_, vs := DensityPartition(view, pr)
+	if vs.Len() < g.N()/2 {
+		t.Fatalf("path: only %d/%d vertices sparse", vs.Len(), g.N())
+	}
+}
+
+// barbellPath delegates to the gen workload (kept as a local alias so
+// existing tests read naturally).
+func barbellPath(clique, pathLen int) *graph.Graph {
+	return gen.BarbellPath(clique, pathLen)
+}
+
+func TestBuildVDInvariants(t *testing.T) {
+	// Lemmas 19-20: distinct V_D components are > A apart; diameters are
+	// O(A*B). Use dense clique ends joined by a long sparse path so
+	// V'_D is non-trivial.
+	g := barbellPath(20, 400)
+	view := graph.WholeGraph(g)
+	pr := NewParams(g.N(), 0.9, Practical)
+	vdPrime, _ := DensityPartition(view, pr)
+	if vdPrime.Empty() {
+		t.Fatal("no dense vertices on the barbell (workload mis-sized)")
+	}
+	vd := BuildVD(view, vdPrime, pr)
+	comps := view.Restrict(vd).ComponentSets()
+	for i := 0; i < len(comps); i++ {
+		if d := view.Restrict(comps[i]).Diameter(); d > 20*pr.A*pr.B {
+			t.Fatalf("V_D component diameter %d above O(A*B)=%d", d, 20*pr.A*pr.B)
+		}
+		for j := i + 1; j < len(comps); j++ {
+			// Check pairwise distance > A via a bounded BFS.
+			dist := multiSourceBFS(view, comps[i], pr.A)
+			tooClose := false
+			comps[j].ForEach(func(v int) {
+				if dist[v] >= 0 {
+					tooClose = true
+				}
+			})
+			if tooClose {
+				t.Fatalf("V_D components %d and %d within distance A=%d", i, j, pr.A)
+			}
+		}
+	}
+}
+
+func TestDecomposeTheorem4Diameter(t *testing.T) {
+	// Theorem 4 condition 1 on a long path: component diameters bounded
+	// by O(log^2 n / beta^2); we check the concrete bound 2T + 20AB + 2
+	// from Lemma 13's argument with slack.
+	g := gen.Path(1500)
+	view := graph.WholeGraph(g)
+	beta := 0.9
+	pr := NewParams(g.N(), beta, Practical)
+	res := Decompose(view, pr, rng.New(13))
+	bound := 2*(pr.T+1) + 20*pr.A*pr.B + 2
+	if d := res.MaxDiameter(view); d > bound {
+		t.Fatalf("component diameter %d above bound %d", d, bound)
+	}
+	if res.Count < 2 {
+		t.Fatal("Decompose returned one giant component on a long path")
+	}
+}
+
+func TestDecomposeTheorem4CutFraction(t *testing.T) {
+	// Theorem 4 condition 2: inter-component edges <= 3*beta*|E| (w.h.p.
+	// before the beta/3 re-parameterization).
+	g := gen.Path(1500)
+	view := graph.WholeGraph(g)
+	beta := 0.5
+	pr := NewParams(g.N(), beta, Practical)
+	res := Decompose(view, pr, rng.New(17))
+	if frac := res.CutFraction(view); frac > 3*beta {
+		t.Fatalf("cut fraction %v above 3*beta = %v", frac, 3*beta)
+	}
+}
+
+func TestDecomposeExpanderSingleComponent(t *testing.T) {
+	// With small diameter, everything lands in V_D and nothing is cut.
+	g := gen.ExpanderByMatchings(64, 5, 3)
+	view := graph.WholeGraph(g)
+	pr := NewParams(g.N(), 0.3, Practical)
+	res := Decompose(view, pr, rng.New(19))
+	if res.CutEdges != 0 {
+		t.Fatalf("cut %d edges on an expander fully inside V_D", res.CutEdges)
+	}
+	if res.Count != 1 {
+		t.Fatalf("expander split into %d components", res.Count)
+	}
+}
+
+func TestDecomposePreservesPartition(t *testing.T) {
+	// Output labels must partition the member set.
+	g := gen.Torus(12)
+	members := graph.FullVSet(g.N())
+	view := graph.NewSub(g, members, nil)
+	pr := NewParams(g.N(), 0.6, Practical)
+	res := Decompose(view, pr, rng.New(23))
+	seen := 0
+	for v, l := range res.Labels {
+		if members.Has(v) {
+			if l == graph.Unreachable || l >= res.Count {
+				t.Fatalf("bad label %d at %d", l, v)
+			}
+			seen++
+		}
+	}
+	if seen != g.N() {
+		t.Fatalf("labeled %d of %d members", seen, g.N())
+	}
+}
+
+func TestDecomposeRespectsSubview(t *testing.T) {
+	// Run on half a torus; non-members must stay unlabeled.
+	g := gen.Torus(10)
+	members := graph.NewVSet(g.N())
+	for v := 0; v < 50; v++ {
+		members.Add(v)
+	}
+	view := graph.NewSub(g, members, nil)
+	pr := NewParams(g.N(), 0.5, Practical)
+	res := Decompose(view, pr, rng.New(29))
+	for v := 50; v < 100; v++ {
+		if res.Labels[v] != graph.Unreachable {
+			t.Fatalf("non-member %d labeled", v)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package nibble
+
+import (
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/rng"
+)
+
+func BenchmarkApproximateNibble(b *testing.B) {
+	g := gen.Dumbbell(12, 1, 1)
+	view := graph.WholeGraph(g)
+	pr := PracticalParams(view, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApproximateNibble(view, pr, 0, 5)
+	}
+}
+
+func BenchmarkApproximateNibbleExpander(b *testing.B) {
+	// The expensive case: the walk never finds a cut and runs to T0.
+	g := gen.Complete(24)
+	view := graph.WholeGraph(g)
+	pr := PracticalParams(view, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApproximateNibble(view, pr, 0, 3)
+	}
+}
+
+func BenchmarkPartitionDumbbell(b *testing.B) {
+	g := gen.Dumbbell(12, 1, 1)
+	view := graph.WholeGraph(g)
+	pr := PracticalParams(view, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Partition(view, pr, rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkSparseCutTheorem3(b *testing.B) {
+	g := gen.UnbalancedDumbbell(20, 8, 1)
+	view := graph.WholeGraph(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SparseCut(view, 0.03, Practical, rng.New(uint64(i)))
+	}
+}

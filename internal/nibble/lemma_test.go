@@ -1,0 +1,99 @@
+package nibble
+
+import (
+	"math"
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/rng"
+)
+
+// TestLemma5IntersectionBound checks ApproximateNibble's quantitative
+// guarantee: for a start vertex inside a planted sparse cut S at an
+// admissible scale b, the output satisfies Vol(C ∩ S) >= 2^{b-2}.
+func TestLemma5IntersectionBound(t *testing.T) {
+	g := gen.Dumbbell(10, 1, 1)
+	view := graph.WholeGraph(g)
+	s := graph.NewVSet(g.N())
+	for v := 0; v < 10; v++ {
+		s.Add(v) // planted side, Vol = 91
+	}
+	pr := PracticalParams(view, 0.05)
+	for _, b := range []int{2, 3, 4, 5, 6} {
+		res := ApproximateNibble(view, pr, 0, b)
+		if res.Empty() {
+			// Lemma 5 requires v in the good core S^g_b; at scales
+			// where (C.3)'s floor exceeds Vol(S) emptiness is correct.
+			if 5.0/7.0*math.Pow(2, float64(b-1)) < 91 {
+				t.Errorf("b=%d: empty despite admissible scale", b)
+			}
+			continue
+		}
+		inter := res.C.Intersect(s)
+		if got, want := float64(g.Vol(inter)), math.Pow(2, float64(b-2)); got < want {
+			t.Errorf("b=%d: Vol(C ∩ S) = %v below 2^{b-2} = %v", b, got, want)
+		}
+	}
+}
+
+// TestLemma6ExpectationBound samples RandomNibble many times and checks
+// the expectation guarantee E[Vol(C ∩ S)] >= Vol(S)/(8 Vol(V)) with
+// sampling slack — the engine behind ParallelNibble's progress.
+func TestLemma6ExpectationBound(t *testing.T) {
+	g := gen.Dumbbell(8, 1, 2)
+	view := graph.WholeGraph(g)
+	s := graph.NewVSet(g.N())
+	for v := 0; v < 8; v++ {
+		s.Add(v)
+	}
+	pr := PracticalParams(view, 0.05)
+	r := rng.New(9)
+	const trials = 300
+	var sum float64
+	for i := 0; i < trials; i++ {
+		res := RandomNibble(view, pr, r)
+		sum += float64(g.Vol(res.C.Intersect(s)))
+	}
+	mean := sum / trials
+	// Paper bound: Vol(S)/(8 Vol(V)) * Vol(S)... the guarantee is
+	// E[Vol(C ∩ S)] >= Vol(S)/(8 Vol(V)) — note the paper normalizes by
+	// the probability of sampling into S; the floor is tiny and the
+	// empirical mean should clear it comfortably.
+	volS := float64(g.Vol(s))
+	volV := float64(view.TotalVol())
+	floor := volS / (8 * volV)
+	if mean < floor {
+		t.Fatalf("E[Vol(C ∩ S)] = %v below Lemma 6 floor %v", mean, floor)
+	}
+}
+
+// TestPartitionLemma8Cases drives Lemma 8's trichotomy: for a planted
+// half-half cut, Partition must reach condition 3a or 3b.
+func TestPartitionLemma8Cases(t *testing.T) {
+	g := gen.Dumbbell(12, 1, 3)
+	view := graph.WholeGraph(g)
+	s := graph.NewVSet(g.N())
+	for v := 0; v < 12; v++ {
+		s.Add(v)
+	}
+	pr := PracticalParams(view, 0.03)
+	res := Partition(view, pr, rng.New(11))
+	if res.Empty() {
+		t.Fatal("Partition found nothing")
+	}
+	volC := float64(g.Vol(res.C))
+	volV := float64(view.TotalVol())
+	interS := float64(g.Vol(res.C.Intersect(s)))
+	volS := float64(g.Vol(s))
+	cond3a := volC >= volV/48
+	cond3b := interS >= volS/2
+	if !cond3a && !cond3b {
+		t.Fatalf("neither Lemma 8 case: Vol(C)=%v (needs %v) or Vol(C∩S)=%v (needs %v)",
+			volC, volV/48, interS, volS/2)
+	}
+	// Condition 1 always.
+	if volC > 47.0/48.0*volV {
+		t.Fatal("Lemma 8 condition 1 violated")
+	}
+}

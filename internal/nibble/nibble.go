@@ -1,0 +1,168 @@
+package nibble
+
+import (
+	"math"
+
+	"dexpander/internal/graph"
+	"dexpander/internal/spectral"
+)
+
+// Result is the outcome of one nibble run.
+type Result struct {
+	// C is the returned cut; empty means the run found nothing.
+	C *graph.VSet
+	// PStar is the set of participating edge ids (Definition 2): edges
+	// with an endpoint carrying positive truncated mass at some step.
+	// Used by ParallelNibble's congestion accounting.
+	PStar []int
+	// Steps is the number of walk steps actually performed (<= T0).
+	Steps int
+}
+
+// Empty reports whether the run returned no cut.
+func (r *Result) Empty() bool { return r.C == nil || r.C.Empty() }
+
+// Nibble runs the original Spielman–Teng Nibble(G, v, phi, b) on the
+// view: a truncated lazy walk from v for up to T0 steps, checking at each
+// step every sweep prefix j for conditions (C.1)–(C.3). It is the
+// specification reference; ApproximateNibble is what the distributed
+// algorithm implements.
+func Nibble(view *graph.Sub, pr Params, v, b int) *Result {
+	res := &Result{C: graph.NewVSet(view.Base().N())}
+	eps := pr.EpsB(b)
+	totalVol := view.TotalVol()
+	minVol := 5.0 / 7.0 * math.Pow(2, float64(b-1))
+	p := spectral.Chi(view.Base().N(), v)
+	touched := graph.NewVSet(view.Base().N())
+	markTouched(touched, p)
+	for t := 1; t <= pr.T0; t++ {
+		p = spectral.Truncate(view, spectral.Step(view, p), eps)
+		markTouched(touched, p)
+		res.Steps = t
+		sweep := spectral.NewSweepOrderSupport(view, spectral.Rho(view, p))
+		jmax := sweep.JMax()
+		for j := 1; j <= jmax; j++ {
+			volJ := sweep.PrefixVol[j]
+			// (C.1) conductance at most phi.
+			if sweep.Conductance(j, totalVol) > pr.Phi {
+				continue
+			}
+			// (C.2) rho of the j-th vertex at least gamma/Vol(prefix).
+			if sweep.Rho[j]*float64(volJ) < pr.Gamma {
+				continue
+			}
+			// (C.3) volume window.
+			if float64(volJ) < minVol || float64(volJ) > 5.0/6.0*float64(totalVol) {
+				continue
+			}
+			res.C = sweep.PrefixSet(view.Base().N(), j)
+			res.PStar = participating(view, touched)
+			return res
+		}
+	}
+	res.PStar = participating(view, touched)
+	return res
+}
+
+// ApproximateNibble runs the paper's distributed-friendly variant: per
+// step it inspects only the O(phi^-1 log Vol) indices of the geometric
+// j-sequence (j_x), testing the original conditions at dense indices and
+// the starred relaxations (C.1*)–(C.3*) elsewhere. Its guarantees are
+// Lemma 5: for v in the good core S^g_b of a sparse cut S, the output is
+// non-empty with Vol(C ∩ S) >= 2^{b-2}.
+func ApproximateNibble(view *graph.Sub, pr Params, v, b int) *Result {
+	res := &Result{C: graph.NewVSet(view.Base().N())}
+	eps := pr.EpsB(b)
+	totalVol := view.TotalVol()
+	minVol := 5.0 / 7.0 * math.Pow(2, float64(b-1))
+	p := spectral.Chi(view.Base().N(), v)
+	touched := graph.NewVSet(view.Base().N())
+	markTouched(touched, p)
+	for t := 1; t <= pr.T0; t++ {
+		p = spectral.Truncate(view, spectral.Step(view, p), eps)
+		markTouched(touched, p)
+		res.Steps = t
+		sweep := spectral.NewSweepOrderSupport(view, spectral.Rho(view, p))
+		jseq := jSequence(sweep, pr.Phi)
+		for x, j := range jseq {
+			dense := x == 0 || j == jseq[x-1]+1
+			volJ := float64(sweep.PrefixVol[j])
+			phiJ := sweep.Conductance(j, totalVol)
+			var ok bool
+			if dense {
+				ok = phiJ <= pr.Phi &&
+					sweep.Rho[j]*volJ >= pr.Gamma &&
+					volJ >= minVol && volJ <= 5.0/6.0*float64(totalVol)
+			} else {
+				prev := jseq[x-1]
+				ok = phiJ <= 12*pr.Phi &&
+					sweep.Rho[prev]*volJ >= pr.Gamma &&
+					volJ >= minVol && volJ <= 11.0/12.0*float64(totalVol)
+			}
+			if ok {
+				res.C = sweep.PrefixSet(view.Base().N(), j)
+				res.PStar = participating(view, touched)
+				return res
+			}
+		}
+	}
+	res.PStar = participating(view, touched)
+	return res
+}
+
+// jSequence computes the paper's geometric index sequence (j_x) for one
+// sweep: j_1 = 1, and j_i = max(j_{i-1}+1, largest j with
+// Vol(prefix j) <= (1+phi) Vol(prefix j_{i-1})), ending at jmax.
+func jSequence(s *spectral.SweepOrder, phi float64) []int {
+	jmax := s.JMax()
+	if jmax == 0 {
+		return nil
+	}
+	seq := []int{1}
+	for seq[len(seq)-1] < jmax {
+		prev := seq[len(seq)-1]
+		limit := (1 + phi) * float64(s.PrefixVol[prev])
+		// PrefixVol is nondecreasing: binary search the largest j with
+		// PrefixVol[j] <= limit.
+		lo, hi := prev, jmax
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if float64(s.PrefixVol[mid]) <= limit {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		next := lo
+		if next < prev+1 {
+			next = prev + 1
+		}
+		seq = append(seq, next)
+	}
+	return seq
+}
+
+func markTouched(set *graph.VSet, p spectral.Dist) {
+	for v, mass := range p {
+		if mass > 0 {
+			set.Add(v)
+		}
+	}
+}
+
+// participating returns the usable edges with at least one touched
+// endpoint (Definition 2's P*).
+func participating(view *graph.Sub, touched *graph.VSet) []int {
+	g := view.Base()
+	var out []int
+	for e := 0; e < g.M(); e++ {
+		if !view.Usable(e) {
+			continue
+		}
+		u, v := g.EdgeEndpoints(e)
+		if touched.Has(u) || touched.Has(v) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

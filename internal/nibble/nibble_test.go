@@ -1,0 +1,192 @@
+package nibble
+
+import (
+	"math"
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/spectral"
+)
+
+// testParams returns small constants that let Nibble find planted cuts on
+// toy graphs quickly while keeping the paper's structure.
+func testParams(view *graph.Sub, phi float64) Params {
+	pr := PracticalParams(view, phi)
+	return pr
+}
+
+func TestNibbleFindsDumbbellCut(t *testing.T) {
+	g := gen.Dumbbell(8, 1, 1)
+	view := graph.WholeGraph(g)
+	// Bridge conductance = 1/57; use phi comfortably above it.
+	pr := testParams(view, 0.05)
+	res := Nibble(view, pr, 0, 5)
+	if res.Empty() {
+		t.Fatal("Nibble found nothing on a dumbbell")
+	}
+	if phi := view.Conductance(res.C); phi > pr.Phi {
+		t.Fatalf("Nibble cut conductance %v > phi %v (C.1 violated)", phi, pr.Phi)
+	}
+	if vol := float64(view.Vol(res.C)); vol > 5.0/6.0*float64(view.TotalVol()) {
+		t.Fatalf("Nibble cut volume %v violates (C.3)", vol)
+	}
+}
+
+func TestNibbleEmptyOnExpander(t *testing.T) {
+	g := gen.Complete(16)
+	view := graph.WholeGraph(g)
+	pr := testParams(view, 0.05) // far below K16's conductance ~ 8/15
+	for _, b := range []int{1, 3, 5} {
+		if res := Nibble(view, pr, 0, b); !res.Empty() {
+			phi := view.Conductance(res.C)
+			t.Fatalf("Nibble returned a cut (phi=%v) on K16 with target 0.05", phi)
+		}
+	}
+}
+
+func TestNibbleVolumeScaleB(t *testing.T) {
+	// (C.3) forces Vol(C) >= (5/7) 2^{b-1}: a huge b must fail on a
+	// small graph.
+	g := gen.Dumbbell(8, 1, 1)
+	view := graph.WholeGraph(g)
+	pr := testParams(view, 0.05)
+	big := 9 // 2^8 * 5/7 = 183 > vol 114
+	if res := Nibble(view, pr, 0, big); !res.Empty() {
+		t.Fatal("Nibble found a cut at an impossible volume scale")
+	}
+}
+
+func TestApproximateNibbleFindsDumbbellCut(t *testing.T) {
+	g := gen.Dumbbell(8, 1, 1)
+	view := graph.WholeGraph(g)
+	pr := testParams(view, 0.05)
+	res := ApproximateNibble(view, pr, 0, 5)
+	if res.Empty() {
+		t.Fatal("ApproximateNibble found nothing on a dumbbell")
+	}
+	// Relaxed conditions: Phi <= 12 phi and Vol <= (11/12) Vol(V).
+	if phi := view.Conductance(res.C); phi > 12*pr.Phi {
+		t.Fatalf("cut conductance %v > 12*phi (C.1* violated)", phi)
+	}
+	if vol := float64(view.Vol(res.C)); vol > 11.0/12.0*float64(view.TotalVol()) {
+		t.Fatal("cut volume violates (C.3*)")
+	}
+}
+
+func TestApproximateNibbleEmptyOnExpander(t *testing.T) {
+	g := gen.ExpanderByMatchings(32, 6, 2)
+	view := graph.WholeGraph(g)
+	pr := testParams(view, 0.02)
+	for _, v := range []int{0, 7, 15} {
+		if res := ApproximateNibble(view, pr, v, 3); !res.Empty() {
+			t.Fatalf("ApproximateNibble found a %v-conductance cut on an expander",
+				view.Conductance(res.C))
+		}
+	}
+}
+
+func TestPStarCoversCut(t *testing.T) {
+	// Every edge incident to the output C must be in P* (the paper uses
+	// this to bound congestion: E(C) subset of P*).
+	g := gen.Dumbbell(8, 1, 1)
+	view := graph.WholeGraph(g)
+	pr := testParams(view, 0.05)
+	res := ApproximateNibble(view, pr, 0, 5)
+	if res.Empty() {
+		t.Skip("no cut found")
+	}
+	inPStar := make(map[int]bool, len(res.PStar))
+	for _, e := range res.PStar {
+		inPStar[e] = true
+	}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.EdgeEndpoints(e)
+		if res.C.Has(u) && res.C.Has(v) && !inPStar[e] {
+			t.Fatalf("edge %d inside C but not in P*", e)
+		}
+	}
+}
+
+func TestPStarRespectsLemma3Bound(t *testing.T) {
+	// Vol of the participating region is bounded by (t0+1)/eps_b-ish
+	// (Lemma 3); with truncation it is far smaller, so check the formal
+	// bound with slack.
+	g := gen.RingOfCliques(4, 6, 3)
+	view := graph.WholeGraph(g)
+	pr := testParams(view, 0.05)
+	b := 4
+	res := ApproximateNibble(view, pr, 0, b)
+	touched := graph.NewVSet(g.N())
+	for _, e := range res.PStar {
+		u, v := g.EdgeEndpoints(e)
+		touched.Add(u)
+		touched.Add(v)
+	}
+	bound := float64(pr.T0+1)/pr.EpsB(b) + float64(view.TotalVol())/10
+	if got := float64(g.Vol(touched)); got > bound {
+		t.Fatalf("P* volume %v exceeds Lemma 3-style bound %v", got, bound)
+	}
+}
+
+func TestJSequenceProperties(t *testing.T) {
+	g := gen.GNPConnected(40, 0.15, 5)
+	view := graph.WholeGraph(g)
+	p := spectral.Walk(view, spectral.Chi(g.N(), 0), 5)[5]
+	sweep := spectral.NewSweepOrder(view, spectral.Rho(view, p))
+	phi := 0.1
+	seq := jSequence(sweep, phi)
+	if len(seq) == 0 || seq[0] != 1 {
+		t.Fatalf("jSequence = %v, must start at 1", seq)
+	}
+	jmax := sweep.JMax()
+	if seq[len(seq)-1] != jmax {
+		t.Fatalf("jSequence ends at %d, want jmax=%d", seq[len(seq)-1], jmax)
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i] <= seq[i-1] {
+			t.Fatalf("jSequence not increasing: %v", seq)
+		}
+		// Either a unit step or the volume grew by at most (1+phi)
+		// relative to the previous index — and the next index would
+		// exceed it.
+		if seq[i] != seq[i-1]+1 {
+			if float64(sweep.PrefixVol[seq[i]]) > (1+phi)*float64(sweep.PrefixVol[seq[i-1]]) {
+				t.Fatalf("volume jump too large at %d: %v -> %v",
+					i, sweep.PrefixVol[seq[i-1]], sweep.PrefixVol[seq[i]])
+			}
+		}
+	}
+	// The sequence length is O(phi^-1 log Vol) as the paper claims.
+	limit := int(4*math.Log(float64(view.TotalVol()))/phi) + 2
+	if len(seq) > limit {
+		t.Fatalf("jSequence length %d exceeds O(phi^-1 log Vol) = %d", len(seq), limit)
+	}
+}
+
+func TestJSequenceEmptyDist(t *testing.T) {
+	g := gen.Path(5)
+	view := graph.WholeGraph(g)
+	sweep := spectral.NewSweepOrder(view, spectral.NewDist(5))
+	if seq := jSequence(sweep, 0.1); seq != nil {
+		t.Fatalf("jSequence on zero mass = %v, want nil", seq)
+	}
+}
+
+func TestNibbleRespectsView(t *testing.T) {
+	// Nibble on a restricted member set must never return outside
+	// vertices.
+	g := gen.Dumbbell(8, 1, 1)
+	members := graph.NewVSet(g.N())
+	for v := 0; v < 8; v++ {
+		members.Add(v)
+	}
+	view := graph.NewSub(g, members, nil)
+	pr := testParams(view, 0.3)
+	res := Nibble(view, pr, 0, 3)
+	res.C.ForEach(func(v int) {
+		if !members.Has(v) {
+			t.Fatalf("cut contains non-member %d", v)
+		}
+	})
+}

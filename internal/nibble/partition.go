@@ -1,0 +1,77 @@
+package nibble
+
+import (
+	"dexpander/internal/graph"
+	"dexpander/internal/rng"
+)
+
+// PartitionResult is the outcome of Partition (Appendix A.4) or of the
+// Theorem 3 wrapper.
+type PartitionResult struct {
+	// C is the accumulated cut (union of all ParallelNibble outputs up
+	// to the stopping iteration); may be empty.
+	C *graph.VSet
+	// Iterations is the number of ParallelNibble rounds executed.
+	Iterations int
+	// Conductance is Phi(C) in the input view, or 0 for empty C.
+	Conductance float64
+	// Balance is bal(C) in the input view.
+	Balance float64
+}
+
+// Empty reports whether no cut was found.
+func (r *PartitionResult) Empty() bool { return r.C == nil || r.C.Empty() }
+
+// Partition implements Algorithm Partition(G, phi, p): repeatedly run
+// ParallelNibble on the remaining graph G{W_i}, peeling each returned cut,
+// until the remaining volume drops to (47/48) Vol(V) or the iteration
+// budget s is exhausted. Lemma 8 gives its guarantees: Vol(C) <=
+// (47/48) Vol(V); Phi(C) = O(phi log n) when non-empty; and for any
+// target S with Vol(S) <= Vol(V)/2 and Phi(S) <= f(phi), w.h.p. either
+// Vol(C) >= Vol(V)/48 or Vol(C ∩ S) >= Vol(S)/2.
+func Partition(view *graph.Sub, pr Params, r *rng.RNG) *PartitionResult {
+	n := view.Base().N()
+	res := &PartitionResult{C: graph.NewVSet(n)}
+	s := pr.Iterations(view)
+	totalVol := float64(view.TotalVol())
+	w := view.Members().Clone()
+	emptyStreak := 0
+	for i := 1; i <= s; i++ {
+		res.Iterations = i
+		sub := view.Restrict(w)
+		pn := ParallelNibble(sub, pr, r)
+		if pn.C.Empty() {
+			emptyStreak++
+			if pr.EmptyStop > 0 && emptyStreak >= pr.EmptyStop {
+				break
+			}
+			continue
+		}
+		emptyStreak = 0
+		res.C.AddAll(pn.C)
+		w.RemoveAll(pn.C)
+		if float64(view.Vol(w)) <= 47.0/48.0*totalVol {
+			break
+		}
+	}
+	if !res.C.Empty() {
+		res.Conductance = view.Conductance(res.C)
+		res.Balance = view.Balance(res.C)
+	}
+	return res
+}
+
+// SparseCut is the Theorem 3 interface: given a conductance target phi,
+// it returns a cut C such that (a) if Phi(G) <= phi then w.h.p. C has
+// balance >= min(b/2, 1/48) — b the balance of the most balanced cut of
+// conductance <= phi — and conductance at most TransferH(phi); (b) if
+// Phi(G) > phi, C is empty or has conductance at most TransferH(phi).
+//
+// It is a re-parameterization of Partition: the inner run uses
+// phi_p = PartitionPhi(phi) (FInv under the Paper preset, so that cuts of
+// conductance phi meet Partition's f(phi_p) precondition), and the output
+// conductance bound composes to TransferH(phi) = CCut * W * phi_p.
+func SparseCut(view *graph.Sub, phi float64, preset Preset, r *rng.RNG) *PartitionResult {
+	phiP := PartitionPhi(view, phi, preset)
+	return Partition(view, NewParams(view, phiP, preset), r)
+}

@@ -1,0 +1,195 @@
+package nibble
+
+import (
+	"math"
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/rng"
+)
+
+func TestSampleStartDegreeWeighted(t *testing.T) {
+	g := gen.Star(5) // hub degree 4, leaves degree 1: hub prob = 1/2
+	view := graph.WholeGraph(g)
+	pr := PracticalParams(view, 0.1)
+	r := rng.New(7)
+	hub := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		v, b := SampleStart(view, pr, r)
+		if v == 0 {
+			hub++
+		}
+		if b < 1 || b > pr.Ell {
+			t.Fatalf("b = %d out of [1,%d]", b, pr.Ell)
+		}
+	}
+	got := float64(hub) / trials
+	if math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("hub sampled with frequency %v, want ~0.5", got)
+	}
+}
+
+func TestSampleStartScaleDistribution(t *testing.T) {
+	g := gen.Complete(16)
+	view := graph.WholeGraph(g)
+	pr := PracticalParams(view, 0.1)
+	r := rng.New(11)
+	counts := make(map[int]int)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		_, b := SampleStart(view, pr, r)
+		counts[b]++
+	}
+	// Pr[b=1] ~ 1/2 of the normalized mass; at least check monotone
+	// decay over the first three scales.
+	if !(counts[1] > counts[2] && counts[2] > counts[3]) {
+		t.Fatalf("scale counts not decaying: %v", counts)
+	}
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("Pr[b=1]/Pr[b=2] = %v, want ~2", ratio)
+	}
+}
+
+func TestParallelNibbleOverflowAborts(t *testing.T) {
+	g := gen.Dumbbell(8, 1, 1)
+	view := graph.WholeGraph(g)
+	pr := PracticalParams(view, 0.05)
+	pr.W = 0 // any participation overflows
+	pr.KCap = 2
+	res := ParallelNibble(view, pr, rng.New(3))
+	if !res.Overflowed {
+		t.Fatal("expected overflow with W=0")
+	}
+	if !res.C.Empty() {
+		t.Fatal("overflow must return the empty cut")
+	}
+}
+
+func TestParallelNibbleVolumeThreshold(t *testing.T) {
+	g := gen.RingOfCliques(4, 6, 2)
+	view := graph.WholeGraph(g)
+	pr := PracticalParams(view, 0.1)
+	res := ParallelNibble(view, pr, rng.New(5))
+	if res.Overflowed {
+		t.Skip("overlap overflow on this seed")
+	}
+	if vol := float64(view.Vol(res.C)); vol > 23.0/24.0*float64(view.TotalVol()) {
+		t.Fatalf("ParallelNibble volume %v exceeds (23/24)Vol", vol)
+	}
+}
+
+func TestPartitionFindsDumbbellBalance(t *testing.T) {
+	g := gen.Dumbbell(10, 1, 1)
+	view := graph.WholeGraph(g)
+	pr := PracticalParams(view, 0.05)
+	res := Partition(view, pr, rng.New(1))
+	if res.Empty() {
+		t.Fatal("Partition found nothing on a dumbbell")
+	}
+	// Lemma 8 condition 3: either Vol(C) >= Vol/48 or C covers half the
+	// planted side. Both imply decent balance here.
+	if res.Balance < 1.0/48.0 {
+		t.Fatalf("balance %v below 1/48", res.Balance)
+	}
+	// Lemma 8 condition 1.
+	if vol := float64(view.Vol(res.C)); vol > 47.0/48.0*float64(view.TotalVol()) {
+		t.Fatal("Partition exceeded the (47/48)Vol cap")
+	}
+	// Lemma 8 condition 2 with the practical constant: O(phi log n).
+	bound := pr.CCut * float64(pr.W) * pr.Phi
+	if res.Conductance > bound {
+		t.Fatalf("Partition conductance %v above CCut*W*phi = %v", res.Conductance, bound)
+	}
+}
+
+func TestPartitionEmptyOnExpander(t *testing.T) {
+	g := gen.Complete(20)
+	view := graph.WholeGraph(g)
+	pr := PracticalParams(view, 0.02)
+	res := Partition(view, pr, rng.New(2))
+	if !res.Empty() {
+		t.Fatalf("Partition cut an expander: phi=%v bal=%v", res.Conductance, res.Balance)
+	}
+}
+
+func TestPartitionDeterministicInSeed(t *testing.T) {
+	g := gen.RingOfCliques(3, 6, 4)
+	view := graph.WholeGraph(g)
+	pr := PracticalParams(view, 0.05)
+	a := Partition(view, pr, rng.New(42))
+	b := Partition(view, pr, rng.New(42))
+	if !a.C.Equal(b.C) {
+		t.Fatal("Partition not deterministic for a fixed seed")
+	}
+}
+
+func TestSparseCutTheorem3Dumbbell(t *testing.T) {
+	// Theorem 3 on a balanced planted cut: returned balance must be at
+	// least min(b/2, 1/48) with b = 1/2, i.e. >= 1/48.
+	g := gen.Dumbbell(10, 1, 1)
+	view := graph.WholeGraph(g)
+	phi := 1.0 / 45.0 // above bridge conductance 1/91
+	res := SparseCut(view, phi, Practical, rng.New(9))
+	if res.Empty() {
+		t.Fatal("SparseCut found nothing")
+	}
+	if res.Balance < 1.0/48.0 {
+		t.Fatalf("balance %v < 1/48", res.Balance)
+	}
+	if h := TransferH(view, phi, Practical); res.Conductance > h {
+		t.Fatalf("conductance %v above TransferH = %v", res.Conductance, h)
+	}
+}
+
+func TestSparseCutUnbalancedPlant(t *testing.T) {
+	// Unbalanced planted cut: b = Vol(small)/Vol ~ 0.19; Theorem 3
+	// demands balance >= min(b/2, 1/48).
+	g := gen.UnbalancedDumbbell(12, 6, 1)
+	view := graph.WholeGraph(g)
+	small := graph.NewVSet(g.N())
+	for v := 12; v < 18; v++ {
+		small.Add(v)
+	}
+	b := view.Balance(small)
+	phiPlant := view.Conductance(small)
+	res := SparseCut(view, 2*phiPlant, Practical, rng.New(4))
+	if res.Empty() {
+		t.Fatal("SparseCut missed the planted unbalanced cut")
+	}
+	want := math.Min(b/2, 1.0/48.0)
+	if res.Balance < want {
+		t.Fatalf("balance %v below Theorem 3 floor %v", res.Balance, want)
+	}
+}
+
+func TestSparseCutEmptyOrSparseOnExpander(t *testing.T) {
+	// Theorem 3 second case: on Phi(G) > phi the result is empty or has
+	// conductance <= H(phi).
+	g := gen.ExpanderByMatchings(40, 6, 8)
+	view := graph.WholeGraph(g)
+	phi := 0.01
+	res := SparseCut(view, phi, Practical, rng.New(6))
+	if !res.Empty() {
+		if h := TransferH(view, phi, Practical); res.Conductance > h {
+			t.Fatalf("non-empty cut with conductance %v > H = %v", res.Conductance, h)
+		}
+	}
+}
+
+func TestPartitionProgressOnRingOfCliques(t *testing.T) {
+	// Ring of cliques has sparse cuts of balance ~ 1/k each; Partition
+	// should accumulate volume across iterations (Lemma 8 condition 3a).
+	g := gen.RingOfCliques(6, 6, 3)
+	view := graph.WholeGraph(g)
+	pr := PracticalParams(view, 0.08)
+	res := Partition(view, pr, rng.New(12))
+	if res.Empty() {
+		t.Fatal("Partition found nothing on ring of cliques")
+	}
+	if res.Iterations < 1 {
+		t.Fatal("no iterations recorded")
+	}
+}

@@ -1,0 +1,101 @@
+package nibble
+
+import (
+	"dexpander/internal/graph"
+	"dexpander/internal/rng"
+)
+
+// SampleStart draws a starting vertex from the view's degree distribution
+// psi_V and a scale b in [1, Ell] with Pr[b=i] proportional to 2^-i,
+// exactly as RandomNibble specifies.
+func SampleStart(view *graph.Sub, pr Params, r *rng.RNG) (v, b int) {
+	total := view.TotalVol()
+	// Degree-proportional vertex sample.
+	x := int64(r.Float64() * float64(total))
+	v = -1
+	view.Members().ForEach(func(u int) {
+		if v >= 0 {
+			return
+		}
+		x -= int64(view.Base().Deg(u))
+		if x < 0 {
+			v = u
+		}
+	})
+	if v < 0 {
+		// Rounding fell off the end; use the last member.
+		ms := view.Members().Members()
+		v = ms[len(ms)-1]
+	}
+	// Pr[b=i] = 2^-i / (1 - 2^-ell).
+	denom := 1 - 1/float64(int64(1)<<uint(pr.Ell))
+	u := r.Float64() * denom
+	cum := 0.0
+	for i := 1; i <= pr.Ell; i++ {
+		cum += 1 / float64(int64(1)<<uint(i))
+		if u < cum {
+			return v, i
+		}
+	}
+	return v, pr.Ell
+}
+
+// RandomNibble runs ApproximateNibble from a random degree-weighted start
+// with a random scale (Appendix A.3).
+func RandomNibble(view *graph.Sub, pr Params, r *rng.RNG) *Result {
+	v, b := SampleStart(view, pr, r)
+	return ApproximateNibble(view, pr, v, b)
+}
+
+// ParallelResult is the outcome of one ParallelNibble invocation.
+type ParallelResult struct {
+	// C is the union cut U_{i*} (empty on overflow or no findings).
+	C *graph.VSet
+	// Instances is the number k of RandomNibble instances run.
+	Instances int
+	// Overflowed reports whether some edge participated in more than W
+	// instances, forcing the empty result (Lemma 7's abort condition).
+	Overflowed bool
+	// MaxOverlap is the maximum per-edge participation observed.
+	MaxOverlap int
+}
+
+// ParallelNibble runs k = InstanceCount simultaneous RandomNibbles and
+// merges a prefix of their outputs (Appendix A.4): if any edge
+// participates in more than W instances the result is empty; otherwise
+// the largest prefix U_{i*} of the union with Vol <= (23/24) Vol(V) is
+// returned. The sequential code runs instances in a loop, which is
+// equivalent: instances are independent given the view, and the
+// distributed implementation (package dnibble) runs them on multiplexed
+// channels.
+func ParallelNibble(view *graph.Sub, pr Params, r *rng.RNG) *ParallelResult {
+	k := pr.InstanceCount(view)
+	res := &ParallelResult{C: graph.NewVSet(view.Base().N()), Instances: k}
+	overlap := make(map[int]int)
+	cuts := make([]*graph.VSet, 0, k)
+	for i := 0; i < k; i++ {
+		one := RandomNibble(view, pr, r)
+		for _, e := range one.PStar {
+			overlap[e]++
+			if overlap[e] > res.MaxOverlap {
+				res.MaxOverlap = overlap[e]
+			}
+		}
+		cuts = append(cuts, one.C)
+	}
+	if res.MaxOverlap > pr.W {
+		res.Overflowed = true
+		return res
+	}
+	z := 23.0 / 24.0 * float64(view.TotalVol())
+	union := graph.NewVSet(view.Base().N())
+	best := graph.NewVSet(view.Base().N())
+	for _, c := range cuts {
+		union.AddAll(c)
+		if float64(view.Vol(union)) <= z {
+			best = union.Clone()
+		}
+	}
+	res.C = best
+	return res
+}

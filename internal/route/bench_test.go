@@ -1,0 +1,67 @@
+package route
+
+import (
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	g := gen.ExpanderByMatchings(96, 6, 1)
+	view := graph.WholeGraph(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(view, 8, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRouteGKSWorkload(b *testing.B) {
+	g := gen.ExpanderByMatchings(96, 6, 1)
+	view := graph.WholeGraph(g)
+	rt, err := Build(view, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := UniformRandomRequests(rt, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rt.Route(reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRegistration compares single-tree vs all-tree
+// registration on a hot-destination workload: the ablation behind the
+// MultiRegister option (reported as rounds via custom metrics).
+func BenchmarkAblationRegistration(b *testing.B) {
+	g := gen.ExpanderByMatchings(64, 6, 2)
+	view := graph.WholeGraph(g)
+	run := func(multi bool) int {
+		rt, err := BuildWithOptions(view, Options{Hubs: 8, MultiRegister: multi, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var reqs []Request
+		for v := 1; v < g.N(); v++ {
+			for j := 0; j < 4; j++ {
+				reqs = append(reqs, Request{Src: v, Dst: 0, Payload: int64(v*8 + j)})
+			}
+		}
+		_, stats, err := rt.Route(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return stats.Rounds
+	}
+	var single, multi int
+	for i := 0; i < b.N; i++ {
+		single = run(false)
+		multi = run(true)
+	}
+	b.ReportMetric(float64(single), "singleRounds")
+	b.ReportMetric(float64(multi), "multiRounds")
+}

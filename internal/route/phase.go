@@ -1,0 +1,155 @@
+package route
+
+import (
+	"fmt"
+	"sync"
+
+	"dexpander/internal/congest"
+)
+
+// packet is one in-flight routed message.
+type packet struct {
+	hub     int
+	dst     int
+	payload int64
+}
+
+// handler decides what a vertex does with an arriving packet: forward it
+// on the returned port, or consume it (done=true). arrivalPort is -1 for
+// packets originating at v.
+type handler func(v int, pk packet, arrivalPort int) (forwardPort int, done bool)
+
+// deliverFn observes consumed packets carrying payloads (nil to ignore).
+type deliverFn func(v int, pk packet)
+
+// runPhase executes a store-and-forward routing phase in the CONGEST
+// engine: every member starts with initial(v) packets; each round every
+// port transmits the head of its FIFO queue (channel 0). Termination is
+// detected distributively on channel 1: nodes continuously converge-cast
+// the minimum "quiet streak" of their hub-0 subtree, and the hub-0 root
+// floods STOP once the global streak clears the in-flight horizon. The
+// reported stats therefore measure the true round cost of the phase,
+// including the detection overhead (channel 1 doubles CongestRounds).
+func (rt *Router) runPhase(initial func(v int) []packet, handle handler, deliver deliverFn, extraLoad int) (congest.Stats, error) {
+	const (
+		ctlMin  = 0 // control: subtree quiet-streak minimum
+		ctlStop = 1 // control: root says stop
+	)
+	tree0 := rt.parent[0]
+	stopAfter := 2*rt.maxDepth + 8
+	budget := 16*rt.view.UsableEdgeCount() + 64*rt.maxDepth + 8*extraLoad + 256
+	var mu sync.Mutex
+	var failure error
+	eng := congest.New(rt.view, congest.Config{Seed: rt.seed ^ 0x9e37, Channels: 2, MaxWords: 4})
+	err := eng.Run(func(nd *congest.Node) {
+		v := nd.V()
+		queues := make([][]packet, nd.Degree())
+		enqueue := func(pk packet, arrival int) {
+			for {
+				port, done := handle(v, pk, arrival)
+				if done {
+					if deliver != nil {
+						deliver(v, pk)
+					}
+					return
+				}
+				if port < 0 || port >= nd.Degree() {
+					mu.Lock()
+					if failure == nil {
+						failure = fmt.Errorf("route: vertex %d routed packet for %d to invalid port %d", v, pk.dst, port)
+					}
+					mu.Unlock()
+					return
+				}
+				queues[port] = append(queues[port], pk)
+				return
+			}
+		}
+		for _, pk := range initial(v) {
+			enqueue(pk, -1)
+		}
+		streak := 0
+		childMin := make(map[int]int) // port -> last reported subtree min
+		stopped := false
+		for r := 0; r < budget && !stopped; r++ {
+			active := false
+			for p := range queues {
+				if len(queues[p]) > 0 {
+					pk := queues[p][0]
+					queues[p] = queues[p][1:]
+					nd.SendOn(0, p, int64(pk.hub), int64(pk.dst), pk.payload)
+					active = true
+				}
+			}
+			// Control: report subtree quiet-streak minimum upward.
+			min := streak
+			for _, m := range childMin {
+				if m < min {
+					min = m
+				}
+			}
+			isRoot := tree0[v] == -1
+			if isRoot {
+				if min >= stopAfter {
+					// Flood STOP to all ports; everyone forwards once.
+					for p := 0; p < nd.Degree(); p++ {
+						nd.SendOn(1, p, ctlStop, 0)
+					}
+					stopped = true
+				}
+			} else {
+				nd.SendOn(1, tree0[v], ctlMin, int64(min))
+			}
+			sawStop := false
+			for _, m := range nd.Next() {
+				switch m.Ch {
+				case 0:
+					active = true
+					enqueue(packet{hub: int(m.Words[0]), dst: int(m.Words[1]), payload: m.Words[2]}, m.Port)
+				case 1:
+					switch m.Words[0] {
+					case ctlMin:
+						childMin[m.Port] = int(m.Words[1])
+					case ctlStop:
+						sawStop = true
+					}
+				}
+			}
+			if sawStop && !stopped {
+				for p := 0; p < nd.Degree(); p++ {
+					nd.SendOn(1, p, ctlStop, 0)
+				}
+				nd.Next()
+				stopped = true
+			}
+			if active {
+				streak = 0
+			} else {
+				streak++
+			}
+		}
+		if !stopped {
+			mu.Lock()
+			if failure == nil {
+				failure = fmt.Errorf("route: phase budget %d exhausted at vertex %d", budget, v)
+			}
+			mu.Unlock()
+		}
+		// Drain any leftover queue as an error: the phase must finish
+		// its traffic before STOP.
+		for p := range queues {
+			if len(queues[p]) > 0 {
+				mu.Lock()
+				if failure == nil {
+					failure = fmt.Errorf("route: vertex %d stopped with %d queued packets", v, len(queues[p]))
+				}
+				mu.Unlock()
+				break
+			}
+		}
+	})
+	if err != nil {
+		return eng.Stats(), err
+	}
+	return eng.Stats(), failure
+}

@@ -1,0 +1,302 @@
+package route
+
+import (
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+)
+
+func buildOn(t *testing.T, g *graph.Graph, hubs int, seed uint64) *Router {
+	t.Helper()
+	rt, err := Build(graph.WholeGraph(g), hubs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestBuildOnExpander(t *testing.T) {
+	g := gen.ExpanderByMatchings(64, 5, 1)
+	rt := buildOn(t, g, 4, 7)
+	if len(rt.Hubs()) != 4 {
+		t.Fatalf("hubs = %d", len(rt.Hubs()))
+	}
+	if rt.BuildStats.Rounds == 0 {
+		t.Fatal("no preprocessing rounds recorded")
+	}
+}
+
+func TestBuildRejectsDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	if _, err := Build(graph.WholeGraph(g), 2, 1); err == nil {
+		t.Fatal("disconnected view accepted")
+	}
+}
+
+func TestTreesSpanAndAreConsistent(t *testing.T) {
+	g := gen.GNPConnected(50, 0.1, 3)
+	rt := buildOn(t, g, 3, 11)
+	for h := range rt.Hubs() {
+		for v := 0; v < g.N(); v++ {
+			if rt.dist[h][v] < 0 {
+				t.Fatalf("hub %d: vertex %d unreached", h, v)
+			}
+			if v == rt.Hubs()[h] {
+				if rt.dist[h][v] != 0 || rt.parent[h][v] != -1 {
+					t.Fatalf("hub %d root state wrong", h)
+				}
+				continue
+			}
+			// Parent port leads to a vertex one closer to the hub.
+			port := rt.parent[h][v]
+			if port < 0 {
+				t.Fatalf("hub %d: vertex %d has no parent", h, v)
+			}
+			// Walk one hop and verify distance decreases.
+			var u int
+			found := false
+			for _, a := range g.Neighbors(v) {
+				if !found {
+					u = a.To
+					_ = u
+				}
+				found = true
+			}
+			// Distances are BFS distances: parent dist = dist-1.
+			pv := neighborByPort(g, v, port)
+			if rt.dist[h][pv] != rt.dist[h][v]-1 {
+				t.Fatalf("hub %d: parent of %d has dist %d, want %d",
+					h, v, rt.dist[h][pv], rt.dist[h][v]-1)
+			}
+		}
+	}
+}
+
+// neighborByPort resolves the engine's port numbering: ports enumerate
+// usable incident non-loop edges in edge order, matching congest.New.
+func neighborByPort(g *graph.Graph, v, port int) int {
+	idx := 0
+	for e := 0; e < g.M(); e++ {
+		u, w := g.EdgeEndpoints(e)
+		if u == w {
+			continue
+		}
+		if u == v || w == v {
+			if idx == port {
+				return g.Other(e, v)
+			}
+			idx++
+		}
+	}
+	return -1
+}
+
+func TestRouteAllToOne(t *testing.T) {
+	g := gen.ExpanderByMatchings(32, 5, 2)
+	rt := buildOn(t, g, 3, 5)
+	var reqs []Request
+	for v := 1; v < g.N(); v++ {
+		reqs = append(reqs, Request{Src: v, Dst: 0, Payload: int64(v)})
+	}
+	out, stats, err := rt.Route(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(reqs) {
+		t.Fatalf("delivered %d of %d", len(out), len(reqs))
+	}
+	seen := make(map[int64]bool)
+	for _, d := range out {
+		if d.Dst != 0 {
+			t.Fatalf("misdelivery to %d", d.Dst)
+		}
+		if seen[d.Payload] {
+			t.Fatalf("duplicate payload %d", d.Payload)
+		}
+		seen[d.Payload] = true
+	}
+	if stats.Rounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestRoutePermutation(t *testing.T) {
+	g := gen.ExpanderByMatchings(48, 5, 3)
+	rt := buildOn(t, g, 4, 9)
+	var reqs []Request
+	for v := 0; v < g.N(); v++ {
+		reqs = append(reqs, Request{Src: v, Dst: (v + 17) % g.N(), Payload: int64(100 + v)})
+	}
+	out, _, err := rt.Route(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range out {
+		src := int(d.Payload - 100)
+		if (src+17)%g.N() != d.Dst {
+			t.Fatalf("payload from %d delivered to %d", src, d.Dst)
+		}
+	}
+}
+
+func TestRouteSelfMessages(t *testing.T) {
+	g := gen.Cycle(10)
+	rt := buildOn(t, g, 2, 1)
+	out, _, err := rt.Route([]Request{{Src: 3, Dst: 3, Payload: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Dst != 3 || out[0].Payload != 9 {
+		t.Fatalf("self-delivery = %+v", out)
+	}
+}
+
+func TestRouteRejectsNonMembers(t *testing.T) {
+	g := gen.Cycle(8)
+	members := graph.NewVSet(8)
+	for v := 0; v < 8; v++ {
+		members.Add(v)
+	}
+	rt := buildOn(t, g, 2, 2)
+	if _, _, err := rt.Route([]Request{{Src: 0, Dst: 99, Payload: 1}}); err == nil {
+		t.Fatal("accepted out-of-range destination")
+	}
+	_ = rt
+	_ = members
+}
+
+func TestRouteGKSWorkload(t *testing.T) {
+	g := gen.ExpanderByMatchings(64, 6, 4)
+	rt := buildOn(t, g, 6, 13)
+	reqs := UniformRandomRequests(rt, 21)
+	out, stats, err := rt.Route(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(reqs) {
+		t.Fatalf("delivered %d of %d", len(out), len(reqs))
+	}
+	// The workload has ~vol messages; on an expander the query should
+	// finish in far fewer rounds than messages (pipelining works).
+	if stats.Rounds > len(reqs) {
+		t.Fatalf("query took %d rounds for %d requests: no pipelining", stats.Rounds, len(reqs))
+	}
+}
+
+func TestHubCountForK(t *testing.T) {
+	g := gen.ExpanderByMatchings(64, 6, 5)
+	view := graph.WholeGraph(g)
+	p1 := HubCountForK(view, 1) // m^1 capped at n
+	p2 := HubCountForK(view, 2)
+	p4 := HubCountForK(view, 4)
+	if !(p1 >= p2 && p2 >= p4 && p4 >= 1) {
+		t.Fatalf("hub counts not monotone: %d %d %d", p1, p2, p4)
+	}
+	if p1 != 64 {
+		t.Fatalf("k=1 hub count = %d, want n", p1)
+	}
+}
+
+func TestTradeoffMoreHubsFasterQueries(t *testing.T) {
+	// The GKS-style trade-off: more hubs -> more preprocessing, fewer
+	// query rounds (less per-tree congestion) on a fixed workload.
+	g := gen.ExpanderByMatchings(96, 6, 6)
+	few := buildOn(t, g, 1, 31)
+	many := buildOn(t, g, 24, 31)
+	if many.BuildStats.Rounds <= few.BuildStats.Rounds {
+		t.Fatalf("preprocessing did not grow with hubs: %d vs %d",
+			many.BuildStats.Rounds, few.BuildStats.Rounds)
+	}
+	reqsFew := UniformRandomRequests(few, 77)
+	reqsMany := UniformRandomRequests(many, 77)
+	_, sf, err := few.Route(reqsFew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sm, err := many.Route(reqsMany)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Rounds >= sf.Rounds {
+		t.Fatalf("more hubs did not speed queries: %d (24 hubs) vs %d (1 hub)",
+			sm.Rounds, sf.Rounds)
+	}
+}
+
+func TestMultiRegisterBuild(t *testing.T) {
+	g := gen.ExpanderByMatchings(48, 5, 7)
+	view := graph.WholeGraph(g)
+	single, err := Build(view, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := BuildWithOptions(view, Options{Hubs: 6, MultiRegister: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multi-registration moves ~P times the registration traffic.
+	if multi.BuildStats.Messages <= single.BuildStats.Messages {
+		t.Fatalf("multi-register traffic %d not above single %d",
+			multi.BuildStats.Messages, single.BuildStats.Messages)
+	}
+	// Every vertex must be resolvable in every tree at every hub.
+	for h, hub := range multi.Hubs() {
+		for v := 0; v < g.N(); v++ {
+			if v == hub {
+				continue
+			}
+			if _, ok := multi.down[hub][key(h, v)]; !ok {
+				t.Fatalf("vertex %d not registered in tree %d", v, h)
+			}
+		}
+	}
+}
+
+func TestMultiRegisterSpeedsHotDestination(t *testing.T) {
+	// All-to-one traffic serializes on one tree edge under single
+	// registration; multi-registration spreads it across trees.
+	g := gen.ExpanderByMatchings(64, 6, 9)
+	view := graph.WholeGraph(g)
+	mk := func(multi bool) int {
+		rt, err := BuildWithOptions(view, Options{Hubs: 8, MultiRegister: multi, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reqs []Request
+		for v := 1; v < g.N(); v++ {
+			for i := 0; i < 4; i++ {
+				reqs = append(reqs, Request{Src: v, Dst: 0, Payload: int64(v*10 + i)})
+			}
+		}
+		_, stats, err := rt.Route(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Rounds
+	}
+	single := mk(false)
+	multi := mk(true)
+	if multi >= single {
+		t.Fatalf("multi-register did not speed the hot destination: %d vs %d rounds",
+			multi, single)
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	g := gen.ExpanderByMatchings(32, 5, 7)
+	run := func() (int, int) {
+		rt := buildOn(t, g, 3, 19)
+		reqs := UniformRandomRequests(rt, 23)
+		_, stats, err := rt.Route(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Rounds, len(reqs)
+	}
+	r1, n1 := run()
+	r2, n2 := run()
+	if r1 != r2 || n1 != n2 {
+		t.Fatalf("non-deterministic routing: (%d,%d) vs (%d,%d)", r1, n1, r2, n2)
+	}
+}

@@ -1,0 +1,70 @@
+package spectral
+
+import (
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+)
+
+func BenchmarkStep(b *testing.B) {
+	g := gen.Torus(30)
+	view := graph.WholeGraph(g)
+	p := Chi(g.N(), 0)
+	for i := 0; i < 10; i++ {
+		p = Step(view, p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Step(view, p)
+	}
+}
+
+func BenchmarkTruncatedWalk(b *testing.B) {
+	g := gen.RingOfCliques(4, 10, 1)
+	view := graph.WholeGraph(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TruncatedWalk(view, Chi(g.N(), 0), 30, 1e-5)
+	}
+}
+
+func BenchmarkSweepOrder(b *testing.B) {
+	g := gen.GNPConnected(300, 0.05, 2)
+	view := graph.WholeGraph(g)
+	p := Walk(view, Chi(g.N(), 0), 6)[6]
+	rho := Rho(view, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewSweepOrder(view, rho)
+	}
+}
+
+func BenchmarkSweepOrderSupport(b *testing.B) {
+	g := gen.GNPConnected(300, 0.05, 2)
+	view := graph.WholeGraph(g)
+	p := TruncatedWalk(view, Chi(g.N(), 0), 6, 1e-4)[6]
+	rho := Rho(view, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewSweepOrderSupport(view, rho)
+	}
+}
+
+func BenchmarkLambda2(b *testing.B) {
+	g := gen.ExpanderByMatchings(128, 6, 3)
+	view := graph.WholeGraph(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Lambda2(view, 100, 1)
+	}
+}
+
+func BenchmarkMixingTime(b *testing.B) {
+	g := gen.Hypercube(7)
+	view := graph.WholeGraph(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MixingTime(view, 0, 0.25, 10000)
+	}
+}

@@ -1,0 +1,147 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+)
+
+func TestCheegerBracketsBruteForce(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"dumbbell": gen.Dumbbell(5, 1, 1),
+		"cycle":    gen.Cycle(10),
+		"complete": gen.Complete(8),
+		"ring":     gen.RingOfCliques(3, 4, 2),
+	}
+	for name, g := range graphs {
+		view := graph.WholeGraph(g)
+		_, phi := view.MinConductanceBrute()
+		lo := CheegerLower(view, 500, 1)
+		hi := CheegerUpper(view, 500, 1)
+		if phi < lo-1e-6 {
+			t.Errorf("%s: brute Phi=%v below Cheeger lower %v", name, phi, lo)
+		}
+		if phi > hi+1e-6 {
+			t.Errorf("%s: brute Phi=%v above Cheeger upper %v", name, phi, hi)
+		}
+	}
+}
+
+func TestLambda2CompleteGraph(t *testing.T) {
+	// K_n: normalized Laplacian eigenvalues are 0 and n/(n-1).
+	g := gen.Complete(10)
+	lam := Lambda2(graph.WholeGraph(g), 500, 1)
+	want := 10.0 / 9.0
+	if math.Abs(lam-want) > 0.02 {
+		t.Fatalf("lambda2(K10) = %v, want %v", lam, want)
+	}
+}
+
+func TestLambda2Cycle(t *testing.T) {
+	// C_n: lambda2 = 1 - cos(2*pi/n).
+	n := 12
+	g := gen.Cycle(n)
+	lam := Lambda2(graph.WholeGraph(g), 3000, 1)
+	want := 1 - math.Cos(2*math.Pi/float64(n))
+	if math.Abs(lam-want) > 0.01 {
+		t.Fatalf("lambda2(C%d) = %v, want %v", n, lam, want)
+	}
+}
+
+func TestLambda2DisconnectedIsZero(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	lam := Lambda2(graph.WholeGraph(g), 500, 1)
+	if lam > 1e-6 {
+		t.Fatalf("lambda2(disconnected) = %v, want ~0", lam)
+	}
+}
+
+func TestLambda2TinyViews(t *testing.T) {
+	g := gen.Path(3)
+	if lam := Lambda2(graph.NewSub(g, graph.VSetOf(3, 0), nil), 100, 1); lam != 0 {
+		t.Fatalf("lambda2 of singleton = %v", lam)
+	}
+	if lam := Lambda2(graph.NewSub(g, graph.NewVSet(3), nil), 100, 1); lam != 0 {
+		t.Fatalf("lambda2 of empty = %v", lam)
+	}
+}
+
+func TestLambda2ExpanderLarge(t *testing.T) {
+	// A random 6-regular-ish expander must have a healthy spectral gap.
+	g := gen.ExpanderByMatchings(100, 6, 3)
+	lam := Lambda2(graph.WholeGraph(g), 500, 1)
+	if lam < 0.1 {
+		t.Fatalf("lambda2(expander) = %v, suspiciously small", lam)
+	}
+}
+
+func TestMixingTimeCompleteFast(t *testing.T) {
+	g := gen.Complete(16)
+	tm := MixingTime(graph.WholeGraph(g), 0, 0.1, 200)
+	if tm > 20 {
+		t.Fatalf("complete graph mixing time = %d, want tiny", tm)
+	}
+}
+
+func TestMixingTimeOrderedByConductance(t *testing.T) {
+	// Expander mixes much faster than a cycle of the same size.
+	n := 64
+	exp := gen.ExpanderByMatchings(n, 5, 1)
+	cyc := gen.Cycle(n)
+	te := MixingTime(graph.WholeGraph(exp), 0, 0.25, 100000)
+	tc := MixingTime(graph.WholeGraph(cyc), 0, 0.25, 100000)
+	if te >= tc {
+		t.Fatalf("expander mixing %d not faster than cycle %d", te, tc)
+	}
+}
+
+func TestMixingTimeJerrumSinclairBounds(t *testing.T) {
+	// Theta(1/Phi) <= tau_mix <= Theta(log n / Phi^2) — checked with
+	// generous constants on families with known conductance.
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"hypercube", gen.Hypercube(6)},
+		{"torus", gen.Torus(8)},
+		{"ring", gen.RingOfCliques(4, 8, 2)},
+	} {
+		view := graph.WholeGraph(tc.g)
+		phi := ConductanceSweepUpper(view, []int{0, 1}, 50)
+		lower := CheegerLower(view, 800, 1)
+		if lower <= 0 {
+			t.Fatalf("%s: no spectral gap", tc.name)
+		}
+		tm := MixingTime(view, 0, 0.5, 200000)
+		n := float64(tc.g.N())
+		upper := 40 * math.Log(n) / (lower * lower)
+		if float64(tm) > upper {
+			t.Errorf("%s: tau=%d above O(log n/Phi^2)=%v", tc.name, tm, upper)
+		}
+		if float64(tm) < 0.05/phi {
+			t.Errorf("%s: tau=%d below Omega(1/Phi), phi upper=%v", tc.name, tm, phi)
+		}
+	}
+}
+
+func TestMixingTimeDisconnectedCaps(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	if tm := MixingTime(graph.WholeGraph(g), 0, 0.1, 50); tm != 51 {
+		t.Fatalf("disconnected mixing time = %d, want cap+1", tm)
+	}
+}
+
+func TestConductanceSweepUpperDumbbell(t *testing.T) {
+	g := gen.Dumbbell(6, 1, 1)
+	view := graph.WholeGraph(g)
+	got := ConductanceSweepUpper(view, []int{0}, 40)
+	_, want := view.MinConductanceBrute()
+	if got < want-1e-12 {
+		t.Fatalf("sweep upper %v below true min %v", got, want)
+	}
+	if got > 3*want {
+		t.Fatalf("sweep upper %v too far above true min %v", got, want)
+	}
+}

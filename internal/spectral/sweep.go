@@ -1,0 +1,126 @@
+package spectral
+
+import "sort"
+
+import "dexpander/internal/graph"
+
+// SweepOrder is the permutation pi~_t of the paper: member vertices sorted
+// by decreasing rho value, ties broken by vertex id (the paper allows any
+// tie break). Vertices with zero rho are included at the tail so that
+// prefix indices correspond to the paper's j ranging over all of V; in
+// practice Nibble only inspects prefixes with positive mass.
+type SweepOrder struct {
+	// Vertices in sweep order.
+	Vertices []int
+	// PrefixVol[j] = Vol(pi(1..j)) with 1-based j; PrefixVol[0] = 0.
+	PrefixVol []int64
+	// PrefixCut[j] = |∂(pi(1..j))| within the view.
+	PrefixCut []int64
+	// Rho[j] = rho value of the j-th vertex (1-based; Rho[0] unused).
+	Rho []float64
+}
+
+// NewSweepOrder sorts the view's members by decreasing rho and computes
+// prefix volumes and cut sizes incrementally in O(m + n log n).
+func NewSweepOrder(view *graph.Sub, rho Dist) *SweepOrder {
+	return newSweepOrder(view, rho, view.Members().Members())
+}
+
+// NewSweepOrderSupport is NewSweepOrder restricted to the vertices with
+// positive rho. Since Nibble only probes prefixes up to JMax (the last
+// positive-rho vertex), the restricted order yields identical prefix
+// statistics at a fraction of the cost — the truncated walk keeps the
+// support small by design.
+func NewSweepOrderSupport(view *graph.Sub, rho Dist) *SweepOrder {
+	var verts []int
+	view.Members().ForEach(func(v int) {
+		if rho[v] > 0 {
+			verts = append(verts, v)
+		}
+	})
+	return newSweepOrder(view, rho, verts)
+}
+
+func newSweepOrder(view *graph.Sub, rho Dist, verts []int) *SweepOrder {
+	g := view.Base()
+	sort.Slice(verts, func(i, j int) bool {
+		ri, rj := rho[verts[i]], rho[verts[j]]
+		if ri != rj {
+			return ri > rj
+		}
+		return verts[i] < verts[j]
+	})
+	s := &SweepOrder{
+		Vertices:  verts,
+		PrefixVol: make([]int64, len(verts)+1),
+		PrefixCut: make([]int64, len(verts)+1),
+		Rho:       make([]float64, len(verts)+1),
+	}
+	inPrefix := make([]bool, g.N())
+	var cut int64
+	for j, v := range verts {
+		// Adding v: edges to vertices already in the prefix stop being
+		// cut edges; usable edges to members outside become cut edges.
+		for _, a := range g.Neighbors(v) {
+			if !view.Usable(a.Edge) || a.To == v {
+				continue
+			}
+			if inPrefix[a.To] {
+				cut--
+			} else {
+				cut++
+			}
+		}
+		inPrefix[v] = true
+		s.PrefixVol[j+1] = s.PrefixVol[j] + int64(g.Deg(v))
+		s.PrefixCut[j+1] = cut
+		s.Rho[j+1] = rho[v]
+	}
+	return s
+}
+
+// Len returns the number of member vertices in the order.
+func (s *SweepOrder) Len() int { return len(s.Vertices) }
+
+// Conductance returns Phi(pi(1..j)) for 1-based j, relative to the view's
+// total volume.
+func (s *SweepOrder) Conductance(j int, totalVol int64) float64 {
+	volIn := s.PrefixVol[j]
+	volOut := totalVol - volIn
+	minVol := volIn
+	if volOut < minVol {
+		minVol = volOut
+	}
+	if minVol <= 0 {
+		if s.PrefixCut[j] == 0 {
+			return 0
+		}
+		return 1e18
+	}
+	return float64(s.PrefixCut[j]) / float64(minVol)
+}
+
+// PrefixSet materializes pi(1..j) as a vertex set.
+func (s *SweepOrder) PrefixSet(n, j int) *graph.VSet {
+	set := graph.NewVSet(n)
+	for i := 0; i < j; i++ {
+		set.Add(s.Vertices[i])
+	}
+	return set
+}
+
+// JMax returns the largest 1-based index with positive rho (the paper's
+// j_max, the last vertex with p~_t > 0), or 0 if no vertex has mass.
+func (s *SweepOrder) JMax() int {
+	// Rho is non-increasing, so binary search the boundary.
+	lo, hi := 0, s.Len() // invariant: Rho[lo] > 0 or lo == 0; Rho[hi+1..] == 0 or hi == Len
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.Rho[mid] > 0 {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,104 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+)
+
+func TestSweepOrderSorted(t *testing.T) {
+	g := gen.GNPConnected(30, 0.2, 4)
+	view := graph.WholeGraph(g)
+	p := Walk(view, Chi(g.N(), 0), 4)[4]
+	sweep := NewSweepOrder(view, Rho(view, p))
+	for j := 2; j <= sweep.Len(); j++ {
+		if sweep.Rho[j] > sweep.Rho[j-1]+1e-15 {
+			t.Fatalf("rho not non-increasing at %d: %v > %v", j, sweep.Rho[j], sweep.Rho[j-1])
+		}
+	}
+}
+
+func TestSweepPrefixStatsMatchDirect(t *testing.T) {
+	g := gen.RingOfCliques(3, 4, 7)
+	view := graph.WholeGraph(g)
+	p := Walk(view, Chi(g.N(), 0), 5)[5]
+	sweep := NewSweepOrder(view, Rho(view, p))
+	total := view.TotalVol()
+	for j := 1; j <= sweep.Len(); j++ {
+		set := sweep.PrefixSet(g.N(), j)
+		if got, want := sweep.PrefixVol[j], g.Vol(set); got != want {
+			t.Fatalf("PrefixVol[%d] = %d, want %d", j, got, want)
+		}
+		if got, want := sweep.PrefixCut[j], view.CutEdges(set); got != want {
+			t.Fatalf("PrefixCut[%d] = %d, want %d", j, got, want)
+		}
+		direct := view.Conductance(set)
+		if sw := sweep.Conductance(j, total); math.Abs(sw-direct) > 1e-12 && j < sweep.Len() {
+			t.Fatalf("Conductance[%d] = %v, want %v", j, sw, direct)
+		}
+	}
+}
+
+func TestSweepFindsPlantedCut(t *testing.T) {
+	// A walk started inside one clique of a dumbbell should reveal the
+	// bridge cut as the best sweep cut.
+	g := gen.Dumbbell(8, 1, 1)
+	view := graph.WholeGraph(g)
+	p := Walk(view, Chi(g.N(), 0), 30)[30]
+	sweep := NewSweepOrder(view, Rho(view, p))
+	total := view.TotalVol()
+	best := math.Inf(1)
+	bestJ := 0
+	for j := 1; j < sweep.Len(); j++ {
+		if phi := sweep.Conductance(j, total); phi < best {
+			best, bestJ = phi, j
+		}
+	}
+	set := sweep.PrefixSet(g.N(), bestJ)
+	if set.Len() != 8 {
+		t.Fatalf("best sweep cut has %d vertices, want 8 (one clique)", set.Len())
+	}
+	if view.CutEdges(set) != 1 {
+		t.Fatalf("best sweep cut crosses %d edges, want the 1 bridge", view.CutEdges(set))
+	}
+}
+
+func TestSweepOrderSupportMatchesFull(t *testing.T) {
+	// The support-restricted order must agree with the full order on
+	// every prefix up to JMax.
+	g := gen.RingOfCliques(3, 5, 11)
+	view := graph.WholeGraph(g)
+	p := TruncatedWalk(view, Chi(g.N(), 0), 6, 1e-4)[6]
+	rho := Rho(view, p)
+	full := NewSweepOrder(view, rho)
+	supp := NewSweepOrderSupport(view, rho)
+	if supp.Len() != full.JMax() {
+		t.Fatalf("support length %d != full JMax %d", supp.Len(), full.JMax())
+	}
+	for j := 1; j <= supp.Len(); j++ {
+		if supp.PrefixVol[j] != full.PrefixVol[j] || supp.PrefixCut[j] != full.PrefixCut[j] {
+			t.Fatalf("prefix %d: support (%d,%d) vs full (%d,%d)", j,
+				supp.PrefixVol[j], supp.PrefixCut[j], full.PrefixVol[j], full.PrefixCut[j])
+		}
+		if supp.Rho[j] != full.Rho[j] {
+			t.Fatalf("prefix %d rho mismatch", j)
+		}
+	}
+}
+
+func TestJMax(t *testing.T) {
+	g := gen.Path(6)
+	view := graph.WholeGraph(g)
+	rho := NewDist(6)
+	rho[0], rho[3] = 0.5, 0.2
+	sweep := NewSweepOrder(view, rho)
+	if got := sweep.JMax(); got != 2 {
+		t.Fatalf("JMax = %d, want 2", got)
+	}
+	empty := NewSweepOrder(view, NewDist(6))
+	if got := empty.JMax(); got != 0 {
+		t.Fatalf("JMax of zero dist = %d, want 0", got)
+	}
+}

@@ -1,0 +1,183 @@
+// Package spectral implements the lazy random walk machinery of
+// Spielman–Teng Nibble (Appendix A of the paper) plus the spectral
+// verification oracles used by tests and benchmarks: sweep cuts, Cheeger
+// bounds via power iteration, and mixing-time estimation.
+//
+// All computations run on a graph.Sub view, i.e. the paper's G{S}: walk
+// transition probabilities use original degrees, with the degree deficit
+// acting as self-loops, exactly matching the paper's M = (A D^{-1} + I)/2
+// convention where each removed edge contributes a loop.
+package spectral
+
+import (
+	"math"
+
+	"dexpander/internal/graph"
+)
+
+// Dist is a probability distribution over the vertices of a base graph,
+// stored densely. Entries of non-member vertices are zero.
+type Dist []float64
+
+// NewDist returns the zero distribution over n vertices.
+func NewDist(n int) Dist { return make(Dist, n) }
+
+// Chi returns the point distribution concentrated on v.
+func Chi(n, v int) Dist {
+	d := NewDist(n)
+	d[v] = 1
+	return d
+}
+
+// Psi returns the degree distribution over the members of the view:
+// psi(v) = deg(v) / Vol(S).
+func Psi(view *graph.Sub) Dist {
+	d := NewDist(view.Base().N())
+	total := float64(view.TotalVol())
+	if total == 0 {
+		return d
+	}
+	view.Members().ForEach(func(v int) {
+		d[v] = float64(view.Base().Deg(v)) / total
+	})
+	return d
+}
+
+// Sum returns the total probability mass.
+func (d Dist) Sum() float64 {
+	var s float64
+	for _, x := range d {
+		s += x
+	}
+	return s
+}
+
+// Clone returns an independent copy.
+func (d Dist) Clone() Dist {
+	c := make(Dist, len(d))
+	copy(c, d)
+	return c
+}
+
+// Step applies one lazy random walk step M = (A D^{-1} + I)/2 on the view:
+// half the mass stays; the other half spreads over the Deg(v) slots of v,
+// where usable non-loop edges carry mass to the neighbor and loop slots
+// (real loops plus the implicit degree deficit) keep it in place.
+func Step(view *graph.Sub, p Dist) Dist {
+	g := view.Base()
+	next := NewDist(g.N())
+	view.Members().ForEach(func(v int) {
+		mass := p[v]
+		if mass == 0 {
+			return
+		}
+		deg := g.Deg(v)
+		if deg == 0 {
+			next[v] += mass
+			return
+		}
+		next[v] += mass / 2
+		share := mass / (2 * float64(deg))
+		moved := 0
+		for _, a := range g.Neighbors(v) {
+			if !view.Usable(a.Edge) || a.To == v {
+				continue
+			}
+			next[a.To] += share
+			moved++
+		}
+		// Loop slots (deg - moved of them) keep their share at v.
+		next[v] += share * float64(deg-moved)
+	})
+	return next
+}
+
+// Truncate applies the paper's truncation operator [p]_eps in place:
+// p(x) is zeroed when p(x) < 2*eps*deg(x). It returns p for chaining.
+func Truncate(view *graph.Sub, p Dist, eps float64) Dist {
+	g := view.Base()
+	for v := range p {
+		if p[v] != 0 && p[v] < 2*eps*float64(g.Deg(v)) {
+			p[v] = 0
+		}
+	}
+	return p
+}
+
+// Rho returns the degree-normalized distribution rho(x) = p(x)/deg(x);
+// vertices with zero degree report 0.
+func Rho(view *graph.Sub, p Dist) Dist {
+	g := view.Base()
+	r := NewDist(g.N())
+	for v := range p {
+		if d := g.Deg(v); d > 0 {
+			r[v] = p[v] / float64(d)
+		}
+	}
+	return r
+}
+
+// Walk runs t lazy walk steps from p0 without truncation and returns the
+// sequence p_0, p_1, ..., p_t.
+func Walk(view *graph.Sub, p0 Dist, t int) []Dist {
+	out := make([]Dist, 0, t+1)
+	out = append(out, p0.Clone())
+	p := p0.Clone()
+	for i := 0; i < t; i++ {
+		p = Step(view, p)
+		out = append(out, p.Clone())
+	}
+	return out
+}
+
+// TruncatedWalk runs t steps of the truncated walk p~_t = [M p~_{t-1}]_eps
+// from p0 and returns the sequence p~_0, ..., p~_t. This is the exact
+// process Nibble analyzes.
+func TruncatedWalk(view *graph.Sub, p0 Dist, t int, eps float64) []Dist {
+	out := make([]Dist, 0, t+1)
+	out = append(out, p0.Clone())
+	p := p0.Clone()
+	for i := 0; i < t; i++ {
+		p = Truncate(view, Step(view, p), eps)
+		out = append(out, p.Clone())
+	}
+	return out
+}
+
+// Support returns the vertices with positive mass.
+func (d Dist) Support() []int {
+	var s []int
+	for v, x := range d {
+		if x > 0 {
+			s = append(s, v)
+		}
+	}
+	return s
+}
+
+// WalkSupportSet computes the paper's Z_{u,phi,b} via reversibility
+// (rho_t^v(u) = rho_t^u(v), Lemma 3): it runs one untruncated walk from u
+// for t0 steps and returns every vertex v with rho_t(v) >= epsB at some
+// t <= t0.
+func WalkSupportSet(view *graph.Sub, u, t0 int, epsB float64) *graph.VSet {
+	z := graph.NewVSet(view.Base().N())
+	dists := Walk(view, Chi(view.Base().N(), u), t0)
+	for _, p := range dists {
+		rho := Rho(view, p)
+		for v, r := range rho {
+			if r >= epsB {
+				z.Add(v)
+			}
+		}
+	}
+	return z
+}
+
+// TotalVariation returns (1/2) * sum |a - b|.
+func TotalVariation(a, b Dist) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / 2
+}

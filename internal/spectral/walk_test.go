@@ -1,0 +1,188 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+)
+
+func TestStepConservesMass(t *testing.T) {
+	g := gen.RingOfCliques(3, 5, 1)
+	view := graph.WholeGraph(g)
+	p := Chi(g.N(), 0)
+	for i := 0; i < 20; i++ {
+		p = Step(view, p)
+		if s := p.Sum(); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("mass = %v after %d steps", s, i+1)
+		}
+	}
+}
+
+func TestStepLazyHalfStays(t *testing.T) {
+	// On a single edge, one step moves exactly half the mass... split by
+	// degree: deg=1, so 1/2 stays, 1/2 crosses.
+	g := graph.FromEdges(2, [][2]int{{0, 1}})
+	p := Step(graph.WholeGraph(g), Chi(2, 0))
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[1]-0.5) > 1e-12 {
+		t.Fatalf("p = %v, want [0.5 0.5]", p)
+	}
+}
+
+func TestStepSelfLoopHoldsMass(t *testing.T) {
+	// Vertex 0 has a loop and an edge: deg 2. Half stays lazily; the
+	// loop slot keeps another 1/4; only 1/4 crosses.
+	g := graph.FromEdges(2, [][2]int{{0, 0}, {0, 1}})
+	p := Step(graph.WholeGraph(g), Chi(2, 0))
+	if math.Abs(p[0]-0.75) > 1e-12 || math.Abs(p[1]-0.25) > 1e-12 {
+		t.Fatalf("p = %v, want [0.75 0.25]", p)
+	}
+}
+
+func TestStepImplicitLoopFromMask(t *testing.T) {
+	// Path 0-1-2 with edge 1-2 removed: vertex 1 keeps deg 2 but one
+	// slot is an implicit loop.
+	g := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	view := graph.NewSub(g, nil, []bool{true, false})
+	p := Step(view, Chi(3, 1))
+	if math.Abs(p[1]-0.75) > 1e-12 || math.Abs(p[0]-0.25) > 1e-12 || p[2] != 0 {
+		t.Fatalf("p = %v, want [0.25 0.75 0]", p)
+	}
+}
+
+func TestStepMemberRestriction(t *testing.T) {
+	// G{S} with S = {0,1} on the path 0-1-2: the 1-2 edge becomes an
+	// implicit loop at 1; no mass reaches 2.
+	g := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	view := graph.NewSub(g, graph.VSetOf(3, 0, 1), nil)
+	p := Chi(3, 1)
+	for i := 0; i < 10; i++ {
+		p = Step(view, p)
+	}
+	if p[2] != 0 {
+		t.Fatalf("mass leaked to non-member: %v", p)
+	}
+	if math.Abs(p.Sum()-1) > 1e-9 {
+		t.Fatalf("mass not conserved: %v", p.Sum())
+	}
+}
+
+func TestWalkConvergesToStationary(t *testing.T) {
+	g := gen.Complete(8)
+	view := graph.WholeGraph(g)
+	p := Chi(8, 0)
+	for i := 0; i < 200; i++ {
+		p = Step(view, p)
+	}
+	pi := Psi(view)
+	for v := 0; v < 8; v++ {
+		if math.Abs(p[v]-pi[v]) > 1e-6 {
+			t.Fatalf("p[%d] = %v, want stationary %v", v, p[v], pi[v])
+		}
+	}
+}
+
+func TestTruncateThreshold(t *testing.T) {
+	g := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	view := graph.WholeGraph(g)
+	p := Dist{0.5, 0.1, 0.009}
+	// eps = 0.01: threshold is 2*0.01*deg. deg(0)=1 -> 0.02; deg(1)=2 ->
+	// 0.04; deg(2)=1 -> 0.02.
+	Truncate(view, p, 0.01)
+	if p[0] != 0.5 || p[1] != 0.1 {
+		t.Fatalf("over-truncated: %v", p)
+	}
+	if p[2] != 0 {
+		t.Fatalf("under-truncated: %v", p)
+	}
+}
+
+func TestTruncationMonotoneProperty(t *testing.T) {
+	// Property: truncated walk mass is pointwise <= untruncated walk
+	// mass at every step (paper: p_t(u) >= p~_t(u)).
+	g := gen.RingOfCliques(3, 4, 2)
+	view := graph.WholeGraph(g)
+	f := func(srcRaw uint8, epsRaw uint8) bool {
+		src := int(srcRaw) % g.N()
+		eps := float64(epsRaw%100+1) / 100000
+		exact := Walk(view, Chi(g.N(), src), 8)
+		trunc := TruncatedWalk(view, Chi(g.N(), src), 8, eps)
+		for t := range exact {
+			for v := range exact[t] {
+				if trunc[t][v] > exact[t][v]+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRhoSymmetryProperty(t *testing.T) {
+	// The reversibility identity rho_t^v(u) = rho_t^u(v) proven in
+	// Lemma 3.
+	g := gen.GNPConnected(20, 0.2, 3)
+	view := graph.WholeGraph(g)
+	const steps = 6
+	f := func(a, b uint8) bool {
+		u, v := int(a)%g.N(), int(b)%g.N()
+		pu := Walk(view, Chi(g.N(), u), steps)
+		pv := Walk(view, Chi(g.N(), v), steps)
+		ru := Rho(view, pu[steps])
+		rv := Rho(view, pv[steps])
+		return math.Abs(ru[v]-rv[u]) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkSupportSetBound(t *testing.T) {
+	// Lemma 3: Vol(Z_{u,phi,b}) <= (t0+1)/(2 epsB).
+	g := gen.RingOfCliques(4, 5, 5)
+	view := graph.WholeGraph(g)
+	t0 := 10
+	epsB := 0.001
+	for _, u := range []int{0, 7, 13} {
+		z := WalkSupportSet(view, u, t0, epsB)
+		bound := float64(t0+1) / (2 * epsB)
+		if got := float64(g.Vol(z)); got > bound {
+			t.Fatalf("Vol(Z_%d) = %v exceeds Lemma 3 bound %v", u, got, bound)
+		}
+		if !z.Has(u) {
+			t.Fatalf("Z_%d does not contain its own center", u)
+		}
+	}
+}
+
+func TestPsiIsDistribution(t *testing.T) {
+	g := gen.GNP(30, 0.3, 9)
+	view := graph.WholeGraph(g)
+	if s := Psi(view).Sum(); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("Psi sums to %v", s)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	a := Dist{1, 0}
+	b := Dist{0, 1}
+	if tv := TotalVariation(a, b); math.Abs(tv-1) > 1e-12 {
+		t.Fatalf("TV = %v, want 1", tv)
+	}
+	if tv := TotalVariation(a, a); tv != 0 {
+		t.Fatalf("TV(a,a) = %v", tv)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	d := Dist{0, 0.5, 0, 0.5}
+	s := d.Support()
+	if len(s) != 2 || s[0] != 1 || s[1] != 3 {
+		t.Fatalf("Support = %v", s)
+	}
+}

@@ -1,0 +1,283 @@
+package triangle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dexpander/internal/congest"
+	"dexpander/internal/core"
+	"dexpander/internal/graph"
+	"dexpander/internal/nibble"
+	"dexpander/internal/rng"
+	"dexpander/internal/route"
+)
+
+// Options configures the CONGEST enumeration.
+type Options struct {
+	// Eps is the decomposition target (paper: <= 1/6 so that the E*
+	// recursion halves). Defaults to 1/6.
+	Eps float64
+	// K is the decomposition trade-off parameter. Defaults to 2.
+	K int
+	// RouterK is the GKS trade-off parameter for the per-component
+	// routing structure (hub count ~ m^{1/RouterK}). Defaults to 2.
+	RouterK int
+	// Preset selects constants. Defaults to Practical.
+	Preset nibble.Preset
+	// Seed drives all randomness.
+	Seed uint64
+	// Subs overrides the decomposition subroutines (defaults to the
+	// sequential reference; inject distributed ones to charge
+	// decomposition rounds too).
+	Subs core.Subroutines
+	// MaxRecursion caps E* recursion depth (default 64; the paper's
+	// O(log n) bound applies when Eps <= 1/2).
+	MaxRecursion int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Eps == 0 {
+		o.Eps = 1.0 / 6.0
+	}
+	if o.K == 0 {
+		o.K = 2
+	}
+	if o.RouterK == 0 {
+		o.RouterK = 2
+	}
+	if o.Preset == 0 {
+		o.Preset = nibble.Practical
+	}
+	if o.Subs == nil {
+		o.Subs = core.SeqSubroutines{Preset: o.Preset}
+	}
+	if o.MaxRecursion == 0 {
+		o.MaxRecursion = 64
+	}
+	return o
+}
+
+// Stats aggregates the cost of one enumeration.
+type Stats struct {
+	// Rounds is the total simulated CONGEST cost: per recursion level,
+	// decomposition rounds plus the maximum over components of
+	// build+query rounds (components route in parallel), summed over
+	// levels.
+	Rounds int
+	// CongestRounds tracks channel-inflated rounds the same way.
+	CongestRounds int
+	// Messages is total message traffic.
+	Messages int64
+	// Recursions is the number of E* recursion levels used.
+	Recursions int
+	// Components is the total number of processed (>= 2 vertex)
+	// components across levels.
+	Components int
+	// DecompRounds isolates the decomposition's share of Rounds.
+	DecompRounds int
+}
+
+// Enumerate implements Theorem 2: every triangle of the view is reported.
+// Each level computes an (eps, phi)-expander decomposition, processes
+// each component Vi with the group-triple routing scheme over the edge
+// set F_i = {edges with an endpoint in Vi} — which catches every triangle
+// having at least one intra-component edge — and recurses on the
+// inter-component edges E* (at most eps*m of them, so the recursion
+// shrinks geometrically).
+func Enumerate(view *graph.Sub, opt Options) (*Set, Stats, error) {
+	opt = opt.withDefaults()
+	g := view.Base()
+	out := NewSet()
+	var st Stats
+	mask := make([]bool, g.M())
+	for e := 0; e < g.M(); e++ {
+		mask[e] = view.Usable(e) && !g.IsLoop(e)
+	}
+	root := rng.New(opt.Seed)
+	for level := 0; level < opt.MaxRecursion; level++ {
+		remaining := 0
+		for _, on := range mask {
+			if on {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		st.Recursions++
+		cur := graph.NewSub(g, view.Members(), mask)
+		dec, err := core.Decompose(cur, core.Options{
+			Eps:    opt.Eps,
+			K:      opt.K,
+			Preset: opt.Preset,
+			Seed:   root.Fork(uint64(level)).Uint64(),
+		}, opt.Subs)
+		if err != nil {
+			return nil, st, fmt.Errorf("triangle: decomposition at level %d: %w", level, err)
+		}
+		st.Rounds += dec.Stats.Rounds
+		st.CongestRounds += dec.Stats.CongestRounds
+		st.Messages += dec.Stats.Messages
+		st.DecompRounds += dec.Stats.Rounds
+		final := graph.NewSub(g, view.Members(), dec.FinalMask)
+		var levelMax congest.Stats
+		for ci, comp := range final.ComponentSets() {
+			if comp.Len() < 2 {
+				continue
+			}
+			st.Components++
+			compStats, err := processComponent(cur, final, comp, out, opt,
+				root.Fork(uint64(level)<<20|uint64(ci)).Uint64())
+			if err != nil {
+				return nil, st, fmt.Errorf("triangle: component %d at level %d: %w", ci, level, err)
+			}
+			if compStats.Rounds > levelMax.Rounds {
+				levelMax = compStats
+			}
+		}
+		st.Rounds += levelMax.Rounds
+		st.CongestRounds += levelMax.CongestRounds
+		st.Messages += levelMax.Messages
+		// E* = the edges the decomposition removed; recurse on them.
+		next := make([]bool, g.M())
+		progress := false
+		for e := 0; e < g.M(); e++ {
+			if mask[e] && !dec.FinalMask[e] {
+				next[e] = true
+			} else if mask[e] {
+				progress = true // edge handled inside a component
+			}
+		}
+		if !progress {
+			// Decomposition removed everything (e.g. all singletons):
+			// the leftover graph has at most eps*m edges but nothing
+			// was consumed; fall back to brute local handling to
+			// guarantee termination (cannot happen for eps < 1 on
+			// non-degenerate graphs, but guard anyway).
+			leftovers := BruteForce(graph.NewSub(g, view.Members(), next))
+			for _, t := range leftovers.Sorted() {
+				out.Add(t)
+			}
+			break
+		}
+		mask = next
+	}
+	return out, st, nil
+}
+
+// processComponent runs the group-triple scheme on one component: the
+// edge set F = {usable edges with >= 1 endpoint in comp} is distributed,
+// via the component's router, to handler vertices hashed from group
+// triples; handlers enumerate locally. Every triangle with at least one
+// edge inside comp is found: all three of its edges have an endpoint in
+// comp, hence lie in F and reach the triple's handler.
+func processComponent(cur, final *graph.Sub, comp *graph.VSet, out *Set, opt Options, seed uint64) (congest.Stats, error) {
+	g := cur.Base()
+	compView := final.Restrict(comp)
+	members := comp.Members()
+	nC := len(members)
+	var total congest.Stats
+
+	// Multi-registration spreads each handler's heavy receive load over
+	// every hub tree, which is what keeps the per-instance query cost at
+	// ~(depth + per-vertex load) instead of serializing on one tree edge.
+	rt, err := route.BuildWithOptions(compView, route.Options{
+		Hubs:          route.HubCountForK(compView, opt.RouterK),
+		MultiRegister: true,
+		Seed:          seed,
+	})
+	if err != nil {
+		return total, fmt.Errorf("router build: %w", err)
+	}
+	total.Add(rt.BuildStats)
+
+	groups := int(math.Ceil(math.Cbrt(float64(nC))))
+	hash := rng.New(seed ^ 0xfeed)
+	groupOf := func(v int) int { return int(hash.Fork(uint64(v)).Uint64() % uint64(groups)) }
+	handlerOf := func(a, b, c int) int {
+		t := [3]int{a, b, c}
+		sort.Ints(t[:])
+		h := hash.Fork(0xabc ^ uint64(t[0])<<40 ^ uint64(t[1])<<20 ^ uint64(t[2])).Uint64()
+		return members[h%uint64(nC)]
+	}
+
+	// Build the routing requests in g batches, one per third group c —
+	// the paper's "O~(n^{1/3}) sequential queries of the routing
+	// structure, each with O(deg(v)) per-vertex load". Each F-edge,
+	// owned by its smallest in-component endpoint, goes in batch c to
+	// the handler of the triple (group(u), group(v), c). Payload packs
+	// the edge id; handlers decode endpoints host-side.
+	batches := make([][]route.Request, groups)
+	for e := 0; e < g.M(); e++ {
+		if !cur.Usable(e) || g.IsLoop(e) {
+			continue
+		}
+		u, v := g.EdgeEndpoints(e)
+		owner := -1
+		switch {
+		case comp.Has(u) && comp.Has(v):
+			owner = u
+		case comp.Has(u):
+			owner = u
+		case comp.Has(v):
+			owner = v
+		default:
+			continue
+		}
+		gu, gv := groupOf(u), groupOf(v)
+		sent := make(map[int]bool) // dedup handlers across c within the edge
+		for c := 0; c < groups; c++ {
+			h := handlerOf(gu, gv, c)
+			if sent[h] {
+				continue
+			}
+			sent[h] = true
+			batches[c] = append(batches[c], route.Request{Src: owner, Dst: h, Payload: int64(e)})
+		}
+	}
+	perHandler := make(map[int][]int)
+	for c, reqs := range batches {
+		if len(reqs) == 0 {
+			continue
+		}
+		deliveries, qs, err := rt.Route(reqs)
+		if err != nil {
+			return total, fmt.Errorf("routing F-edges (batch %d): %w", c, err)
+		}
+		total.Add(qs)
+		for _, d := range deliveries {
+			perHandler[d.Dst] = append(perHandler[d.Dst], int(d.Payload))
+		}
+	}
+	for _, edges := range perHandler {
+		adj := make(map[int]map[int]bool)
+		add := func(a, b int) {
+			if adj[a] == nil {
+				adj[a] = make(map[int]bool)
+			}
+			adj[a][b] = true
+		}
+		for _, e := range edges {
+			u, v := g.EdgeEndpoints(e)
+			add(u, v)
+			add(v, u)
+		}
+		for x, nbrs := range adj {
+			for y := range nbrs {
+				if y <= x {
+					continue
+				}
+				for z := range adj[y] {
+					if z <= y {
+						continue
+					}
+					if adj[x][z] {
+						out.Add(Triangle{A: x, B: y, C: z})
+					}
+				}
+			}
+		}
+	}
+	return total, nil
+}
