@@ -150,3 +150,13 @@ func BenchmarkPhaseDepths(b *testing.B) {
 func BenchmarkWalkSupport(b *testing.B) {
 	runExperiment(b, harness.E10WalkSupport, nil)
 }
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	runExperiment(b, harness.E11EngineThroughput, func(t *harness.Table) map[string]float64 {
+		r := lastRow(t)
+		return map[string]float64{
+			"rounds/sec10k": cell(t, r, 3),
+			"Mwords/sec10k": cell(t, r, 4),
+		}
+	})
+}

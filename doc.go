@@ -8,6 +8,13 @@
 // faithful CONGEST/CONGESTED-CLIQUE simulator, baselines, and a
 // benchmark harness that regenerates every theorem's quantities.
 //
-// See README.md for the layout, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for measured results.
+// The simulator (internal/congest) is built for scale: a reusable
+// Topology shared across protocol stages, a zero-allocation message
+// path, and deterministic sharded delivery keep 10k-node round-heavy
+// workloads running at hundreds of simulated rounds per second; see the
+// internal/congest package comment for the substrate's contracts and
+// harness experiment E11 for measured throughput.
+//
+// See ROADMAP.md for the north star and open items, PAPER.md for the
+// source paper's abstract, and CHANGES.md for the per-PR history.
 package dexpander

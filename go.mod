@@ -1,0 +1,3 @@
+module dexpander
+
+go 1.24

@@ -1,57 +1,189 @@
 package congest
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
 // barrier is a reusable round barrier whose participant count can shrink
 // as nodes finish. The last arriver of each generation runs onRelease
 // (message delivery) while everyone else is parked, which gives the
 // simulation its synchronous-rounds semantics.
+//
+// Parking is per-node: every participant owns a 1-buffered wake channel,
+// so a wakeup is a single channel send that the runtime turns into a
+// direct handoff. The barrier runs in one of two modes:
+//
+//   - counter mode: nodes arrive under a mutex; the last arriver runs
+//     delivery and wakes everyone. All node segments of a round execute
+//     concurrently. This is the only mode used when GOMAXPROCS > 1.
+//
+//   - relay mode (GOMAXPROCS == 1): after the first generation, nodes
+//     form a ring and exactly one runs at a time; finishing a segment
+//     hands the baton to the ring successor, and the last ring member
+//     runs delivery and restarts the ring. On a single P the runtime
+//     would serialize the segments anyway, so this changes nothing
+//     observable — it only replaces the O(n) wake-all and run-queue
+//     churn per round with n direct handoffs, roughly halving the
+//     barrier cost of 10k-node rounds. Baton passing makes every ring
+//     mutation single-threaded, so steady-state rounds touch no locks
+//     at all.
+//
+// Relay mode assumes node programs synchronize with each other only
+// through the engine (Send/Next) — the CONGEST model's contract — and
+// never busy-wait on another node's same-round side effects.
 type barrier struct {
-	mu        sync.Mutex
-	cond      *sync.Cond
-	n         int // live participants
-	arrived   int
-	gen       uint64
+	mu      sync.Mutex
+	live    int // participants still running
+	arrived int // counter mode: arrivals this generation
+	wake    []chan struct{}
+	relayOK bool // single-P: eligible to switch to relay mode
+	relay   bool // relay mode active (set once, while all are parked)
+
+	// Ring state; in relay mode it is only ever touched by the baton
+	// holder, which makes it single-threaded by construction.
+	next  []int32
+	prev  []int32
+	start int32
+
 	onRelease func()
 }
 
 func (b *barrier) init(n int, onRelease func()) {
-	b.n = n
+	b.live = n
 	b.onRelease = onRelease
-	b.cond = sync.NewCond(&b.mu)
+	b.wake = make([]chan struct{}, n)
+	for i := range b.wake {
+		b.wake[i] = make(chan struct{}, 1)
+	}
+	// next doubles as the liveness marker before the ring is built:
+	// ringDead flags departed nodes, anything else means alive.
+	b.next = make([]int32, n)
+	b.prev = make([]int32, n)
+	b.relayOK = runtime.GOMAXPROCS(0) == 1 && n > 1
 }
 
-// wait parks the caller until all live participants have arrived; the last
-// arriver triggers delivery and releases the generation.
-func (b *barrier) wait() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.arrived++
-	if b.arrived == b.n {
-		b.release()
+// wait parks the caller until all live participants have arrived; the
+// last arriver (counter mode) or ring predecessor (relay mode) wakes it.
+// idx is the caller's dense node index.
+func (b *barrier) wait(idx int) {
+	if b.relay {
+		// Baton held: hand it on. If our successor starts the ring, the
+		// generation is complete: deliver, then start the next one.
+		succ := b.next[idx]
+		if succ == b.start {
+			b.onRelease()
+		}
+		b.wake[succ] <- struct{}{}
+		<-b.wake[idx]
 		return
 	}
-	gen := b.gen
-	for gen == b.gen {
-		b.cond.Wait()
-	}
-}
-
-// leave removes the caller from the participant set. If the caller was the
-// only missing arrival of the current generation, the generation releases.
-func (b *barrier) leave() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.n--
-	if b.n > 0 && b.arrived == b.n {
-		b.release()
+	b.arrived++
+	if b.arrived < b.live {
+		b.mu.Unlock()
+		<-b.wake[idx]
+		return
 	}
-}
-
-// release must be called with mu held and all live participants arrived.
-func (b *barrier) release() {
+	// Last arriver: release the generation.
 	b.onRelease()
 	b.arrived = 0
-	b.gen++
-	b.cond.Broadcast()
+	if b.relayOK && b.live > 1 {
+		// Everyone (but us) is parked: switch to relay mode, start the
+		// ring, and park until the baton reaches our position.
+		b.buildRing()
+		b.relay = true
+		b.mu.Unlock()
+		b.wake[b.start] <- struct{}{}
+		<-b.wake[idx]
+		return
+	}
+	b.mu.Unlock()
+	for i := range b.wake {
+		if i != idx && b.next[i] != ringDead {
+			b.wake[i] <- struct{}{}
+		}
+	}
+}
+
+const ringDead = int32(-1)
+
+// buildRing links all live nodes into a ring in index order. Callers
+// hold mu; live membership is tracked in next (ringDead marks departed
+// nodes even before the ring is first built).
+func (b *barrier) buildRing() {
+	first, last := -1, -1
+	for i := range b.wake {
+		if b.next[i] == ringDead {
+			continue
+		}
+		if first == -1 {
+			first = i
+		} else {
+			b.next[last] = int32(i)
+			b.prev[i] = int32(last)
+		}
+		last = i
+	}
+	b.next[last] = int32(first)
+	b.prev[first] = int32(last)
+	b.start = int32(first)
+}
+
+// leave removes the caller from the participant set. The caller is
+// running (in relay mode: holds the baton), so in both modes it passes
+// the turn it will never take.
+func (b *barrier) leave(idx int) {
+	if b.relay {
+		b.leaveRelay(idx)
+		return
+	}
+	b.mu.Lock()
+	b.live--
+	b.next[idx] = ringDead
+	if b.live == 0 || b.arrived < b.live {
+		b.mu.Unlock()
+		return
+	}
+	// The caller was the only missing arrival: release the generation.
+	b.onRelease()
+	b.arrived = 0
+	if b.relayOK && b.live > 1 {
+		b.buildRing()
+		b.relay = true
+		b.mu.Unlock()
+		b.wake[b.start] <- struct{}{}
+		return
+	}
+	b.mu.Unlock()
+	for i := range b.wake {
+		if b.next[i] != ringDead {
+			b.wake[i] <- struct{}{}
+		}
+	}
+}
+
+// leaveRelay splices the baton holder out of the ring and passes the
+// baton (or completes the generation) on its behalf.
+func (b *barrier) leaveRelay(idx int) {
+	b.mu.Lock()
+	b.live--
+	b.mu.Unlock()
+	if b.live == 0 {
+		return
+	}
+	nxt, prv := b.next[idx], b.prev[idx]
+	wasEnd := nxt == b.start && int32(idx) != b.start
+	b.next[prv], b.prev[nxt] = nxt, prv
+	b.next[idx] = ringDead
+	if int32(idx) == b.start {
+		b.start = nxt
+	}
+	if wasEnd {
+		// Everyone else already ran this generation.
+		b.onRelease()
+		b.wake[b.start] <- struct{}{}
+		return
+	}
+	b.wake[nxt] <- struct{}{}
 }

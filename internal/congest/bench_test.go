@@ -3,22 +3,20 @@ package congest
 import (
 	"testing"
 
+	"dexpander/internal/gen"
 	"dexpander/internal/graph"
 )
 
-// BenchmarkRoundThroughput measures the engine's cost per simulated
-// round: 400 nodes on a grid exchanging one message per edge per round.
-func BenchmarkRoundThroughput(b *testing.B) {
-	const k = 20
-	gb := graph.NewBuilder(k * k)
-	id := func(i, j int) int { return ((i%k+k)%k)*k + (j%k+k)%k }
-	for i := 0; i < k; i++ {
-		for j := 0; j < k; j++ {
-			gb.AddEdge(id(i, j), id(i+1, j))
-			gb.AddEdge(id(i, j), id(i, j+1))
-		}
-	}
-	view := graph.WholeGraph(gb.Graph())
+// torusView builds a k x k torus grid (every node degree 4).
+func torusView(k int) *graph.Sub {
+	return graph.WholeGraph(gen.Torus(k))
+}
+
+// benchRounds drives a round-heavy all-ports workload on the view and
+// reports rounds/sec and words/sec.
+func benchRounds(b *testing.B, view *graph.Sub) {
+	b.Helper()
+	b.ReportAllocs()
 	b.ResetTimer()
 	rounds := b.N
 	e := New(view, Config{})
@@ -31,7 +29,22 @@ func BenchmarkRoundThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(e.Stats().Rounds)/secs, "rounds/sec")
+		b.ReportMetric(float64(e.Stats().Words)/secs, "words/sec")
+	}
 }
+
+// BenchmarkRoundThroughput measures the engine's cost per simulated
+// round: 400 nodes on a grid exchanging one message per edge per round.
+func BenchmarkRoundThroughput(b *testing.B) { benchRounds(b, torusView(20)) }
+
+// BenchmarkRoundThroughput10k is the headline engine microbenchmark: a
+// 10,000-node torus exchanging one message per edge direction per round
+// (40k messages/round).
+func BenchmarkRoundThroughput10k(b *testing.B) { benchRounds(b, torusView(100)) }
 
 func BenchmarkBFSTreeProtocol(b *testing.B) {
 	gb := graph.NewBuilder(256)

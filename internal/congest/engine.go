@@ -10,6 +10,33 @@
 // message of at most MaxWords machine words per logical channel, in each
 // direction, and violations are programming errors that abort the run.
 //
+// # Topology and Engine
+//
+// The simulation substrate is split in two. A Topology (NewTopology,
+// NewCliqueTopology) is the immutable communication structure — member
+// set, ports, symmetric port pairing, neighbor-to-port index — built once
+// in O(n + m) and reusable across any number of runs, so multi-stage
+// protocols (the router's build/register/query phases, the sparse-cut
+// partition loop) pay construction once instead of per stage. An Engine
+// (NewEngine) is the cheap per-run object holding round state, staged
+// traffic, and Stats; it is single-use: construct, Run once, read Stats.
+// New and NewClique remain as one-shot conveniences that build both.
+//
+// # Delivery order and arena lifetime
+//
+// Delivery at the barrier is deterministic: each node's inbox receives
+// messages ordered by sender node index first and, per sender, by the
+// order the sender staged them. The order — and Stats — are identical
+// across runs and independent of how many worker goroutines the engine
+// fans delivery across, so seeded executions reproduce bit-identically.
+//
+// Message payloads live in per-node word arenas that the engine recycles
+// every other round (double buffering), so the steady-state message path
+// allocates nothing. The contract is the one Incoming documents: a
+// received Words slice is valid until the receiving node's next call to
+// Next, after which its backing storage may be reused; copy it to keep
+// it longer.
+//
 // Logical channels model the paper's multiplexed executions (e.g. up to w
 // simultaneous ApproximateNibble instances share edges, Lemma 10): running
 // with Channels = w is accounted as w-fold round inflation in
@@ -22,7 +49,9 @@ package congest
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dexpander/internal/graph"
 	"dexpander/internal/rng"
@@ -77,19 +106,12 @@ func (s *Stats) Add(other Stats) {
 	s.Words += other.Words
 }
 
-// port is one endpoint's view of a communication link.
-type port struct {
-	peerNode int // dense node index of the other endpoint
-	peerPort int // index of the reverse port at the peer
-	neighbor int // global vertex id of the other endpoint
-	edge     int // base-graph edge id, or -1 for clique links
-}
-
-// outMsg is a staged outgoing message.
+// outMsg is a staged outgoing message, already resolved to its receiver.
 type outMsg struct {
-	port  int
-	ch    int
-	words []int64
+	peerNode int32
+	peerPort int32
+	ch       int32
+	words    []int64 // slice into the sender's arena
 }
 
 // Incoming is a delivered message as seen by the receiving node.
@@ -102,99 +124,94 @@ type Incoming struct {
 	Words []int64
 }
 
-// Engine simulates one run of a node program over a communication graph.
+// deliverParallelMin is the staged-message count below which delivery
+// stays on the barrier goroutine: fanning out workers only pays off once
+// there is real per-round traffic to move.
+const deliverParallelMin = 4096
+
+// Engine simulates one run of a node program over a Topology.
 // An Engine is single-use: construct, Run once, read Stats.
 type Engine struct {
-	cfg       Config
-	nodes     []*Node
-	nodeOf    []int // global vertex -> dense node index, -1 if not a member
-	bar       barrier
-	stats     Stats
-	failMu    sync.Mutex
-	fail      error
-	delivered bool
+	cfg    Config
+	topo   *Topology
+	nodes  []Node
+	bar    barrier
+	stats  Stats
+	failMu sync.Mutex
+	fail   error
+	failed atomic.Bool
+
+	// shards is the delivery fan-out: receiver i belongs to shard
+	// i*shards/len(nodes), and each sender stages per shard, so workers
+	// never contend and per-receiver order stays exact.
+	shards     int
+	shardStats []Stats
+	senders    []int32 // reused scratch: nodes with staged traffic this round
 }
 
-// New builds an engine whose topology is the usable part of the given
-// view: nodes are member vertices and links are usable edges (self-loops
-// excluded — a node needs no channel to itself).
-func New(view *graph.Sub, cfg Config) *Engine {
+// NewEngine builds a fresh single-run engine over the topology. This is
+// the cheap path multi-stage protocols use: all O(m) structure lives in
+// the Topology, so per-run setup is O(n + total ports) slice zeroing with
+// a handful of allocations.
+func NewEngine(t *Topology, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	g := view.Base()
-	e := &Engine{cfg: cfg, nodeOf: make([]int, g.N())}
-	for v := range e.nodeOf {
-		e.nodeOf[v] = -1
+	n := t.NumNodes()
+	shards := runtime.GOMAXPROCS(0)
+	if shards > 16 {
+		shards = 16
 	}
-	root := rng.New(cfg.Seed)
-	view.Members().ForEach(func(v int) {
-		idx := len(e.nodes)
-		e.nodeOf[v] = idx
-		e.nodes = append(e.nodes, &Node{
-			eng: e,
-			v:   v,
-			idx: idx,
-			rng: root.Fork(uint64(v)),
-		})
-	})
-	// Wire ports: iterate edges once so both endpoints agree on port
-	// pairing.
-	for ed := 0; ed < g.M(); ed++ {
-		if !view.Usable(ed) || g.IsLoop(ed) {
-			continue
-		}
-		u, v := g.EdgeEndpoints(ed)
-		nu, nv := e.nodes[e.nodeOf[u]], e.nodes[e.nodeOf[v]]
-		pu, pv := len(nu.ports), len(nv.ports)
-		nu.ports = append(nu.ports, port{peerNode: nv.idx, peerPort: pv, neighbor: v, edge: ed})
-		nv.ports = append(nv.ports, port{peerNode: nu.idx, peerPort: pu, neighbor: u, edge: ed})
+	if shards < 1 || n < 2 {
+		shards = 1
 	}
-	e.finishInit()
-	return e
-}
-
-// NewClique builds a CONGESTED-CLIQUE engine over n nodes with global
-// vertex ids 0..n-1: every pair of nodes is connected by a link.
-func NewClique(n int, cfg Config) *Engine {
-	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg, nodeOf: make([]int, n)}
-	root := rng.New(cfg.Seed)
-	for v := 0; v < n; v++ {
-		e.nodeOf[v] = v
-		e.nodes = append(e.nodes, &Node{eng: e, v: v, idx: v, rng: root.Fork(uint64(v))})
-	}
+	e := &Engine{cfg: cfg, topo: t, shards: shards}
+	e.nodes = make([]Node, n)
+	e.shardStats = make([]Stats, shards)
+	// One arena per allocation site, shared across nodes via subslicing.
+	totalPorts := 0
 	for i := 0; i < n; i++ {
-		nd := e.nodes[i]
-		nd.ports = make([]port, 0, n-1)
-		for j := 0; j < n; j++ {
-			if j == i {
-				continue
-			}
-			// Port of j at node i is j (or j-1 when j > i); the
-			// reverse port of i at node j is i (or i-1 when i > j).
-			rev := i
-			if i > j {
-				rev = i - 1
-			}
-			nd.ports = append(nd.ports, port{peerNode: j, peerPort: rev, neighbor: j, edge: -1})
-		}
+		totalPorts += t.degree(i)
 	}
-	e.finishInit()
+	stamps := make([]int32, totalPorts*cfg.Channels)
+	for i := range stamps {
+		stamps[i] = -1
+	}
+	outShards := make([][]outMsg, n*shards)
+	root := rng.New(cfg.Seed)
+	off := 0
+	for i := 0; i < n; i++ {
+		nd := &e.nodes[i]
+		deg := t.degree(i)
+		nd.eng = e
+		nd.topo = t
+		nd.v = t.vertexOf[i]
+		nd.idx = i
+		nd.rng = root.Fork(uint64(nd.v))
+		nd.sentStamp = stamps[off : off+deg*cfg.Channels]
+		nd.outShards = outShards[i*shards : (i+1)*shards]
+		nd.arenaRound = -1
+		off += deg * cfg.Channels
+	}
+	e.bar.init(n, e.deliver)
 	return e
 }
 
-func (e *Engine) finishInit() {
-	for _, nd := range e.nodes {
-		nd.portOf = make(map[int]int, len(nd.ports))
-		for p, pt := range nd.ports {
-			nd.portOf[pt.neighbor] = p
-		}
-		nd.sentStamp = make([]int, len(nd.ports)*e.cfg.Channels)
-		for i := range nd.sentStamp {
-			nd.sentStamp[i] = -1
-		}
-	}
-	e.bar.init(len(e.nodes), e.deliver)
+// New builds a one-shot engine whose topology is the usable part of the
+// given view: nodes are member vertices and links are usable edges
+// (self-loops excluded — a node needs no channel to itself). Protocols
+// that run several engine stages over the same view should build the
+// Topology once and call NewEngine per stage instead.
+func New(view *graph.Sub, cfg Config) *Engine {
+	return NewEngine(NewTopology(view), cfg)
 }
+
+// NewClique builds a one-shot CONGESTED-CLIQUE engine over n nodes with
+// global vertex ids 0..n-1: every pair of nodes is connected by a link.
+func NewClique(n int, cfg Config) *Engine {
+	return NewEngine(NewCliqueTopology(n), cfg)
+}
+
+// Topology returns the topology the engine runs over.
+func (e *Engine) Topology() *Topology { return e.topo }
 
 // Run executes prog on every node and blocks until all nodes return.
 // It returns the first failure (bandwidth violation, round-limit breach, or
@@ -202,11 +219,11 @@ func (e *Engine) finishInit() {
 func (e *Engine) Run(prog func(*Node)) error {
 	var wg sync.WaitGroup
 	wg.Add(len(e.nodes))
-	for _, nd := range e.nodes {
-		nd := nd
+	for i := range e.nodes {
+		nd := &e.nodes[i]
 		go func() {
 			defer wg.Done()
-			defer e.bar.leave()
+			defer e.bar.leave(nd.idx)
 			defer func() {
 				if r := recover(); r != nil {
 					e.setFail(fmt.Errorf("congest: node %d panicked: %v", nd.v, r))
@@ -216,6 +233,8 @@ func (e *Engine) Run(prog func(*Node)) error {
 		}()
 	}
 	wg.Wait()
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
 	return e.fail
 }
 
@@ -231,33 +250,122 @@ func (e *Engine) setFail(err error) {
 	if e.fail == nil {
 		e.fail = err
 	}
+	e.failed.Store(true)
 }
 
 // deliver is called by the barrier, with all live nodes parked, once per
-// round. It moves staged messages into receivers' inboxes deterministically
-// (node order, then staging order).
+// round. It moves staged messages into receivers' inboxes in the
+// deterministic order (sender node index, then staging order), fanning
+// across shard workers when the round carries enough traffic.
 func (e *Engine) deliver() {
+	if e.failed.Load() {
+		// The run is already doomed: drop staged traffic and stop
+		// accumulating stats so a failed run's cost stays fixed while
+		// nodes unwind.
+		e.clearStaged()
+		return
+	}
 	e.stats.Rounds++
 	e.stats.CongestRounds += e.cfg.Channels
 	if e.stats.Rounds > e.cfg.MaxRounds {
 		e.setFail(fmt.Errorf("congest: exceeded MaxRounds=%d", e.cfg.MaxRounds))
-		// Nodes will observe the failure at their next Send/Next and
-		// panic out; clear outboxes to avoid unbounded growth.
+		// Nodes observe the failure at their next Send/Next and panic
+		// out; drop this round's staged messages (uncounted) so nothing
+		// accumulates past the failure point.
+		e.clearStaged()
+		return
 	}
-	for _, nd := range e.nodes {
+	total := 0
+	e.senders = e.senders[:0]
+	for i := range e.nodes {
+		if c := e.nodes[i].outCount; c > 0 {
+			total += c
+			e.nodes[i].outCount = 0
+			e.senders = append(e.senders, int32(i))
+		}
+	}
+	if total == 0 {
+		// Idle round: nothing staged, so just empty every inbox.
+		for i := range e.nodes {
+			e.nodes[i].in = e.nodes[i].in[:0]
+		}
+		return
+	}
+	if e.shards == 1 || total < deliverParallelMin {
+		for s := 0; s < e.shards; s++ {
+			e.deliverShard(s)
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(e.shards)
+		for s := 0; s < e.shards; s++ {
+			go func() {
+				defer wg.Done()
+				e.deliverShard(s)
+			}()
+		}
+		wg.Wait()
+	}
+	// Merging per-shard counters after the join keeps Stats independent
+	// of scheduling and of the shard/worker count.
+	for s := range e.shardStats {
+		e.stats.Messages += e.shardStats[s].Messages
+		e.stats.Words += e.shardStats[s].Words
+		e.shardStats[s] = Stats{}
+	}
+}
+
+// shardBounds returns the dense node range [lo, hi) owned by shard s:
+// exactly the receivers i with i*shards/n == s, the formula senders use
+// to pick a staging bucket, so every inbox has one owning worker.
+func (e *Engine) shardBounds(s int) (int, int) {
+	n := len(e.nodes)
+	lo := (s*n + e.shards - 1) / e.shards
+	hi := ((s+1)*n + e.shards - 1) / e.shards
+	return lo, hi
+}
+
+// deliverShard moves every message staged for shard s's receivers. Each
+// sender keeps a separate staging list per shard, so scanning the active
+// senders in index order (staging order within each list) reproduces
+// exactly the serial delivery order for every receiver in the shard.
+func (e *Engine) deliverShard(s int) {
+	lo, hi := e.shardBounds(s)
+	for i := lo; i < hi; i++ {
+		nd := &e.nodes[i]
 		nd.inNext = nd.inNext[:0]
 	}
-	for _, nd := range e.nodes {
-		for _, m := range nd.out {
-			pt := nd.ports[m.port]
-			peer := e.nodes[pt.peerNode]
-			peer.inNext = append(peer.inNext, Incoming{Port: pt.peerPort, Ch: m.ch, Words: m.words})
-			e.stats.Messages++
-			e.stats.Words += int64(len(m.words))
+	st := &e.shardStats[s]
+	for _, i := range e.senders {
+		sender := &e.nodes[i]
+		buf := sender.outShards[s]
+		if len(buf) == 0 {
+			continue
 		}
-		nd.out = nd.out[:0]
+		for _, m := range buf {
+			recv := &e.nodes[m.peerNode]
+			recv.inNext = append(recv.inNext, Incoming{Port: int(m.peerPort), Ch: int(m.ch), Words: m.words})
+			st.Messages++
+			st.Words += int64(len(m.words))
+		}
+		sender.outShards[s] = buf[:0]
 	}
-	for _, nd := range e.nodes {
+	for i := lo; i < hi; i++ {
+		nd := &e.nodes[i]
 		nd.in, nd.inNext = nd.inNext, nd.in
+	}
+}
+
+// clearStaged drops all staged messages and pending inboxes after a
+// failure, so a doomed run stops accumulating state.
+func (e *Engine) clearStaged() {
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		for s := range nd.outShards {
+			nd.outShards[s] = nd.outShards[s][:0]
+		}
+		nd.outCount = 0
+		nd.in = nd.in[:0]
+		nd.inNext = nd.inNext[:0]
 	}
 }

@@ -7,17 +7,27 @@ import "dexpander/internal/rng"
 // Node is one vertex's handle onto the simulation. All methods must be
 // called only from the goroutine running the node's program.
 type Node struct {
-	eng       *Engine
-	v         int
-	idx       int
-	ports     []port
-	portOf    map[int]int
-	rng       *rng.RNG
-	out       []outMsg
+	eng  *Engine
+	topo *Topology
+	v    int
+	idx  int
+	rng  *rng.RNG
+
+	// outShards[s] stages messages for receivers of delivery shard s, in
+	// staging order; outCount is their total this round.
+	outShards [][]outMsg
+	outCount  int
 	in        []Incoming
 	inNext    []Incoming
 	round     int
-	sentStamp []int // per (channel*port): round of last send, -1 never
+	sentStamp []int32 // per (channel*port): round of last send, -1 never
+
+	// arena double-buffers this node's outgoing payload words: words
+	// staged in round r live in arena[r&1], which is recycled when the
+	// node first sends in round r+2 — by then every receiver's claim
+	// (valid until its next Next) has expired.
+	arena      [2][]int64
+	arenaRound int
 }
 
 // V returns the node's global vertex id.
@@ -25,23 +35,18 @@ func (n *Node) V() int { return n.v }
 
 // Degree returns the number of communication ports (usable incident
 // edges, or n-1 in clique mode).
-func (n *Node) Degree() int { return len(n.ports) }
+func (n *Node) Degree() int { return n.topo.degree(n.idx) }
 
 // NeighborID returns the global vertex id across the given port.
-func (n *Node) NeighborID(p int) int { return n.ports[p].neighbor }
+func (n *Node) NeighborID(p int) int { return n.topo.portAt(n.idx, p).neighbor }
 
 // EdgeID returns the base-graph edge id of the given port (-1 in clique
 // mode).
-func (n *Node) EdgeID(p int) int { return n.ports[p].edge }
+func (n *Node) EdgeID(p int) int { return n.topo.portAt(n.idx, p).edge }
 
 // PortOf returns the port leading to the given neighbor vertex id, or -1
 // if there is no such link.
-func (n *Node) PortOf(neighbor int) int {
-	if p, ok := n.portOf[neighbor]; ok {
-		return p
-	}
-	return -1
-}
+func (n *Node) PortOf(neighbor int) int { return n.topo.portOf(n.idx, neighbor) }
 
 // Rand returns the node's private random stream (the model's unlimited
 // local random bits, deterministically derived from the engine seed and
@@ -57,28 +62,40 @@ func (n *Node) Round() int { return n.round }
 // error and aborts the run.
 func (n *Node) Send(port int, words ...int64) { n.SendOn(0, port, words...) }
 
-// SendOn stages a message on the given logical channel.
+// SendOn stages a message on the given logical channel. The words are
+// copied into the node's arena, so the caller's slice is free to reuse.
 func (n *Node) SendOn(ch, port int, words ...int64) {
 	n.checkFail()
+	deg := n.topo.degree(n.idx)
 	if ch < 0 || ch >= n.eng.cfg.Channels {
 		panic(fmt.Sprintf("channel %d out of range [0,%d)", ch, n.eng.cfg.Channels))
 	}
-	if port < 0 || port >= len(n.ports) {
-		panic(fmt.Sprintf("port %d out of range [0,%d)", port, len(n.ports)))
+	if port < 0 || port >= deg {
+		panic(fmt.Sprintf("port %d out of range [0,%d)", port, deg))
 	}
 	if len(words) > n.eng.cfg.MaxWords {
 		panic(fmt.Sprintf("message of %d words exceeds MaxWords=%d (bandwidth violation)",
 			len(words), n.eng.cfg.MaxWords))
 	}
-	slot := ch*len(n.ports) + port
-	if n.sentStamp[slot] == n.round {
+	slot := ch*deg + port
+	if n.sentStamp[slot] == int32(n.round) {
 		panic(fmt.Sprintf("double send on port %d channel %d in round %d (bandwidth violation)",
 			port, ch, n.round))
 	}
-	n.sentStamp[slot] = n.round
-	cp := make([]int64, len(words))
-	copy(cp, words)
-	n.out = append(n.out, outMsg{port: port, ch: ch, words: cp})
+	n.sentStamp[slot] = int32(n.round)
+	payload := n.stage(words)
+	pt := n.topo.portAt(n.idx, port)
+	s := 0
+	if n.eng.shards > 1 {
+		s = pt.peerNode * n.eng.shards / len(n.eng.nodes)
+	}
+	n.outShards[s] = append(n.outShards[s], outMsg{
+		peerNode: int32(pt.peerNode),
+		peerPort: int32(pt.peerPort),
+		ch:       int32(ch),
+		words:    payload,
+	})
+	n.outCount++
 }
 
 // TrySendMux stages a message on the first free logical channel of the
@@ -87,8 +104,9 @@ func (n *Node) SendOn(ch, port int, words ...int64) {
 // ParallelNibble treats as an overlap overflow (more than w concurrent
 // instances on one edge). See Lemma 10.
 func (n *Node) TrySendMux(port int, words ...int64) bool {
+	deg := n.topo.degree(n.idx)
 	for ch := 0; ch < n.eng.cfg.Channels; ch++ {
-		if n.sentStamp[ch*len(n.ports)+port] != n.round {
+		if n.sentStamp[ch*deg+port] != int32(n.round) {
 			n.SendOn(ch, port, words...)
 			return true
 		}
@@ -96,11 +114,79 @@ func (n *Node) TrySendMux(port int, words ...int64) bool {
 	return false
 }
 
-// SendToAll stages the same message on channel 0 to every port.
+// SendToAll stages the same message on channel 0 to every port. The
+// payload is staged once and shared by every copy, so broadcasting costs
+// one arena write regardless of degree.
 func (n *Node) SendToAll(words ...int64) {
-	for p := range n.ports {
-		n.Send(p, words...)
+	n.checkFail()
+	deg := n.topo.degree(n.idx)
+	if deg == 0 {
+		return
 	}
+	if len(words) > n.eng.cfg.MaxWords {
+		panic(fmt.Sprintf("message of %d words exceeds MaxWords=%d (bandwidth violation)",
+			len(words), n.eng.cfg.MaxWords))
+	}
+	round := int32(n.round)
+	for p := 0; p < deg; p++ {
+		if n.sentStamp[p] == round {
+			panic(fmt.Sprintf("double send on port %d channel 0 in round %d (bandwidth violation)",
+				p, n.round))
+		}
+		n.sentStamp[p] = round
+	}
+	payload := n.stage(words)
+	shards, nn := n.eng.shards, len(n.eng.nodes)
+	if t := n.topo; t.cliqueN > 0 {
+		for p := 0; p < deg; p++ {
+			pt := t.portAt(n.idx, p)
+			s := 0
+			if shards > 1 {
+				s = pt.peerNode * shards / nn
+			}
+			n.outShards[s] = append(n.outShards[s], outMsg{
+				peerNode: int32(pt.peerNode), peerPort: int32(pt.peerPort), words: payload,
+			})
+		}
+	} else {
+		ports := t.ports[t.portOff[n.idx]:t.portOff[n.idx+1]]
+		if shards == 1 {
+			out := n.outShards[0]
+			for p := range ports {
+				out = append(out, outMsg{
+					peerNode: int32(ports[p].peerNode),
+					peerPort: int32(ports[p].peerPort),
+					words:    payload,
+				})
+			}
+			n.outShards[0] = out
+		} else {
+			for p := range ports {
+				s := ports[p].peerNode * shards / nn
+				n.outShards[s] = append(n.outShards[s], outMsg{
+					peerNode: int32(ports[p].peerNode),
+					peerPort: int32(ports[p].peerPort),
+					words:    payload,
+				})
+			}
+		}
+	}
+	n.outCount += deg
+}
+
+// stage copies words into the round's arena buffer and returns the
+// staged payload. The arena double-buffers by round parity: the buffer
+// recycled here was last written two rounds ago, so every receiver's
+// claim on it (valid until its next Next) has already expired.
+func (n *Node) stage(words []int64) []int64 {
+	a := &n.arena[n.round&1]
+	if n.arenaRound != n.round {
+		*a = (*a)[:0]
+		n.arenaRound = n.round
+	}
+	off := len(*a)
+	*a = append(*a, words...)
+	return (*a)[off:len(*a):len(*a)]
 }
 
 // Next completes the current round: it blocks until every live node has
@@ -122,16 +208,17 @@ func (n *Node) Idle(k int) {
 }
 
 func (n *Node) bumpRound() {
-	n.eng.bar.wait()
+	n.eng.bar.wait(n.idx)
 	n.round++
 }
 
 func (n *Node) checkFail() {
+	if !n.eng.failed.Load() {
+		return
+	}
 	n.eng.failMu.Lock()
 	err := n.eng.fail
 	n.eng.failMu.Unlock()
-	if err != nil {
-		// Unwind this node's goroutine; Run reports the root cause.
-		panic(err)
-	}
+	// Unwind this node's goroutine; Run reports the root cause.
+	panic(err)
 }

@@ -229,6 +229,9 @@ func TestQualityEvaluateSmallExact(t *testing.T) {
 }
 
 func TestPhase2ExercisedBySatellites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Phase 2 peeling sweep")
+	}
 	// Satellite cliques sized for Phase 2 peeling: K19 satellites have
 	// conductance 1/343 below BOTH phi_0 ~ eps/(12 log2 m) ~ 0.0066 and
 	// phi_1 = phi_0/2 (at tiny phi the (j_x) sequence is all-consecutive
@@ -253,6 +256,9 @@ func TestPhase2ExercisedBySatellites(t *testing.T) {
 }
 
 func TestPhase2LevelLadderDeepK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep-k ladder sweep")
+	}
 	// With K = 3 the ladder has four levels; the satellite workload
 	// must still respect the iteration bound k*(2 tau + 4) + 8.
 	g := gen.SatelliteCliques(70, 19, 2, 5)

@@ -13,6 +13,9 @@ import (
 // TestDecomposePropertyContract checks the Theorem 1 contract on random
 // graphs: valid partition, eps budget respected, volumes conserved.
 func TestDecomposePropertyContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized property sweep")
+	}
 	f := func(seed uint64) bool {
 		r := rng.New(seed)
 		n := 12 + r.Intn(24)

@@ -55,10 +55,12 @@ func (r *Result) Empty() bool { return r.C == nil || r.C.Empty() }
 // tree over the touched region, then threshold probes evaluated by
 // convergecast until one passes (C.1*)-(C.3*).
 //
-// comm supplies the communication graph, which may be a supergraph of
-// the view's members (Phase 2 components talk over all of G*); the walk
-// itself respects the view.
-func ApproximateNibble(comm *graph.Sub, view *graph.Sub, pr nibble.Params, v, b int, seed uint64) (*Result, error) {
+// topo supplies the communication topology, which may cover a supergraph
+// of the view's members (Phase 2 components talk over all of G*); the
+// walk itself respects the view. Building the topology once (see
+// congest.NewTopology) and sharing it across nibbles is what keeps the
+// Partition loop from paying per-instance reconstruction.
+func ApproximateNibble(topo *congest.Topology, view *graph.Sub, pr nibble.Params, v, b int, seed uint64) (*Result, error) {
 	g := view.Base()
 	n := g.N()
 	eps := pr.EpsB(b)
@@ -80,7 +82,7 @@ func ApproximateNibble(comm *graph.Sub, view *graph.Sub, pr nibble.Params, v, b 
 	inView := func(u int) bool { return memberOf.Has(u) }
 
 	res := &Result{C: graph.NewVSet(n)}
-	eng := congest.New(comm, congest.Config{Seed: seed, MaxWords: 4})
+	eng := congest.NewEngine(topo, congest.Config{Seed: seed, MaxWords: 4})
 	var verdictT, verdictTh = -1, -1
 	err := eng.Run(func(nd *congest.Node) {
 		me := nd.V()

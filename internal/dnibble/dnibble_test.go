@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"dexpander/internal/congest"
 	"dexpander/internal/core"
 	"dexpander/internal/gen"
 	"dexpander/internal/graph"
@@ -15,7 +16,7 @@ func TestApproximateNibbleFindsDumbbellCut(t *testing.T) {
 	g := gen.Dumbbell(8, 1, 1)
 	view := graph.WholeGraph(g)
 	pr := nibble.PracticalParams(view, 0.05)
-	res, err := ApproximateNibble(view, view, pr, 0, 5, 7)
+	res, err := ApproximateNibble(congest.NewTopology(view), view, pr, 0, 5, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestApproximateNibbleEmptyOnExpander(t *testing.T) {
 	g := gen.Complete(16)
 	view := graph.WholeGraph(g)
 	pr := nibble.PracticalParams(view, 0.05)
-	res, err := ApproximateNibble(view, view, pr, 0, 3, 3)
+	res, err := ApproximateNibble(congest.NewTopology(view), view, pr, 0, 3, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestApproximateNibblePStar(t *testing.T) {
 	g := gen.Dumbbell(8, 1, 2)
 	view := graph.WholeGraph(g)
 	pr := nibble.PracticalParams(view, 0.05)
-	res, err := ApproximateNibble(view, view, pr, 0, 5, 9)
+	res, err := ApproximateNibble(congest.NewTopology(view), view, pr, 0, 5, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestApproximateNibbleRespectsView(t *testing.T) {
 	view := graph.NewSub(g, members, nil)
 	comm := graph.WholeGraph(g)
 	pr := nibble.PracticalParams(view, 0.3)
-	res, err := ApproximateNibble(comm, view, pr, 0, 3, 11)
+	res, err := ApproximateNibble(congest.NewTopology(comm), view, pr, 0, 3, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestParallelNibbleOverlapEnforced(t *testing.T) {
 	pr := nibble.PracticalParams(view, 0.1)
 	pr.W = 0
 	pr.KCap = 1
-	res, _, err := ParallelNibble(view, view, pr, rng.New(5), 17)
+	res, _, err := ParallelNibble(congest.NewTopology(view), view, pr, rng.New(5), 17)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package dnibble
 import (
 	"testing"
 
+	"dexpander/internal/congest"
 	"dexpander/internal/gen"
 	"dexpander/internal/graph"
 	"dexpander/internal/nibble"
@@ -84,7 +85,7 @@ func TestApproximateNibbleStatsAccounting(t *testing.T) {
 	g := gen.Dumbbell(6, 1, 5)
 	view := graph.WholeGraph(g)
 	pr := nibble.PracticalParams(view, 0.1)
-	res, err := ApproximateNibble(view, view, pr, 0, 4, 21)
+	res, err := ApproximateNibble(congest.NewTopology(view), view, pr, 0, 4, 21)
 	if err != nil {
 		t.Fatal(err)
 	}

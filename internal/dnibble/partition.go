@@ -13,9 +13,9 @@ import (
 // ParallelNibble runs the paper's A.4 procedure distributively: k
 // RandomNibble instances (sampled exactly as the sequential version),
 // the per-edge overlap cap w, and the (23/24)Vol prefix rule. Instances
-// execute serially in the engine; see the package comment for the
-// accounting note.
-func ParallelNibble(comm *graph.Sub, view *graph.Sub, pr nibble.Params, r *rng.RNG, seed uint64) (*nibble.ParallelResult, congest.Stats, error) {
+// execute serially in the engine, all over the shared topo; see the
+// package comment for the accounting note.
+func ParallelNibble(topo *congest.Topology, view *graph.Sub, pr nibble.Params, r *rng.RNG, seed uint64) (*nibble.ParallelResult, congest.Stats, error) {
 	k := pr.InstanceCount(view)
 	res := &nibble.ParallelResult{C: graph.NewVSet(view.Base().N()), Instances: k}
 	var stats congest.Stats
@@ -23,7 +23,7 @@ func ParallelNibble(comm *graph.Sub, view *graph.Sub, pr nibble.Params, r *rng.R
 	var cuts []*graph.VSet
 	for i := 0; i < k; i++ {
 		v, b := nibble.SampleStart(view, pr, r)
-		one, err := ApproximateNibble(comm, view, pr, v, b, seed^uint64(i)*0x9e3779b97f4a7c15)
+		one, err := ApproximateNibble(topo, view, pr, v, b, seed^uint64(i)*0x9e3779b97f4a7c15)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -56,7 +56,8 @@ func ParallelNibble(comm *graph.Sub, view *graph.Sub, pr nibble.Params, r *rng.R
 // Partition runs the distributed nearly most balanced sparse cut loop
 // (Lemma 11): repeated ParallelNibble on the remaining subgraph until
 // the (47/48)Vol progress rule or the iteration budget stops it. Round
-// costs of successive iterations add.
+// costs of successive iterations add. The communication topology of comm
+// is built once here and shared by every nibble of every iteration.
 func Partition(comm *graph.Sub, view *graph.Sub, pr nibble.Params, seed uint64) (*nibble.PartitionResult, congest.Stats, error) {
 	n := view.Base().N()
 	res := &nibble.PartitionResult{C: graph.NewVSet(n)}
@@ -64,12 +65,13 @@ func Partition(comm *graph.Sub, view *graph.Sub, pr nibble.Params, seed uint64) 
 	r := rng.New(seed)
 	s := pr.Iterations(view)
 	totalVol := float64(view.TotalVol())
+	topo := congest.NewTopology(comm)
 	w := view.Members().Clone()
 	emptyStreak := 0
 	for i := 1; i <= s; i++ {
 		res.Iterations = i
 		sub := view.Restrict(w)
-		pn, ps, err := ParallelNibble(comm, sub, pr, r, r.Fork(uint64(i)).Uint64())
+		pn, ps, err := ParallelNibble(topo, sub, pr, r, r.Fork(uint64(i)).Uint64())
 		if err != nil {
 			return nil, stats, fmt.Errorf("dnibble: partition iteration %d: %w", i, err)
 		}

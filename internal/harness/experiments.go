@@ -489,7 +489,7 @@ func All(scale Scale, seed uint64) ([]*Table, error) {
 		E1Decomposition, E1KTradeoff, E2TriangleScaling, E3SparseCutBalance,
 		E3ExpanderCase, E4LDD, E4Distributed, E5ClusteringCutProb,
 		E6RoutingTradeoff, E7ModelComparison, E8Mixing, E9PhaseDepths,
-		E10WalkSupport,
+		E10WalkSupport, E11EngineThroughput,
 	}
 	var out []*Table
 	for _, run := range runs {

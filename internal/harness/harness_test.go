@@ -60,6 +60,9 @@ func checkAllOK(t *testing.T, tbl *Table, okCol int) {
 }
 
 func TestE1Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed-subroutine experiment")
+	}
 	tbl, err := E1Decomposition(Small, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -70,6 +73,9 @@ func TestE1Small(t *testing.T) {
 }
 
 func TestE1KSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k-tradeoff sweep")
+	}
 	tbl, err := E1KTradeoff(Small, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -117,6 +123,9 @@ func TestE4Small(t *testing.T) {
 }
 
 func TestE4bSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Theorem 4 pipeline experiment")
+	}
 	tbl, err := E4Distributed(Small, 11)
 	if err != nil {
 		t.Fatal(err)
@@ -165,6 +174,9 @@ func TestE8Small(t *testing.T) {
 }
 
 func TestE9Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mixing-time experiment")
+	}
 	tbl, err := E9PhaseDepths(Small, 16)
 	if err != nil {
 		t.Fatal(err)
@@ -195,8 +207,8 @@ func TestAllSmallScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 13 {
-		t.Fatalf("got %d tables, want 13", len(tables))
+	if len(tables) != 14 {
+		t.Fatalf("got %d tables, want 14", len(tables))
 	}
 	for _, tbl := range tables {
 		if tbl.Title == "" || len(tbl.Rows) == 0 {
@@ -211,4 +223,14 @@ func TestE10Small(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkAllOK(t, tbl, 4)
+}
+
+func TestE11Small(t *testing.T) {
+	tbl, err := E11EngineThroughput(Small, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
 }

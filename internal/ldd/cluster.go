@@ -78,13 +78,19 @@ func Clustering(view *graph.Sub, pr Params, r *rng.RNG) *Result {
 // draw their randomness differently, so their outputs agree in law, not
 // pointwise.
 func DistClustering(view *graph.Sub, pr Params, seed uint64) (*Result, congest.Stats, error) {
+	return distClusteringOn(congest.NewTopology(view), view, pr, seed)
+}
+
+// distClusteringOn is DistClustering over a prebuilt topology, so the
+// Theorem 4 pipeline can share one topology across all its phases.
+func distClusteringOn(topo *congest.Topology, view *graph.Sub, pr Params, seed uint64) (*Result, congest.Stats, error) {
 	g := view.Base()
 	n := g.N()
 	labels := make([]int, n)
 	for i := range labels {
 		labels[i] = graph.Unreachable
 	}
-	eng := congest.New(view, congest.Config{Seed: seed})
+	eng := congest.NewEngine(topo, congest.Config{Seed: seed})
 	err := eng.Run(func(nd *congest.Node) {
 		delta := nd.Rand().Exponential(pr.Beta)
 		start := pr.T - int(delta)

@@ -32,18 +32,21 @@ func DistDecompose(view *graph.Sub, pr Params, seed uint64) (*Result, congest.St
 	g := view.Base()
 	n := g.N()
 	var total congest.Stats
+	// One reusable topology backs every phase (and every W-merge
+	// iteration) instead of paying O(m) reconstruction per engine run.
+	topo := congest.NewTopology(view)
 
 	// ---- Phase 1: |E(N^A(v))| with overflow threshold tau. ----
 	m := view.UsableEdgeCount()
 	tau := m/(2*pr.B) + 1
-	smallCount, overflow, stats, err := distBallEdges(view, pr.A, tau, seed)
+	smallCount, overflow, stats, err := distBallEdges(topo, view, pr.A, tau, seed)
 	if err != nil {
 		return nil, total, fmt.Errorf("ldd: ball counting: %w", err)
 	}
 	total.Add(stats)
 
 	// ---- Phase 2: component edge totals within radius RBig. ----
-	bigCount, stats, err := distComponentEdges(view, pr.RBig, seed^0x5ca1ab1e)
+	bigCount, stats, err := distComponentEdges(topo, view, pr.RBig, seed^0x5ca1ab1e)
 	if err != nil {
 		return nil, total, fmt.Errorf("ldd: big-ball counting: %w", err)
 	}
@@ -60,7 +63,7 @@ func DistDecompose(view *graph.Sub, pr Params, seed uint64) (*Result, congest.St
 	})
 
 	// ---- Phase 3: W-merge with fixed budgets. ----
-	vd, stats, err := distWMerge(view, vdPrime, pr, seed^0x3133731)
+	vd, stats, err := distWMerge(topo, view, vdPrime, pr, seed^0x3133731)
 	if err != nil {
 		return nil, total, fmt.Errorf("ldd: W-merge: %w", err)
 	}
@@ -68,7 +71,7 @@ func DistDecompose(view *graph.Sub, pr Params, seed uint64) (*Result, congest.St
 	vs := VSFromVD(view, vd)
 
 	// ---- Phase 4: clustering and the cut rule. ----
-	clusters, stats, err := DistClustering(view, pr, seed^0xc105732)
+	clusters, stats, err := distClusteringOn(topo, view, pr, seed^0xc105732)
 	if err != nil {
 		return nil, total, fmt.Errorf("ldd: clustering: %w", err)
 	}
@@ -80,12 +83,12 @@ func DistDecompose(view *graph.Sub, pr Params, seed uint64) (*Result, congest.St
 // distBallEdges implements Lemma 14: after A phases of tau+1 rounds
 // each, every vertex knows E(N^A(v)) exactly if it has at most tau
 // edges, or that it overflows. Edges travel as (u, w) id pairs.
-func distBallEdges(view *graph.Sub, radius, tau int, seed uint64) (count []int64, overflow []bool, stats congest.Stats, err error) {
+func distBallEdges(topo *congest.Topology, view *graph.Sub, radius, tau int, seed uint64) (count []int64, overflow []bool, stats congest.Stats, err error) {
 	g := view.Base()
 	n := g.N()
 	count = make([]int64, n)
 	overflow = make([]bool, n)
-	eng := congest.New(view, congest.Config{Seed: seed, MaxWords: 2})
+	eng := congest.NewEngine(topo, congest.Config{Seed: seed, MaxWords: 2})
 	err = eng.Run(func(nd *congest.Node) {
 		me := nd.V()
 		type edgeKey int64
@@ -186,11 +189,11 @@ func distBallEdges(view *graph.Sub, radius, tau int, seed uint64) (count []int64
 // flood), builds a BFS tree from it, and convergecasts the usable edge
 // count, broadcasting the total back down. Vertices beyond the cap from
 // their leader keep a partial count.
-func distComponentEdges(view *graph.Sub, capRadius int, seed uint64) ([]int64, congest.Stats, error) {
+func distComponentEdges(topo *congest.Topology, view *graph.Sub, capRadius int, seed uint64) ([]int64, congest.Stats, error) {
 	g := view.Base()
 	n := g.N()
 	out := make([]int64, n)
-	eng := congest.New(view, congest.Config{Seed: seed, MaxWords: 2})
+	eng := congest.NewEngine(topo, congest.Config{Seed: seed, MaxWords: 2})
 	err := eng.Run(func(nd *congest.Node) {
 		me := nd.V()
 		// Min-id leader: flood max of (-id) == min id, encoded as
@@ -225,14 +228,14 @@ func distComponentEdges(view *graph.Sub, capRadius int, seed uint64) ([]int64, c
 // the W-subgraph), spread (label, dist) waves to radius A, detect
 // foreign labels meeting within distance A, and absorb the a-ball of
 // flagged components. The initial W_0 is the A-ball of V'_D.
-func distWMerge(view *graph.Sub, vdPrime *graph.VSet, pr Params, seed uint64) (*graph.VSet, congest.Stats, error) {
+func distWMerge(topo *congest.Topology, view *graph.Sub, vdPrime *graph.VSet, pr Params, seed uint64) (*graph.VSet, congest.Stats, error) {
 	g := view.Base()
 	n := g.N()
 	var total congest.Stats
 
 	// W_0 via a single distributed wave from V'_D.
 	inW := make([]bool, n)
-	eng := congest.New(view, congest.Config{Seed: seed, MaxWords: 2})
+	eng := congest.NewEngine(topo, congest.Config{Seed: seed, MaxWords: 2})
 	err := eng.Run(func(nd *congest.Node) {
 		me := nd.V()
 		res := congest.Flood(nd, true, vdPrime.Has(me), []int64{1}, pr.A, nil)
@@ -257,7 +260,7 @@ func distWMerge(view *graph.Sub, vdPrime *graph.VSet, pr Params, seed uint64) (*
 		if w.Empty() {
 			break
 		}
-		changed, stats, err := wMergeIteration(view, w, pr, labelBudget, seed^uint64(iter+1)*0x9e37)
+		changed, stats, err := wMergeIteration(topo, view, w, pr, labelBudget, seed^uint64(iter+1)*0x9e37)
 		total.Add(stats)
 		if err != nil {
 			return nil, total, err
@@ -278,12 +281,12 @@ func distWMerge(view *graph.Sub, vdPrime *graph.VSet, pr Params, seed uint64) (*
 
 // wMergeIteration performs one W-merge round distributively. It returns
 // the new membership, or nil when nothing changed.
-func wMergeIteration(view *graph.Sub, w *graph.VSet, pr Params, labelBudget int, seed uint64) ([]bool, congest.Stats, error) {
+func wMergeIteration(topo *congest.Topology, view *graph.Sub, w *graph.VSet, pr Params, labelBudget int, seed uint64) ([]bool, congest.Stats, error) {
 	g := view.Base()
 	n := g.N()
 	next := make([]bool, n)
 	anyJoin := make([]bool, n)
-	eng := congest.New(view, congest.Config{Seed: seed, MaxWords: 3})
+	eng := congest.NewEngine(topo, congest.Config{Seed: seed, MaxWords: 3})
 	err := eng.Run(func(nd *congest.Node) {
 		me := nd.V()
 		inW := w.Has(me)

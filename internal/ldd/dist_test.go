@@ -3,6 +3,7 @@ package ldd
 import (
 	"testing"
 
+	"dexpander/internal/congest"
 	"dexpander/internal/gen"
 	"dexpander/internal/graph"
 	"dexpander/internal/rng"
@@ -11,7 +12,7 @@ import (
 func TestDistBallEdgesExact(t *testing.T) {
 	g := gen.Dumbbell(5, 1, 1)
 	view := graph.WholeGraph(g)
-	count, overflow, stats, err := distBallEdges(view, 2, 1000, 3)
+	count, overflow, stats, err := distBallEdges(congest.NewTopology(view), view, 2, 1000, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestDistBallEdgesExact(t *testing.T) {
 func TestDistBallEdgesOverflow(t *testing.T) {
 	g := gen.Complete(10)
 	view := graph.WholeGraph(g)
-	_, overflow, _, err := distBallEdges(view, 2, 5, 3)
+	_, overflow, _, err := distBallEdges(congest.NewTopology(view), view, 2, 5, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestDistComponentEdges(t *testing.T) {
 	b.AddEdge(4, 5)
 	g := b.Graph() // triangle (3 edges), path (2 edges), isolated 6
 	view := graph.WholeGraph(g)
-	out, _, err := distComponentEdges(view, 10, 5)
+	out, _, err := distComponentEdges(congest.NewTopology(view), view, 10, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,6 +73,9 @@ func TestDistComponentEdges(t *testing.T) {
 }
 
 func TestDistDecomposeTheorem4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full distributed Theorem 4 pipeline")
+	}
 	g := gen.Path(600)
 	view := graph.WholeGraph(g)
 	beta := 0.9
@@ -130,7 +134,7 @@ func TestDistWMergeJoinsCloseComponents(t *testing.T) {
 	if vdPrime.Empty() {
 		t.Skip("density partition found nothing dense at this size")
 	}
-	vd, _, err := distWMerge(view, vdPrime, pr, 41)
+	vd, _, err := distWMerge(congest.NewTopology(view), view, vdPrime, pr, 41)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,6 +145,9 @@ func TestDistWMergeJoinsCloseComponents(t *testing.T) {
 }
 
 func TestDistDecomposeBarbellPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed decomposition sweep")
+	}
 	// Mixed density: the cliques survive whole inside V_D; the path is
 	// cut by clustering. Theorem 4's two conditions must hold.
 	g := barbellPath(20, 300)

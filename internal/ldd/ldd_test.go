@@ -163,6 +163,9 @@ func TestDensityPartitionExpanderAllDense(t *testing.T) {
 }
 
 func TestDensityPartitionPathMostlySparse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large clustering sweep")
+	}
 	// On a long path, local balls hold a tiny fraction of edges, so most
 	// vertices are sparse.
 	g := gen.Path(4000)

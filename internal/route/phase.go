@@ -40,7 +40,7 @@ func (rt *Router) runPhase(initial func(v int) []packet, handle handler, deliver
 	budget := 16*rt.view.UsableEdgeCount() + 64*rt.maxDepth + 8*extraLoad + 256
 	var mu sync.Mutex
 	var failure error
-	eng := congest.New(rt.view, congest.Config{Seed: rt.seed ^ 0x9e37, Channels: 2, MaxWords: 4})
+	eng := congest.NewEngine(rt.topo, congest.Config{Seed: rt.seed ^ 0x9e37, Channels: 2, MaxWords: 4})
 	err := eng.Run(func(nd *congest.Node) {
 		v := nd.V()
 		queues := make([][]packet, nd.Degree())

@@ -44,7 +44,10 @@ import (
 
 // Router is a built routing structure over one connected component.
 type Router struct {
-	view     *graph.Sub
+	view *graph.Sub
+	// topo is the reusable CONGEST topology of the view, built once and
+	// shared by the tree-build, registration, and every query phase.
+	topo     *congest.Topology
 	hubs     []int
 	hubIdx   map[int]int
 	maxDepth int
@@ -132,7 +135,7 @@ func BuildWithOptions(view *graph.Sub, opt Options) (*Router, error) {
 	if hubCount > n {
 		hubCount = n
 	}
-	rt := &Router{view: view, seed: opt.Seed, multi: opt.MultiRegister}
+	rt := &Router{view: view, topo: congest.NewTopology(view), seed: opt.Seed, multi: opt.MultiRegister}
 	rt.pickHubs(hubCount)
 	first := view.Members().Members()[0]
 	apx := view.DiameterApprox(first)
@@ -199,7 +202,7 @@ func (rt *Router) buildTrees() error {
 		}
 	}
 	budget := p + 2*rt.maxDepth + 8
-	eng := congest.New(rt.view, congest.Config{Seed: rt.seed, MaxWords: 2})
+	eng := congest.NewEngine(rt.topo, congest.Config{Seed: rt.seed, MaxWords: 2})
 	err := eng.Run(func(nd *congest.Node) {
 		known := make([]int, p)    // best dist per hub, -1 unknown
 		parentOf := make([]int, p) // port toward hub, -1 root/unknown
