@@ -1,0 +1,106 @@
+// Command benchrunner runs the scenario-matrix benchmark subsystem and
+// emits versioned machine-readable BENCH_*.json reports: per-cell wall
+// time, simulated rounds and messages, allocations, triangles found, and
+// an output checksum for cross-run validation. It is the binary behind
+// CI's perf-tracking job and the substrate every perf PR reports through.
+//
+// Examples:
+//
+//	benchrunner -short                       # CI matrix, BENCH_*.json in .
+//	benchrunner -short -tables               # plus the E2/E7/E11 tables
+//	benchrunner -out bench-out               # full matrix into bench-out/
+//	benchrunner -short -baseline ci/bench_baseline.json
+//	benchrunner -short -write-baseline ci/bench_baseline.json
+//
+// With -baseline the run compares against the checked-in baseline and
+// exits non-zero on hard problems (output mismatches, errored or missing
+// cells) or wall-time regressions beyond -tolerance; timings are
+// normalized by a per-machine calibration loop so baselines transfer
+// across hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dexpander/internal/bench"
+	"dexpander/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		short     = flag.Bool("short", false, "run the short CI matrix instead of the full one")
+		seed      = flag.Uint64("seed", 1, "random seed for every scenario and algorithm")
+		out       = flag.String("out", ".", "directory for the BENCH_*.json report")
+		baseline  = flag.String("baseline", "", "baseline BENCH json to compare against (exit 1 on regression)")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed relative wall-time growth vs the baseline")
+		writeBase = flag.String("write-baseline", "", "also write the report to this exact path (refreshes a checked-in baseline)")
+		tables    = flag.Bool("tables", false, "embed the E2/E7/E11 harness experiment tables in the report")
+		quiet     = flag.Bool("quiet", false, "suppress per-cell progress lines")
+	)
+	flag.Parse()
+
+	opt := bench.Options{Seed: *seed}
+	if !*quiet {
+		opt.Progress = func(line string) { fmt.Println(line) }
+	}
+
+	var rep *bench.Report
+	if *short {
+		rep = bench.Run(bench.ShortScenarios(), bench.Algorithms(), opt)
+	} else {
+		rep = bench.Run(bench.FullScenarios(), bench.Algorithms(), opt)
+		rep.Merge(bench.Run(bench.LargeLocalScenarios(), bench.LocalAlgorithms(), opt))
+	}
+
+	if *tables {
+		scale := harness.Default
+		if *short {
+			scale = harness.Small
+		}
+		tbls, err := bench.HarnessTables(scale, *seed,
+			harness.E2TriangleScaling, harness.E7ModelComparison, harness.E11EngineThroughput)
+		if err != nil {
+			return fmt.Errorf("harness tables: %w", err)
+		}
+		rep.Tables = append(rep.Tables, tbls...)
+	}
+
+	path, err := rep.Write(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cells, %d tables, calib=%.2fms)\n",
+		path, len(rep.Cells), len(rep.Tables), float64(rep.CalibNS)/1e6)
+
+	if *writeBase != "" {
+		if err := rep.WriteTo(*writeBase); err != nil {
+			return err
+		}
+		fmt.Println("refreshed baseline", *writeBase)
+	}
+
+	if *baseline != "" {
+		base, err := bench.Load(*baseline)
+		if err != nil {
+			return err
+		}
+		problems := bench.Compare(rep, base, bench.CompareOptions{Tolerance: *tolerance})
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		if len(problems) > 0 {
+			return fmt.Errorf("%d problem(s) vs baseline %s", len(problems), *baseline)
+		}
+		fmt.Printf("baseline check passed vs %s (tolerance %.0f%%)\n", *baseline, *tolerance*100)
+	}
+	return nil
+}

@@ -4,9 +4,14 @@
 // baseline, and the naive CONGEST baseline on G(n, 1/2) instances and
 // prints the measured round table plus the scaling fit.
 //
+// With -json DIR the tables are also emitted through the bench writer as
+// a machine-readable BENCH_*.json report (the same schema the
+// benchrunner and CI use), so experiment tables land in the perf
+// trajectory instead of only on stdout.
+//
 // Example:
 //
-//	trianglebench -sizes 24,48,96 -seed 1
+//	trianglebench -sizes 24,48,96 -seed 1 -json bench-out
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dexpander/internal/bench"
 	"dexpander/internal/harness"
 )
 
@@ -28,51 +34,71 @@ func main() {
 
 func run() error {
 	var (
-		seed = flag.Uint64("seed", 1, "random seed")
-		all  = flag.Bool("all", false, "run every experiment table (E1..E10), not just triangles")
-		szs  = flag.String("sizes", "", "comma-separated sizes for a custom scaling run")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		all     = flag.Bool("all", false, "run every experiment table (E1..E11), not just triangles")
+		szs     = flag.String("sizes", "", "comma-separated sizes for a custom scaling run")
+		jsonDir = flag.String("json", "", "also write the tables as a BENCH_*.json report into this directory")
 	)
 	flag.Parse()
 
-	if *all {
-		tables, err := harness.All(harness.Default, *seed)
-		for _, t := range tables {
+	var tables []*harness.Table
+	switch {
+	case *all:
+		ts, err := harness.All(harness.Default, *seed)
+		for _, t := range ts {
 			fmt.Println(t)
 		}
-		return err
-	}
-	if *szs != "" {
-		if err := customSizes(*szs, *seed); err != nil {
-			return err
-		}
-		return nil
-	}
-	for _, run := range []func(harness.Scale, uint64) (*harness.Table, error){
-		harness.E2TriangleScaling,
-		harness.E7ModelComparison,
-	} {
-		t, err := run(harness.Default, *seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(t)
+		tables = ts
+	case *szs != "":
+		t, err := customSizes(*szs, *seed)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	default:
+		for _, run := range []func(harness.Scale, uint64) (*harness.Table, error){
+			harness.E2TriangleScaling,
+			harness.E7ModelComparison,
+		} {
+			t, err := run(harness.Default, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			tables = append(tables, t)
+		}
+	}
+
+	if *jsonDir != "" {
+		rep := bench.NewTableReport(*seed)
+		for _, t := range tables {
+			rep.Tables = append(rep.Tables, bench.FromHarnessTable(t))
+		}
+		path, err := rep.Write(*jsonDir)
+		if err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
 	}
 	return nil
 }
 
-func customSizes(csv string, seed uint64) error {
+func customSizes(csv string, seed uint64) (*harness.Table, error) {
 	var sizes []int
 	for _, part := range strings.Split(csv, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			return fmt.Errorf("bad size %q: %w", part, err)
+			return nil, fmt.Errorf("bad size %q: %w", part, err)
 		}
 		sizes = append(sizes, n)
 	}
 	t, err := harness.TriangleCustom(sizes, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println(t)
-	return nil
+	return t, nil
 }

@@ -13,7 +13,20 @@
 // path, and deterministic sharded delivery keep 10k-node round-heavy
 // workloads running at hundreds of simulated rounds per second; see the
 // internal/congest package comment for the substrate's contracts and
-// harness experiment E11 for measured throughput.
+// harness experiment E11 for measured throughput. The shared-memory
+// triangle kernels follow the same sharding discipline:
+// triangle.BruteForceParallel partitions a sorted compressed adjacency
+// by vertex range across GOMAXPROCS workers with a deterministic merge,
+// several times faster than the sequential oracle on thousands of
+// vertices.
+//
+// Performance is tracked by the scenario-matrix benchmark subsystem
+// (internal/bench, driven by cmd/benchrunner): graph families x
+// algorithms x sizes, each cell measured (wall time, simulated rounds
+// and messages, allocations, triangles, output checksum) and emitted as
+// versioned BENCH_*.json that CI compares against a checked-in baseline
+// on every push. internal/bench/README.md documents the schema and how
+// to add a scenario.
 //
 // See ROADMAP.md for the north star and open items, PAPER.md for the
 // source paper's abstract, and CHANGES.md for the per-PR history.

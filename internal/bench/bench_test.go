@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/harness"
+)
+
+// tinyScenarios keeps the package tests fast: two families at toy sizes.
+func tinyScenarios() []Scenario {
+	return []Scenario{
+		{
+			Family: "gnp",
+			Params: "n=24 p=0.30",
+			Build:  func(seed uint64) *graph.Graph { return gen.GNP(24, 0.3, seed) },
+		},
+		{
+			Family: "bipartite",
+			Params: "nl=10 nr=10 p=0.30",
+			Build:  func(seed uint64) *graph.Graph { return gen.BipartiteGNP(10, 10, 0.3, seed) },
+		},
+	}
+}
+
+func TestRunMatrixProducesConsistentCells(t *testing.T) {
+	rep := Run(tinyScenarios(), Algorithms(), Options{Seed: 3})
+	if rep.Schema != SchemaVersion {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	if len(rep.Cells) != 2*len(Algorithms()) {
+		t.Fatalf("%d cells, want %d", len(rep.Cells), 2*len(Algorithms()))
+	}
+	// All triangle algorithms must agree per scenario, and the bipartite
+	// scenario must be triangle-free.
+	byScenario := map[string]map[string]Cell{}
+	for _, c := range rep.Cells {
+		if c.Error != "" {
+			t.Fatalf("cell %s errored: %s", c.Key(), c.Error)
+		}
+		if byScenario[c.Scenario] == nil {
+			byScenario[c.Scenario] = map[string]Cell{}
+		}
+		byScenario[c.Scenario][c.Algorithm] = c
+	}
+	for scen, algs := range byScenario {
+		ref := algs["brute"]
+		for _, name := range []string{"brute-par", "clique-dlp", "naive", "pipeline"} {
+			c := algs[name]
+			if c.Triangles != ref.Triangles || c.Checksum != ref.Checksum {
+				t.Errorf("%s: %s found %d (%s), brute found %d (%s)",
+					scen, name, c.Triangles, c.Checksum, ref.Triangles, ref.Checksum)
+			}
+		}
+		if scen == "bipartite" && ref.Triangles != 0 {
+			t.Errorf("bipartite scenario reported %d triangles, want 0", ref.Triangles)
+		}
+		if eng := algs["engine"]; eng.Rounds == 0 || eng.Messages == 0 {
+			t.Errorf("%s: engine probe recorded no traffic (%+v)", scen, eng)
+		}
+	}
+}
+
+// TestRunDeterministicOutputs pins the cross-run validation contract:
+// same seed, same cells (up to wall time and allocation noise).
+func TestRunDeterministicOutputs(t *testing.T) {
+	a := Run(tinyScenarios(), Algorithms(), Options{Seed: 9})
+	b := Run(tinyScenarios(), Algorithms(), Options{Seed: 9})
+	for i := range a.Cells {
+		ca, cb := a.Cells[i], b.Cells[i]
+		if ca.Key() != cb.Key() || ca.Checksum != cb.Checksum ||
+			ca.Triangles != cb.Triangles || ca.Rounds != cb.Rounds ||
+			ca.Messages != cb.Messages {
+			t.Fatalf("cell %d differs across identical runs:\n%+v\n%+v", i, ca, cb)
+		}
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rep := Run(tinyScenarios()[:1], LocalAlgorithms(), Options{Seed: 1})
+	tbl, err := harness.E2TriangleScaling(harness.Small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Tables = append(rep.Tables, FromHarnessTable(tbl))
+	path, err := rep.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path)[:6] != "BENCH_" {
+		t.Fatalf("unexpected report name %s", path)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != len(rep.Cells) || len(got.Tables) != 1 {
+		t.Fatalf("round trip lost data: %d cells %d tables", len(got.Cells), len(got.Tables))
+	}
+	if got.Tables[0].Title != tbl.Title || len(got.Tables[0].Rows) != len(tbl.Rows) {
+		t.Fatalf("table round trip mismatch: %+v", got.Tables[0])
+	}
+	// Unknown schema must be rejected.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("Load accepted a foreign schema")
+	}
+}
+
+func TestCompareFlagsRegressionsAndMismatches(t *testing.T) {
+	base := Run(tinyScenarios(), LocalAlgorithms(), Options{Seed: 5})
+	base.CalibNS = 1000
+
+	// Identical current run: no problems.
+	cur := Run(tinyScenarios(), LocalAlgorithms(), Options{Seed: 5})
+	cur.CalibNS = 1000
+	for i := range cur.Cells {
+		cur.Cells[i].WallNS = base.Cells[i].WallNS
+	}
+	if ps := Compare(cur, base, CompareOptions{}); len(ps) != 0 {
+		t.Fatalf("clean compare produced problems: %v", ps)
+	}
+
+	// 2x slowdown on a slow-enough cell: soft regression.
+	cur.Cells[0].WallNS = 40_000_000
+	base.Cells[0].WallNS = 20_000_000
+	ps := Compare(cur, base, CompareOptions{Tolerance: 0.20})
+	if len(ps) != 1 || ps[0].Kind != "time-regression" || ps[0].Hard {
+		t.Fatalf("want one soft time-regression, got %v", ps)
+	}
+
+	// Sub-floor cells are never timing problems.
+	cur.Cells[0].WallNS = 4_000
+	base.Cells[0].WallNS = 1_000
+	if ps := Compare(cur, base, CompareOptions{}); len(ps) != 0 {
+		t.Fatalf("sub-floor timing flagged: %v", ps)
+	}
+
+	// Checksum drift on the same seed: hard failure.
+	cur.Cells[1].Checksum = "fnv64:dead"
+	ps = Compare(cur, base, CompareOptions{})
+	if len(ps) != 1 || ps[0].Kind != "output-mismatch" || !ps[0].Hard {
+		t.Fatalf("want one hard output-mismatch, got %v", ps)
+	}
+	cur.Cells[1].Checksum = base.Cells[1].Checksum
+
+	// Missing cell: hard failure.
+	cur.Cells = cur.Cells[:len(cur.Cells)-1]
+	ps = Compare(cur, base, CompareOptions{})
+	if len(ps) != 1 || ps[0].Kind != "missing-cell" || !ps[0].Hard {
+		t.Fatalf("want one hard missing-cell, got %v", ps)
+	}
+
+	// Different seeds: outputs legitimately differ, only timing compares.
+	cur2 := Run(tinyScenarios(), LocalAlgorithms(), Options{Seed: 6})
+	cur2.CalibNS = 1000
+	for i := range cur2.Cells {
+		cur2.Cells[i].WallNS = base.Cells[i].WallNS
+	}
+	if ps := Compare(cur2, base, CompareOptions{}); len(ps) != 0 {
+		t.Fatalf("cross-seed compare flagged outputs: %v", ps)
+	}
+
+	// An errored current cell with no baseline counterpart (new scenario
+	// whose kernel is broken) is still a hard failure.
+	cur2.Cells = append(cur2.Cells, Cell{
+		Scenario: "new-family", Params: "n=1", Algorithm: "broken",
+		Error: "kernel exploded",
+	})
+	ps = Compare(cur2, base, CompareOptions{})
+	if len(ps) != 1 || ps[0].Kind != "error" || !ps[0].Hard {
+		t.Fatalf("want one hard error for unbaselined broken cell, got %v", ps)
+	}
+}
+
+func TestShortMatrixShape(t *testing.T) {
+	// The acceptance contract: >= 4 families x >= 3 algorithms.
+	families := map[string]bool{}
+	for _, s := range ShortScenarios() {
+		families[s.Family] = true
+	}
+	if len(families) < 4 {
+		t.Fatalf("short matrix has %d families, want >= 4", len(families))
+	}
+	if len(Algorithms()) < 3 {
+		t.Fatalf("matrix has %d algorithms, want >= 3", len(Algorithms()))
+	}
+}
+
+func TestCalibratePositive(t *testing.T) {
+	if c := Calibrate(); c <= 0 {
+		t.Fatalf("calibration constant %d", c)
+	}
+}

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+
+	"dexpander/internal/congest"
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/triangle"
+)
+
+// gnpScenario builds one G(n, p) scenario cell.
+func gnpScenario(n int, p float64) Scenario {
+	return Scenario{
+		Family: "gnp",
+		Params: fmt.Sprintf("n=%d p=%.2f", n, p),
+		Build:  func(seed uint64) *graph.Graph { return gen.GNP(n, p, seed) },
+	}
+}
+
+func chungLuScenario(n int, gamma, avgDeg float64) Scenario {
+	return Scenario{
+		Family: "chung-lu",
+		Params: fmt.Sprintf("n=%d gamma=%.1f avg=%.0f", n, gamma, avgDeg),
+		Build:  func(seed uint64) *graph.Graph { return gen.ChungLu(n, gamma, avgDeg, seed) },
+	}
+}
+
+func torusScenario(k int) Scenario {
+	return Scenario{
+		Family: "torus",
+		Params: fmt.Sprintf("k=%d", k),
+		Build:  func(seed uint64) *graph.Graph { return gen.Torus(k) },
+	}
+}
+
+func gridScenario(rows, cols int) Scenario {
+	return Scenario{
+		Family: "grid",
+		Params: fmt.Sprintf("rows=%d cols=%d", rows, cols),
+		Build:  func(seed uint64) *graph.Graph { return gen.Grid(rows, cols) },
+	}
+}
+
+func expanderOfCliquesScenario(k, s, d int) Scenario {
+	return Scenario{
+		Family: "expander-of-cliques",
+		Params: fmt.Sprintf("k=%d s=%d d=%d", k, s, d),
+		Build:  func(seed uint64) *graph.Graph { return gen.ExpanderOfCliques(k, s, d, seed) },
+	}
+}
+
+func bipartiteScenario(nl, nr int, p float64) Scenario {
+	return Scenario{
+		Family: "bipartite",
+		Params: fmt.Sprintf("nl=%d nr=%d p=%.2f", nl, nr, p),
+		Build:  func(seed uint64) *graph.Graph { return gen.BipartiteGNP(nl, nr, p, seed) },
+	}
+}
+
+// ShortScenarios is the CI matrix: one modest instance per family, sized
+// so the whole matrix (including the decomposition pipeline) finishes in
+// well under a minute.
+func ShortScenarios() []Scenario {
+	return []Scenario{
+		gnpScenario(64, 0.25),
+		chungLuScenario(96, 2.5, 8),
+		torusScenario(8),
+		gridScenario(8, 8),
+		expanderOfCliquesScenario(6, 8, 3),
+		bipartiteScenario(32, 32, 0.15),
+	}
+}
+
+// FullScenarios is the local deep matrix: the same families at sizes
+// where the distributed algorithms' scaling is visible.
+func FullScenarios() []Scenario {
+	return []Scenario{
+		gnpScenario(64, 0.25),
+		gnpScenario(96, 0.25),
+		chungLuScenario(192, 2.5, 10),
+		torusScenario(10),
+		gridScenario(10, 10),
+		expanderOfCliquesScenario(8, 10, 3),
+		bipartiteScenario(48, 48, 0.15),
+	}
+}
+
+// LargeLocalScenarios are instances only the local (non-simulated)
+// kernels run on — the sizes where the parallel kernel's sharding pays.
+func LargeLocalScenarios() []Scenario {
+	return []Scenario{
+		gnpScenario(1024, 0.08),
+		gnpScenario(2048, 0.05),
+		chungLuScenario(4096, 2.5, 16),
+	}
+}
+
+// engineProbeRounds is the fixed round count of the engine throughput
+// probe: enough rounds to amortize engine setup, few enough to keep every
+// scenario cell cheap.
+const engineProbeRounds = 60
+
+// Algorithms returns the standard matrix columns.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		{Name: "brute", Run: runBrute},
+		{Name: "brute-par", Run: runBrutePar},
+		{Name: "clique-dlp", Run: runCliqueDLP},
+		{Name: "naive", Run: runNaive},
+		{Name: "pipeline", Run: runPipeline},
+		{Name: "engine", Run: runEngine},
+	}
+}
+
+// LocalAlgorithms returns only the shared-memory kernels, for the large
+// scenarios the CONGEST simulation would take too long on.
+func LocalAlgorithms() []Algorithm {
+	return []Algorithm{
+		{Name: "brute", Run: runBrute},
+		{Name: "brute-par", Run: runBrutePar},
+	}
+}
+
+func runBrute(view *graph.Sub, seed uint64) (Result, error) {
+	set := triangle.BruteForce(view)
+	return Result{Triangles: set.Len(), Checksum: set.Checksum()}, nil
+}
+
+func runBrutePar(view *graph.Sub, seed uint64) (Result, error) {
+	set := triangle.BruteForceParallel(view, 0)
+	return Result{Triangles: set.Len(), Checksum: set.Checksum()}, nil
+}
+
+func runCliqueDLP(view *graph.Sub, seed uint64) (Result, error) {
+	set, stats, err := triangle.CliqueDLP(view, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Triangles: set.Len(), Checksum: set.Checksum(), Stats: stats}, nil
+}
+
+func runNaive(view *graph.Sub, seed uint64) (Result, error) {
+	set, stats, err := triangle.Naive(view, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Triangles: set.Len(), Checksum: set.Checksum(), Stats: stats}, nil
+}
+
+func runPipeline(view *graph.Sub, seed uint64) (Result, error) {
+	set, stats, err := triangle.Enumerate(view, triangle.Options{Seed: seed})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Triangles: set.Len(),
+		Checksum:  set.Checksum(),
+		Stats: congest.Stats{
+			Rounds:        stats.Rounds,
+			CongestRounds: stats.CongestRounds,
+			Messages:      stats.Messages,
+		},
+	}, nil
+}
+
+// runEngine is the substrate probe: engineProbeRounds rounds of
+// SendToAll on the scenario topology, measuring raw simulator round
+// throughput on this graph shape. The checksum digests the deterministic
+// Stats so cross-run drift in delivered traffic is caught like any other
+// output mismatch.
+func runEngine(view *graph.Sub, seed uint64) (Result, error) {
+	topo := congest.NewTopology(view)
+	eng := congest.NewEngine(topo, congest.Config{Seed: seed})
+	err := eng.Run(func(nd *congest.Node) {
+		for r := 0; r < engineProbeRounds; r++ {
+			nd.SendToAll(int64(r), int64(nd.V()))
+			nd.Next()
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	st := eng.Stats()
+	return Result{
+		Checksum: triangle.HashWords(uint64(st.Rounds), uint64(st.Messages), uint64(st.Words)),
+		Stats:    st,
+	}, nil
+}

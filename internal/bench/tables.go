@@ -1,0 +1,42 @@
+package bench
+
+import "dexpander/internal/harness"
+
+// NewTableReport returns an empty report (no matrix cells, no
+// calibration run) for emitting experiment tables through the bench
+// writer — the path the trianglebench CLI uses.
+func NewTableReport(seed uint64) *Report {
+	return newReport(seed)
+}
+
+// FromHarnessTable converts a rendered harness experiment into the
+// report's embedded table form: the E-experiment tables emit through the
+// bench writer instead of only as stdout text, so one BENCH_*.json
+// carries both the raw matrix cells and the theorem-facing tables.
+func FromHarnessTable(t *harness.Table) Table {
+	out := Table{
+		Title:   t.Title,
+		Headers: append([]string(nil), t.Headers...),
+		Notes:   append([]string(nil), t.Notes...),
+	}
+	out.Rows = make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		out.Rows[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+// HarnessTables runs a set of harness experiments at the given scale and
+// returns their bench-embeddable tables; the first failure aborts.
+func HarnessTables(scale harness.Scale, seed uint64,
+	runs ...func(harness.Scale, uint64) (*harness.Table, error)) ([]Table, error) {
+	var out []Table
+	for _, run := range runs {
+		t, err := run(scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FromHarnessTable(t))
+	}
+	return out, nil
+}

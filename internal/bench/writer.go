@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Merge appends another report's cells and tables into r (used to join
+// the distributed matrix with the large local-kernel section in one
+// BENCH_*.json).
+func (r *Report) Merge(o *Report) {
+	r.Cells = append(r.Cells, o.Cells...)
+	r.Tables = append(r.Tables, o.Tables...)
+}
+
+// Write emits the report as BENCH_<created-unix>.json inside dir
+// (created if needed) and returns the file path. CreatedUnix has
+// seconds resolution, so a name collision with an existing report gets a
+// numeric suffix instead of silently overwriting the earlier run.
+func (r *Report) Write(dir string) (string, error) {
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("bench: create output dir: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", r.CreatedUnix))
+	for suffix := 1; ; suffix++ {
+		_, err := os.Stat(path)
+		if os.IsNotExist(err) {
+			break
+		}
+		if err != nil {
+			return "", fmt.Errorf("bench: probe %s: %w", path, err)
+		}
+		path = filepath.Join(dir, fmt.Sprintf("BENCH_%d_%d.json", r.CreatedUnix, suffix))
+	}
+	if err := r.WriteTo(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// WriteTo emits the report to an exact path (used to refresh the
+// checked-in CI baseline).
+func (r *Report) WriteTo(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: write report: %w", err)
+	}
+	return nil
+}
+
+// Load reads a report back and validates its schema tag.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: read report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema %q, this binary speaks %q",
+			path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}

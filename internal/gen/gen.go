@@ -12,9 +12,14 @@
 //     conductance, the canonical expander-decomposition input.
 //   - RandomRegular / Hypercube: positive instances with high conductance
 //     (the decomposition should return one part).
-//   - Torus / Path: low-conductance everywhere, stressing LDD and Phase 1.
+//   - Torus / Grid / Path: low-conductance everywhere, stressing LDD and
+//     Phase 1.
 //   - ChungLu: heavy-tailed degrees, stressing the volume-based balance
 //     definitions.
+//   - ExpanderOfCliques: clusters whose quotient graph is an expander,
+//     separating decomposition quality from diameter effects.
+//   - BipartiteGNP: triangle-free by construction, the zero-output
+//     validity family for the triangle benchmarks.
 //
 // All generators are deterministic in their seed.
 package gen
@@ -285,6 +290,84 @@ func Torus(k int) *graph.Graph {
 		}
 	}
 	return b.Graph()
+}
+
+// Grid returns the rows x cols 2D grid graph (no wraparound): the
+// bounded-degree planar workload with Theta(1/min(rows,cols))
+// conductance, the open-boundary sibling of Torus.
+func Grid(rows, cols int) *graph.Graph {
+	if rows < 1 || cols < 1 {
+		panic("gen: Grid needs rows, cols >= 1")
+	}
+	b := graph.NewBuilder(rows * cols)
+	id := func(i, j int) int { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if i+1 < rows {
+				b.AddEdge(id(i, j), id(i+1, j))
+			}
+			if j+1 < cols {
+				b.AddEdge(id(i, j), id(i, j+1))
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// BipartiteGNP returns a random bipartite graph: left part {0..nl-1},
+// right part {nl..nl+nr-1}, each cross pair an edge independently with
+// probability p. Bipartite graphs are triangle-free, which makes the
+// family a zero-output validity check for every triangle algorithm (any
+// reported triangle is a bug, not a workload artifact).
+func BipartiteGNP(nl, nr int, p float64, seed uint64) *graph.Graph {
+	if nl < 1 || nr < 1 {
+		panic("gen: BipartiteGNP needs nl, nr >= 1")
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(nl + nr)
+	for u := 0; u < nl; u++ {
+		for v := 0; v < nr; v++ {
+			if r.Bernoulli(p) {
+				b.AddEdge(u, nl+v)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// ExpanderOfCliques returns k cliques of size s whose super-graph is the
+// union of d random perfect matchings over the cliques (k even, d >= 1):
+// each matched clique pair is joined by one edge between random members.
+// With d >= 3 the super-graph is an expander w.h.p., so the instance is
+// the "clustered expander" workload — its natural expander decomposition
+// is the k cliques, but unlike RingOfCliques the quotient graph mixes
+// fast, which separates decomposition quality from diameter effects.
+// Duplicate inter-clique edges from colliding matchings are merged.
+func ExpanderOfCliques(k, s, d int, seed uint64) *graph.Graph {
+	if k < 2 || k%2 != 0 {
+		panic("gen: ExpanderOfCliques needs even k >= 2")
+	}
+	if s < 2 || d < 1 {
+		panic("gen: ExpanderOfCliques needs s >= 2, d >= 1")
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(k * s)
+	for c := 0; c < k; c++ {
+		base := c * s
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				b.AddEdge(base+i, base+j)
+			}
+		}
+	}
+	for m := 0; m < d; m++ {
+		perm := r.Perm(k)
+		for i := 0; i < k; i += 2 {
+			ca, cb := perm[i], perm[i+1]
+			b.AddEdge(ca*s+r.Intn(s), cb*s+r.Intn(s))
+		}
+	}
+	return dedup(b.Graph())
 }
 
 // Path returns the path graph on n vertices.

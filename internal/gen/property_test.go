@@ -1,0 +1,226 @@
+package gen
+
+import (
+	"testing"
+
+	"dexpander/internal/graph"
+)
+
+// genCase describes one generator instance and the invariants it
+// advertises: exact or bounded edge counts, simplicity, connectivity.
+type genCase struct {
+	name   string
+	build  func(seed uint64) *graph.Graph
+	wantN  int
+	exactM int  // -1 when the count is random
+	minM   int  // used when exactM == -1
+	maxM   int  // used when exactM == -1
+	simple bool // no self-loops, no parallel edges
+	conn   bool // guaranteed connected for every seed
+}
+
+func generatorCases() []genCase {
+	return []genCase{
+		{"gnp", func(s uint64) *graph.Graph { return GNP(40, 0.3, s) },
+			40, -1, 40, 500, true, false},
+		{"gnp-connected", func(s uint64) *graph.Graph { return GNPConnected(40, 0.1, s) },
+			40, -1, 39, 400, true, true},
+		{"random-regular", func(s uint64) *graph.Graph { return RandomRegular(30, 4, s) },
+			30, 60, 0, 0, true, false},
+		{"ring-of-cliques", func(s uint64) *graph.Graph { return RingOfCliques(4, 5, s) },
+			20, 4*10 + 4, 0, 0, true, true},
+		{"dumbbell", func(s uint64) *graph.Graph { return Dumbbell(6, 2, s) },
+			12, 2*15 + 2, 0, 0, true, true},
+		{"unbalanced-dumbbell", func(s uint64) *graph.Graph { return UnbalancedDumbbell(6, 4, s) },
+			10, 15 + 6 + 1, 0, 0, true, true},
+		{"barbell-path", func(s uint64) *graph.Graph { return BarbellPath(5, 3) },
+			13, 2*10 + 4, 0, 0, true, true},
+		{"satellite-cliques", func(s uint64) *graph.Graph { return SatelliteCliques(8, 3, 2, s) },
+			14, 28 + 2*3 + 2, 0, 0, true, true},
+		{"planted-partition", func(s uint64) *graph.Graph { return PlantedPartition(3, 10, 0.6, 0.05, s) },
+			30, -1, 30, 435, true, false},
+		{"hypercube", func(s uint64) *graph.Graph { return Hypercube(4) },
+			16, 32, 0, 0, true, true},
+		{"torus", func(s uint64) *graph.Graph { return Torus(4) },
+			16, 32, 0, 0, true, true},
+		{"grid", func(s uint64) *graph.Graph { return Grid(4, 5) },
+			20, 3*5 + 4*4, 0, 0, true, true},
+		{"path", func(s uint64) *graph.Graph { return Path(9) },
+			9, 8, 0, 0, true, true},
+		{"cycle", func(s uint64) *graph.Graph { return Cycle(9) },
+			9, 9, 0, 0, true, true},
+		{"star", func(s uint64) *graph.Graph { return Star(9) },
+			9, 8, 0, 0, true, true},
+		{"complete", func(s uint64) *graph.Graph { return Complete(7) },
+			7, 21, 0, 0, true, true},
+		{"expander-matchings", func(s uint64) *graph.Graph { return ExpanderByMatchings(24, 4, s) },
+			24, -1, 24, 48, true, false},
+		{"chung-lu", func(s uint64) *graph.Graph { return ChungLu(60, 2.5, 5, s) },
+			60, -1, 30, 600, true, false},
+		{"bipartite-gnp", func(s uint64) *graph.Graph { return BipartiteGNP(15, 20, 0.2, s) },
+			35, -1, 15, 300, true, false},
+		{"expander-of-cliques", func(s uint64) *graph.Graph { return ExpanderOfCliques(6, 4, 3, s) },
+			24, -1, 6*6 + 5, 6*6 + 9, true, false},
+	}
+}
+
+// TestGeneratorProperties is the satellite property test: every
+// generator, on several seeds, produces a graph with the advertised
+// vertex count, an edge count matching its contract (exact or within the
+// documented random range), simplicity when advertised, connectivity
+// when advertised, and internally consistent volume and component
+// accounting.
+func TestGeneratorProperties(t *testing.T) {
+	for _, c := range generatorCases() {
+		t.Run(c.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 8; seed++ {
+				g := c.build(seed)
+				if g.N() != c.wantN {
+					t.Fatalf("seed %d: N = %d, want %d", seed, g.N(), c.wantN)
+				}
+				if c.exactM >= 0 {
+					if g.M() != c.exactM {
+						t.Fatalf("seed %d: M = %d, want exactly %d", seed, g.M(), c.exactM)
+					}
+				} else if g.M() < c.minM || g.M() > c.maxM {
+					t.Fatalf("seed %d: M = %d outside advertised [%d, %d]",
+						seed, g.M(), c.minM, c.maxM)
+				}
+				if c.simple {
+					assertSimple(t, g, seed)
+				}
+				view := graph.WholeGraph(g)
+				if c.conn && !view.IsConnected() {
+					t.Fatalf("seed %d: advertised-connected graph is disconnected", seed)
+				}
+				assertConsistent(t, g, seed)
+			}
+		})
+	}
+}
+
+// assertSimple checks there are no self-loops and no parallel edges.
+func assertSimple(t *testing.T, g *graph.Graph, seed uint64) {
+	t.Helper()
+	seen := make(map[[2]int]bool, g.M())
+	for e := 0; e < g.M(); e++ {
+		u, v := g.EdgeEndpoints(e)
+		if u == v {
+			t.Fatalf("seed %d: self-loop at vertex %d", seed, u)
+		}
+		key := [2]int{u, v}
+		if seen[key] {
+			t.Fatalf("seed %d: parallel edge (%d,%d)", seed, u, v)
+		}
+		seen[key] = true
+	}
+}
+
+// assertConsistent cross-checks volume and component accounting: degree
+// sums match TotalVol, component labels cover exactly the vertex set, and
+// every edge's endpoints share a component label.
+func assertConsistent(t *testing.T, g *graph.Graph, seed uint64) {
+	t.Helper()
+	var vol int64
+	for v := 0; v < g.N(); v++ {
+		vol += int64(g.Deg(v))
+	}
+	if vol != g.TotalVol() {
+		t.Fatalf("seed %d: degree sum %d != TotalVol %d", seed, vol, g.TotalVol())
+	}
+	view := graph.WholeGraph(g)
+	labels, count := view.Components()
+	covered := 0
+	for v := 0; v < g.N(); v++ {
+		if labels[v] == graph.Unreachable {
+			t.Fatalf("seed %d: member vertex %d unlabeled", seed, v)
+		}
+		if labels[v] < 0 || labels[v] >= count {
+			t.Fatalf("seed %d: label %d out of range [0,%d)", seed, labels[v], count)
+		}
+		covered++
+	}
+	if covered != g.N() {
+		t.Fatalf("seed %d: %d labeled vertices, want %d", seed, covered, g.N())
+	}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.EdgeEndpoints(e)
+		if labels[u] != labels[v] {
+			t.Fatalf("seed %d: edge (%d,%d) spans components %d and %d",
+				seed, u, v, labels[u], labels[v])
+		}
+	}
+	sets := view.ComponentSets()
+	if len(sets) != count {
+		t.Fatalf("seed %d: ComponentSets returned %d sets, Components counted %d",
+			seed, len(sets), count)
+	}
+	sum := 0
+	for _, s := range sets {
+		sum += s.Len()
+	}
+	if sum != g.N() {
+		t.Fatalf("seed %d: component sizes sum to %d, want %d", seed, sum, g.N())
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := Grid(1, 7)
+	if g.M() != 6 {
+		t.Fatalf("Grid(1,7) M = %d, want 6 (a path)", g.M())
+	}
+	if d := graph.WholeGraph(g).Diameter(); d != 6 {
+		t.Fatalf("Grid(1,7) diameter = %d, want 6", d)
+	}
+	g = Grid(3, 3)
+	if g.N() != 9 || g.M() != 12 {
+		t.Fatalf("Grid(3,3) N,M = %d,%d, want 9,12", g.N(), g.M())
+	}
+	// Corner degree 2, edge degree 3, center degree 4.
+	if g.Deg(0) != 2 || g.Deg(1) != 3 || g.Deg(4) != 4 {
+		t.Fatalf("Grid(3,3) degrees = %d,%d,%d, want 2,3,4", g.Deg(0), g.Deg(1), g.Deg(4))
+	}
+}
+
+func TestBipartiteGNPTriangleFree(t *testing.T) {
+	// Structural check without the triangle package (no import cycle):
+	// every edge must cross the bipartition, which forbids triangles.
+	nl, nr := 12, 18
+	g := BipartiteGNP(nl, nr, 0.4, 3)
+	for e := 0; e < g.M(); e++ {
+		u, v := g.EdgeEndpoints(e)
+		if (u < nl) == (v < nl) {
+			t.Fatalf("edge (%d,%d) does not cross the bipartition", u, v)
+		}
+	}
+}
+
+func TestExpanderOfCliquesStructure(t *testing.T) {
+	k, s, d := 6, 5, 3
+	g := ExpanderOfCliques(k, s, d, 11)
+	intra := k * s * (s - 1) / 2
+	if g.M() < intra+k/2 || g.M() > intra+d*k/2 {
+		t.Fatalf("M = %d outside [%d, %d]", g.M(), intra+k/2, intra+d*k/2)
+	}
+	// Every intra-clique pair must be present.
+	adj := make(map[[2]int]bool, g.M())
+	for e := 0; e < g.M(); e++ {
+		u, v := g.EdgeEndpoints(e)
+		adj[[2]int{u, v}] = true
+	}
+	for c := 0; c < k; c++ {
+		base := c * s
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				if !adj[[2]int{base + i, base + j}] {
+					t.Fatalf("missing intra-clique edge (%d,%d)", base+i, base+j)
+				}
+			}
+		}
+	}
+	// With d = 3 matchings the instance should be connected for this seed;
+	// if a seed change breaks this, pick another seed rather than weaken.
+	if !graph.WholeGraph(g).IsConnected() {
+		t.Fatal("ExpanderOfCliques(6,5,3,seed=11) disconnected")
+	}
+}

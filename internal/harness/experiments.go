@@ -108,7 +108,7 @@ func E2TriangleScaling(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := &Table{
 		Title:   "E2 (Theorem 2): CONGEST triangle enumeration on G(n, 1/2)",
-		Headers: []string{"n", "m", "triangles", "verified", "rounds", "rounds/n^(1/3)", "recursions"},
+		Headers: []string{"n", "m", "triangles", "verified", "rounds", "rounds/groups", "recursions"},
 	}
 	var ns, rounds []float64
 	for _, n := range sizes {
@@ -120,7 +120,7 @@ func E2TriangleScaling(scale Scale, seed uint64) (*Table, error) {
 			return nil, fmt.Errorf("E2 n=%d: %w", n, err)
 		}
 		t.AddRow(n, g.M(), got.Len(), got.Equal(want),
-			stats.Rounds, float64(stats.Rounds)/math.Cbrt(float64(n)), stats.Recursions)
+			stats.Rounds, float64(stats.Rounds)/float64(triangle.GroupCount(n)), stats.Recursions)
 		ns = append(ns, float64(n))
 		rounds = append(rounds, float64(stats.Rounds))
 	}

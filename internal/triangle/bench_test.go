@@ -16,6 +16,45 @@ func BenchmarkBruteForce(b *testing.B) {
 	}
 }
 
+// BenchmarkBruteForceParallel benchmarks the sharded merge kernel on the
+// same instance as BenchmarkBruteForce (compare ns/op directly), plus a
+// larger instance closer to the bench matrix's heavy cells.
+func BenchmarkBruteForceParallel(b *testing.B) {
+	g := gen.GNP(128, 0.3, 1)
+	view := graph.WholeGraph(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteForceParallel(view, 0)
+	}
+}
+
+func BenchmarkBruteForce2048(b *testing.B) {
+	g := gen.GNP(2048, 0.05, 7)
+	view := graph.WholeGraph(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteForce(view)
+	}
+}
+
+func BenchmarkBruteForceParallel2048(b *testing.B) {
+	g := gen.GNP(2048, 0.05, 7)
+	view := graph.WholeGraph(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteForceParallel(view, 0)
+	}
+}
+
+func BenchmarkCountParallel2048(b *testing.B) {
+	g := gen.GNP(2048, 0.05, 7)
+	view := graph.WholeGraph(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountParallel(view, 0)
+	}
+}
+
 func BenchmarkNaive(b *testing.B) {
 	g := gen.GNP(48, 0.5, 1)
 	view := graph.WholeGraph(g)

@@ -45,6 +45,9 @@ type Set struct {
 // NewSet returns an empty set.
 func NewSet() *Set { return &Set{m: make(map[int64]Triangle)} }
 
+// newSetSized returns an empty set with capacity for n triangles.
+func newSetSized(n int) *Set { return &Set{m: make(map[int64]Triangle, n)} }
+
 // Add inserts a triangle.
 func (s *Set) Add(t Triangle) { s.m[t.Key()] = t }
 
@@ -73,6 +76,36 @@ func (s *Set) Sorted() []Triangle {
 		return out[i].C < out[j].C
 	})
 	return out
+}
+
+// HashWords digests a word sequence with 64-bit FNV-1a, byte by byte in
+// little-endian order. It is the one digest primitive behind every
+// cross-run validation checksum (Set.Checksum here, the bench subsystem's
+// cell checksums), so the constants live in exactly one place.
+func HashWords(words ...uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range words {
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= (w >> shift) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// Checksum returns an order-independent FNV-1a digest of the triangle
+// set: equal sets have equal checksums regardless of insertion order, so
+// benchmark runs can validate outputs across processes without shipping
+// the full set.
+func (s *Set) Checksum() uint64 {
+	var sum uint64
+	for k := range s.m {
+		// Commutative combine keeps the digest order-independent.
+		sum += HashWords(uint64(k))
+	}
+	// Mix in the cardinality so the empty set and unlucky cancellations
+	// stay distinguishable.
+	return sum ^ HashWords(uint64(len(s.m)))
 }
 
 // Equal reports whether two sets hold exactly the same triangles.

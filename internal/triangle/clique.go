@@ -1,7 +1,6 @@
 package triangle
 
 import (
-	"math"
 	"sort"
 	"sync"
 
@@ -22,9 +21,7 @@ import (
 // is the engine's cost; the busy-flag termination protocol runs on a
 // second logical channel, reflected in CongestRounds.
 func CliqueDLP(view *graph.Sub, seed uint64) (*Set, congest.Stats, error) {
-	n := view.Members().Len()
-	groups := int(math.Ceil(math.Cbrt(float64(n))))
-	return CliqueWithGroups(view, groups, seed)
+	return CliqueWithGroups(view, GroupCount(view.Members().Len()), seed)
 }
 
 // CliqueWithGroups is the generalized group-triple scheme with an

@@ -2,7 +2,6 @@ package triangle
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"dexpander/internal/congest"
@@ -192,7 +191,7 @@ func processComponent(cur, final *graph.Sub, comp *graph.VSet, out *Set, opt Opt
 	}
 	total.Add(rt.BuildStats)
 
-	groups := int(math.Ceil(math.Cbrt(float64(nC))))
+	groups := GroupCount(nC)
 	hash := rng.New(seed ^ 0xfeed)
 	groupOf := func(v int) int { return int(hash.Fork(uint64(v)).Uint64() % uint64(groups)) }
 	handlerOf := func(a, b, c int) int {

@@ -1,0 +1,33 @@
+package triangle
+
+import "math"
+
+// GroupCount returns the paper's group parameter g = ceil(n^{1/3}) as an
+// exact integer: the smallest g >= 1 with g^3 >= n. Both the
+// CONGESTED-CLIQUE baseline (CliqueDLP) and the CONGEST enumeration's
+// per-component scheme size their group-triple partition with it, and the
+// harness normalizes round counts by it, so it lives in one place.
+//
+// A naive ceil(math.Cbrt(n)) is wrong at perfect cubes whenever the
+// floating-point cube root lands epsilon above the true value (e.g.
+// Cbrt(x^3) = x + ulp turns into x+1), which silently inflates the group
+// count — and with it the number of triples and handler traffic — on
+// exactly the sizes benchmarks like to use (8, 64, 512, 1000, ...). The
+// float result is therefore only a starting guess, corrected by exact
+// integer comparison.
+func GroupCount(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	g := int(math.Round(math.Cbrt(float64(n))))
+	if g < 1 {
+		g = 1
+	}
+	for g > 1 && (g-1)*(g-1)*(g-1) >= n {
+		g--
+	}
+	for g*g*g < n {
+		g++
+	}
+	return g
+}

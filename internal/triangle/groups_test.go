@@ -1,0 +1,52 @@
+package triangle
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGroupCountBoundaries(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {2, 2},
+		{7, 2}, {8, 2}, {9, 3},
+		{26, 3}, {27, 3}, {28, 4},
+		{63, 4}, {64, 4}, {65, 5},
+		{124, 5}, {125, 5}, {126, 6},
+		{511, 8}, {512, 8}, {513, 9},
+		{728, 9}, {729, 9}, {730, 10},
+		{999, 10}, {1000, 10}, {1001, 11},
+		{4095, 16}, {4096, 16}, {4097, 17},
+	}
+	for _, c := range cases {
+		if got := GroupCount(c.n); got != c.want {
+			t.Errorf("GroupCount(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// TestGroupCountIsCeilCbrt checks the defining property on every size up
+// to 20k: g is the least integer whose cube reaches n.
+func TestGroupCountIsCeilCbrt(t *testing.T) {
+	for n := 1; n <= 20000; n++ {
+		g := GroupCount(n)
+		if g*g*g < n {
+			t.Fatalf("GroupCount(%d) = %d: cube %d below n", n, g, g*g*g)
+		}
+		if g > 1 && (g-1)*(g-1)*(g-1) >= n {
+			t.Fatalf("GroupCount(%d) = %d: g-1 already suffices", n, g)
+		}
+	}
+}
+
+// TestGroupCountPerfectCubes pins the failure mode the helper exists for:
+// at perfect cubes the answer is the exact root even when the
+// floating-point cube root rounds above it.
+func TestGroupCountPerfectCubes(t *testing.T) {
+	for x := 1; x <= 128; x++ {
+		n := x * x * x
+		if got := GroupCount(n); got != x {
+			t.Errorf("GroupCount(%d) = %d, want %d (cbrt=%v)",
+				n, got, x, math.Cbrt(float64(n)))
+		}
+	}
+}
