@@ -60,6 +60,9 @@ func run() error {
 		rep = bench.Run(bench.FullScenarios(), bench.Algorithms(), opt)
 		rep.Merge(bench.Run(bench.LargeLocalScenarios(), bench.LocalAlgorithms(), opt))
 	}
+	// Decomposition cells run in both modes: the expander-decomposition
+	// pipeline is the PR-3 perf surface the baseline gate tracks.
+	rep.Merge(bench.Run(bench.DecompositionScenarios(), bench.DecompositionAlgorithms(), opt))
 
 	if *tables {
 		scale := harness.Default

@@ -20,6 +20,21 @@
 // several times faster than the sequential oracle on thousands of
 // vertices.
 //
+// The decomposition stack runs on a sparse local walk engine
+// (internal/spectral's WalkState): the truncated lazy walk at the heart
+// of Nibble keeps an explicit support list over pooled, epoch-stamped
+// buffers, so each step, truncation, sweep-cut construction, and
+// participating-edge assembly costs O(vol(support)) with zero
+// allocations at steady state — the locality Appendix A's analysis is
+// built on, rather than O(n) per step. The engine is bit-identical to
+// the dense reference walk (pinned by oracle tests), graph.Sub views
+// cache their member lists, alive degrees, and usable adjacency so
+// whole-view algorithms stop re-filtering edges per query, and the
+// independent trials of a ParallelNibble round execute on a worker pool
+// with seed-order merging — deterministic for any GOMAXPROCS. Together
+// these make the sequential Theorem 1 pipeline tens of times faster at
+// thousand-vertex scales (see BenchmarkDecomposeSequential).
+//
 // Performance is tracked by the scenario-matrix benchmark subsystem
 // (internal/bench, driven by cmd/benchrunner): graph families x
 // algorithms x sizes, each cell measured (wall time, simulated rounds

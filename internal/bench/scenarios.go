@@ -4,8 +4,11 @@ import (
 	"fmt"
 
 	"dexpander/internal/congest"
+	"dexpander/internal/core"
 	"dexpander/internal/gen"
 	"dexpander/internal/graph"
+	"dexpander/internal/nibble"
+	"dexpander/internal/rng"
 	"dexpander/internal/triangle"
 )
 
@@ -162,6 +165,61 @@ func runPipeline(view *graph.Sub, seed uint64) (Result, error) {
 			Messages:      stats.Messages,
 		},
 	}, nil
+}
+
+// DecompositionScenarios is the expander-decomposition slice of the
+// matrix: families with planted sparse cuts (dumbbell), certified
+// expanders of dense parts (expander-of-cliques), flat geometry (grid),
+// and random graphs (gnp) — the regimes the Theorem 1/Theorem 3 pipeline
+// behaves qualitatively differently on.
+func DecompositionScenarios() []Scenario {
+	return []Scenario{
+		{
+			Family: "dumbbell",
+			Params: "s=24 bridges=2",
+			Build:  func(seed uint64) *graph.Graph { return gen.Dumbbell(24, 2, seed) },
+		},
+		expanderOfCliquesScenario(6, 8, 3),
+		gridScenario(12, 12),
+		gnpScenario(96, 0.10),
+	}
+}
+
+// DecompositionAlgorithms are the columns run on DecompositionScenarios:
+// the sequential Theorem 1 decomposition and the Theorem 3 nearly most
+// balanced sparse cut, both driven by the sparse local-walk engine. Their
+// checksums digest the full structural output (labels respectively cut
+// membership), so the CI baseline gate catches any behavioral drift in
+// the decomposition stack, not just its timing.
+func DecompositionAlgorithms() []Algorithm {
+	return []Algorithm{
+		{Name: "decompose-seq", Run: runDecomposeSeq},
+		{Name: "partition-seq", Run: runPartitionSeq},
+	}
+}
+
+func runDecomposeSeq(view *graph.Sub, seed uint64) (Result, error) {
+	opt := core.Options{Eps: 0.4, K: 2, Preset: nibble.Practical, Seed: seed}
+	dec, err := core.Decompose(view, opt, core.SeqSubroutines{Preset: nibble.Practical})
+	if err != nil {
+		return Result{}, err
+	}
+	words := make([]uint64, 0, len(dec.Labels)+2)
+	words = append(words, uint64(dec.Count), uint64(dec.CutEdges))
+	for _, l := range dec.Labels {
+		words = append(words, uint64(int64(l)))
+	}
+	return Result{Checksum: triangle.HashWords(words...)}, nil
+}
+
+func runPartitionSeq(view *graph.Sub, seed uint64) (Result, error) {
+	res := nibble.SparseCut(view, 0.1, nibble.Practical, rng.New(seed))
+	words := make([]uint64, 0, view.Base().N()+2)
+	words = append(words, uint64(res.Iterations), uint64(res.C.Len()))
+	for _, v := range res.C.Members() {
+		words = append(words, uint64(v))
+	}
+	return Result{Checksum: triangle.HashWords(words...)}, nil
 }
 
 // runEngine is the substrate probe: engineProbeRounds rounds of

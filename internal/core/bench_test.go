@@ -10,16 +10,32 @@ import (
 	"dexpander/internal/nibble"
 )
 
+// BenchmarkDecomposeSequential runs the full Theorem 1 pipeline with the
+// sequential subroutines across sizes; the larger cases are where the
+// sparse local-walk engine and the cached per-view degree data pay
+// (pre-engine, n=4096 took tens of seconds per run).
 func BenchmarkDecomposeSequential(b *testing.B) {
-	g := gen.RingOfCliques(6, 12, 1)
-	view := graph.WholeGraph(g)
-	opt := Options{Eps: 0.6, K: 2, Preset: nibble.Practical, Seed: 1}
-	subs := SeqSubroutines{Preset: nibble.Practical}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Decompose(view, opt, subs); err != nil {
-			b.Fatal(err)
-		}
+	for _, c := range []struct {
+		name string
+		k, s int
+	}{
+		{"n=72", 6, 12},
+		{"n=1024", 32, 32},
+		{"n=4096", 64, 64},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			g := gen.RingOfCliques(c.k, c.s, 1)
+			view := graph.WholeGraph(g)
+			opt := Options{Eps: 0.6, K: 2, Preset: nibble.Practical, Seed: 1}
+			subs := SeqSubroutines{Preset: nibble.Practical}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Decompose(view, opt, subs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -30,12 +30,90 @@ package dnibble
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dexpander/internal/congest"
 	"dexpander/internal/graph"
 	"dexpander/internal/nibble"
 	"dexpander/internal/rng"
 )
+
+// walkScratch carries the per-instance buffers of the distributed nibble
+// across the many instances of one Partition run: the rho snapshots on
+// the probe time grid, the touched set (as a stamped list, so clearing
+// costs O(|touched|), not O(n)), the per-node walk-port tables (rebuilt
+// once per view, not once per instance), and the edge-dedup marks behind
+// the O(vol(touched)) P* assembly. One-shot callers get a fresh scratch;
+// Partition reuses one for its whole loop.
+type walkScratch struct {
+	view *graph.Sub // view the port tables were built for
+
+	rhoAt       [][]float64
+	gridUsed    int
+	touched     []bool
+	touchedMu   sync.Mutex
+	touchedList []int
+
+	ports     [][]bool
+	portCount []int
+
+	edgeSeen []bool
+}
+
+// reset prepares the scratch for one nibble instance on the view. Buffers
+// grow to the base size once and are wiped through the previous
+// instance's touched list.
+func (sc *walkScratch) reset(view *graph.Sub, gridLen int) {
+	n := view.Base().N()
+	if cap(sc.touched) < n {
+		sc.touched = make([]bool, n)
+		sc.portCount = make([]int, n)
+		sc.ports = make([][]bool, n)
+		sc.rhoAt = nil
+	} else {
+		sc.touched = sc.touched[:n]
+		sc.portCount = sc.portCount[:n]
+		sc.ports = sc.ports[:n]
+	}
+	for len(sc.rhoAt) < gridLen {
+		sc.rhoAt = append(sc.rhoAt, make([]float64, cap(sc.touched)))
+	}
+	for _, u := range sc.touchedList {
+		sc.touched[u] = false
+		for i := 0; i < sc.gridUsed; i++ {
+			sc.rhoAt[i][u] = 0
+		}
+	}
+	sc.gridUsed = gridLen
+	sc.touchedList = sc.touchedList[:0]
+	if sc.view != view {
+		sc.view = view
+		clear(sc.ports)
+	}
+}
+
+// markTouched records first touches; nodes run concurrently inside the
+// engine, so the list append is locked (the flag itself is per-vertex).
+func (sc *walkScratch) markTouched(v int) {
+	if sc.touched[v] {
+		return
+	}
+	sc.touched[v] = true
+	sc.touchedMu.Lock()
+	sc.touchedList = append(sc.touchedList, v)
+	sc.touchedMu.Unlock()
+}
+
+// participating assembles P* (usable edges with a touched endpoint,
+// ascending) from the touched vertices' adjacency.
+func (sc *walkScratch) participating(view *graph.Sub) []int {
+	m := view.Base().M()
+	if cap(sc.edgeSeen) < m {
+		sc.edgeSeen = make([]bool, m)
+	}
+	sc.edgeSeen = sc.edgeSeen[:m]
+	return view.IncidentUsableEdges(sc.touchedList, sc.edgeSeen)
+}
 
 // Result mirrors nibble.Result for the distributed run.
 type Result struct {
@@ -61,6 +139,14 @@ func (r *Result) Empty() bool { return r.C == nil || r.C.Empty() }
 // congest.NewTopology) and sharing it across nibbles is what keeps the
 // Partition loop from paying per-instance reconstruction.
 func ApproximateNibble(topo *congest.Topology, view *graph.Sub, pr nibble.Params, v, b int, seed uint64) (*Result, error) {
+	sc := &walkScratch{}
+	return approximateNibble(topo, view, pr, v, b, seed, sc)
+}
+
+// approximateNibble is ApproximateNibble over a caller-owned scratch, so
+// Partition's many instances share buffers instead of allocating the
+// O(n) rho grid, touched set, and port tables per nibble.
+func approximateNibble(topo *congest.Topology, view *graph.Sub, pr nibble.Params, v, b int, seed uint64, sc *walkScratch) (*Result, error) {
 	g := view.Base()
 	n := g.N()
 	eps := pr.EpsB(b)
@@ -72,11 +158,9 @@ func ApproximateNibble(topo *congest.Topology, view *graph.Sub, pr nibble.Params
 	thresholds := thresholdGrid(pr.Gamma, totalVol)
 
 	// Per-node data recorded by the engine run.
-	rhoAt := make([][]float64, len(tGrid)) // [tIdx][vertex]
-	for i := range rhoAt {
-		rhoAt[i] = make([]float64, n)
-	}
-	touched := make([]bool, n)
+	sc.reset(view, len(tGrid))
+	rhoAt := sc.rhoAt
+	touched := sc.touched
 
 	memberOf := view.Members()
 	inView := func(u int) bool { return memberOf.Has(u) }
@@ -88,22 +172,29 @@ func ApproximateNibble(topo *congest.Topology, view *graph.Sub, pr nibble.Params
 		me := nd.V()
 		deg := float64(g.Deg(me))
 		active := inView(me)
-		// Ports that stay inside the view (walk edges).
-		walkPort := make([]bool, nd.Degree())
-		walkPorts := 0
-		for p := 0; p < nd.Degree(); p++ {
-			if active && inView(nd.NeighborID(p)) && view.EdgeAlive(nd.EdgeID(p)) {
-				walkPort[p] = true
-				walkPorts++
+		// Ports that stay inside the view (walk edges); the table
+		// survives across the instances that share this view.
+		walkPort := sc.ports[me]
+		if walkPort == nil {
+			walkPort = make([]bool, nd.Degree())
+			walkPorts := 0
+			for p := 0; p < nd.Degree(); p++ {
+				if active && inView(nd.NeighborID(p)) && view.EdgeAlive(nd.EdgeID(p)) {
+					walkPort[p] = true
+					walkPorts++
+				}
 			}
+			sc.ports[me] = walkPort
+			sc.portCount[me] = walkPorts
 		}
+		walkPorts := sc.portCount[me]
 		// ---- Walk phase: exactly T0 rounds. ----
 		mass := 0.0
 		if me == v {
 			mass = 1.0
 		}
 		if mass > 0 {
-			touched[me] = true
+			sc.markTouched(me)
 		}
 		gridIdx := 0
 		for t := 1; t <= pr.T0; t++ {
@@ -126,7 +217,7 @@ func ApproximateNibble(topo *congest.Topology, view *graph.Sub, pr nibble.Params
 				mass = 0
 			}
 			if mass > 0 {
-				touched[me] = true
+				sc.markTouched(me)
 			}
 			if gridIdx < len(tGrid) && tGrid[gridIdx] == t {
 				if deg > 0 {
@@ -220,24 +311,17 @@ func ApproximateNibble(topo *congest.Topology, view *graph.Sub, pr nibble.Params
 	if err != nil {
 		return nil, fmt.Errorf("dnibble: %w", err)
 	}
-	// Materialize the cut and P* host-side from recorded state.
+	// Materialize the cut and P* host-side from the touched vertices
+	// only — the rest of the graph took no part in the walk.
 	if verdictT >= 0 {
 		th := thresholds[verdictTh]
-		for u := 0; u < n; u++ {
-			if touched[u] && rhoAt[verdictT][u] >= th {
+		for _, u := range sc.touchedList {
+			if rhoAt[verdictT][u] >= th {
 				res.C.Add(u)
 			}
 		}
 	}
-	for e := 0; e < g.M(); e++ {
-		if !view.Usable(e) {
-			continue
-		}
-		a, bb := g.EdgeEndpoints(e)
-		if touched[a] || touched[bb] {
-			res.PStar = append(res.PStar, e)
-		}
-	}
+	res.PStar = sc.participating(view)
 	return res, nil
 }
 

@@ -16,6 +16,12 @@ import (
 // execute serially in the engine, all over the shared topo; see the
 // package comment for the accounting note.
 func ParallelNibble(topo *congest.Topology, view *graph.Sub, pr nibble.Params, r *rng.RNG, seed uint64) (*nibble.ParallelResult, congest.Stats, error) {
+	return parallelNibble(topo, view, pr, r, seed, &walkScratch{})
+}
+
+// parallelNibble is ParallelNibble over a caller-owned scratch shared by
+// all k instances (and, via Partition, by every iteration's instances).
+func parallelNibble(topo *congest.Topology, view *graph.Sub, pr nibble.Params, r *rng.RNG, seed uint64, sc *walkScratch) (*nibble.ParallelResult, congest.Stats, error) {
 	k := pr.InstanceCount(view)
 	res := &nibble.ParallelResult{C: graph.NewVSet(view.Base().N()), Instances: k}
 	var stats congest.Stats
@@ -23,7 +29,7 @@ func ParallelNibble(topo *congest.Topology, view *graph.Sub, pr nibble.Params, r
 	var cuts []*graph.VSet
 	for i := 0; i < k; i++ {
 		v, b := nibble.SampleStart(view, pr, r)
-		one, err := ApproximateNibble(topo, view, pr, v, b, seed^uint64(i)*0x9e3779b97f4a7c15)
+		one, err := approximateNibble(topo, view, pr, v, b, seed^uint64(i)*0x9e3779b97f4a7c15, sc)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -66,12 +72,13 @@ func Partition(comm *graph.Sub, view *graph.Sub, pr nibble.Params, seed uint64) 
 	s := pr.Iterations(view)
 	totalVol := float64(view.TotalVol())
 	topo := congest.NewTopology(comm)
+	sc := &walkScratch{} // one buffer set for every nibble of every iteration
 	w := view.Members().Clone()
 	emptyStreak := 0
 	for i := 1; i <= s; i++ {
 		res.Iterations = i
 		sub := view.Restrict(w)
-		pn, ps, err := ParallelNibble(topo, sub, pr, r, r.Fork(uint64(i)).Uint64())
+		pn, ps, err := parallelNibble(topo, sub, pr, r, r.Fork(uint64(i)).Uint64(), sc)
 		if err != nil {
 			return nil, stats, fmt.Errorf("dnibble: partition iteration %d: %w", i, err)
 		}
@@ -85,6 +92,9 @@ func Partition(comm *graph.Sub, view *graph.Sub, pr nibble.Params, seed uint64) 
 		}
 		emptyStreak = 0
 		res.C.AddAll(pn.C)
+		// sub (which aliases w and has cached its member data by now) is
+		// dead from here on: the peel must come after its last use, and
+		// the next iteration restricts the view afresh.
 		w.RemoveAll(pn.C)
 		if float64(view.Vol(w)) <= 47.0/48.0*totalVol {
 			break

@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"slices"
+	"sync"
+)
+
+// viewCache is the per-view derived data of a Sub, built lazily by the
+// first accessor that needs it and shared by every subsequent call on the
+// same view. One builder pass over the members' adjacency computes every
+// field, so alive degrees, loop counts, the member volume prefix (for
+// degree-weighted sampling), and the usable-arc CSR all cost a single
+// O(n + vol(S)) sweep per view instead of one Usable-driven rescan per
+// query.
+//
+// A view caches on first use: callers must not mutate the member set or
+// the edge mask of a Sub after calling any of its methods. Derive a new
+// view with Restrict (or NewSub) instead — a fresh Sub starts with an
+// empty cache.
+type viewCache struct {
+	// members lists the member vertices in increasing order.
+	members []int
+	// cumVol[i] is the total base degree of members[:i]; the last entry
+	// is the view's total volume.
+	cumVol []int64
+	// aliveDeg[v] counts v's usable edges (loops once); 0 for
+	// non-members.
+	aliveDeg []int32
+	// loops[v] is v's self-loop count in G{S}: the degree deficit plus
+	// real alive loops.
+	loops []int32
+	// off/arcs form a CSR of the usable non-loop arcs of every member,
+	// in base adjacency order. Loops are excluded because every
+	// traversal and walk skips them; aliveDeg-len(row) recovers the real
+	// alive loop count.
+	off  []int32
+	arcs []Arc
+	// usableEdges counts usable edges (loops once).
+	usableEdges int
+}
+
+// cacheData returns the view's cache, building it on first use. Safe for
+// concurrent callers (parallel nibble trials share one view).
+func (s *Sub) cacheData() *viewCache {
+	s.cacheOnce.Do(func() { s.cache = buildViewCache(s) })
+	return s.cache
+}
+
+func buildViewCache(s *Sub) *viewCache {
+	g := s.g
+	n := g.N()
+	c := &viewCache{
+		members:  make([]int, 0, s.members.Len()),
+		cumVol:   make([]int64, 1, s.members.Len()+1),
+		aliveDeg: make([]int32, n),
+		loops:    make([]int32, n),
+		off:      make([]int32, n+1),
+	}
+	// Pass 1: row sizes, alive degrees, loop counts, member prefix.
+	arcTotal := 0
+	s.members.ForEach(func(v int) {
+		c.members = append(c.members, v)
+		c.cumVol = append(c.cumVol, c.cumVol[len(c.cumVol)-1]+int64(g.Deg(v)))
+		alive, row := 0, 0
+		for _, a := range g.Neighbors(v) {
+			if !s.Usable(a.Edge) {
+				continue
+			}
+			alive++
+			if a.To != v {
+				row++
+			}
+		}
+		c.aliveDeg[v] = int32(alive)
+		// Implicit loops (degree deficit) plus real alive loops, both
+		// available from the same pass: alive - row real loops.
+		c.loops[v] = int32(g.Deg(v) - alive + (alive - row))
+		c.off[v+1] = int32(row)
+		arcTotal += row
+		c.usableEdges += alive - row // real alive loops count once
+	})
+	for v := 0; v < n; v++ {
+		c.off[v+1] += c.off[v]
+	}
+	// Pass 2: fill the CSR rows.
+	c.arcs = make([]Arc, arcTotal)
+	fill := make([]int32, n)
+	for _, v := range c.members {
+		base := c.off[v]
+		for _, a := range g.Neighbors(v) {
+			if a.To == v || !s.Usable(a.Edge) {
+				continue
+			}
+			c.arcs[base+fill[v]] = a
+			fill[v]++
+		}
+	}
+	c.usableEdges += arcTotal / 2
+	return c
+}
+
+// MemberList returns the member vertices in increasing order. The slice
+// is cached: callers must not modify it.
+func (s *Sub) MemberList() []int { return s.cacheData().members }
+
+// UsableNeighbors returns v's usable non-loop arcs in base adjacency
+// order. The slice is cached: callers must not modify it. Walks,
+// traversals, and clusterings iterate these rows instead of filtering
+// Base().Neighbors(v) through Usable per arc.
+func (s *Sub) UsableNeighbors(v int) []Arc {
+	c := s.cacheData()
+	return c.arcs[c.off[v]:c.off[v+1]]
+}
+
+// VertexAtVolume returns the member v whose base-degree slot contains the
+// volume offset x, i.e. the first member with prefix volume above x.
+// Offsets at or beyond TotalVol() (float-rounding overshoot in samplers)
+// clamp to the last member. It panics on an empty view.
+func (s *Sub) VertexAtVolume(x int64) int {
+	c := s.cacheData()
+	if len(c.members) == 0 {
+		panic("graph: VertexAtVolume on an empty view")
+	}
+	// Binary search the smallest i with cumVol[i+1] > x.
+	lo, hi := 0, len(c.members)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cumVol[mid+1] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return c.members[lo]
+}
+
+// IncidentUsableEdges returns the usable edges with at least one
+// endpoint among verts, in ascending edge-id order — the paper's P* for
+// a touched vertex set. Cost is O(sum of verts' degrees + sort). marks
+// must be all false with length at least M; it is used for per-edge
+// deduplication and restored to all false before returning, so callers
+// can pool it across invocations.
+func (s *Sub) IncidentUsableEdges(verts []int, marks []bool) []int {
+	var out []int
+	for _, u := range verts {
+		for _, a := range s.g.Neighbors(u) {
+			if !marks[a.Edge] && s.Usable(a.Edge) {
+				marks[a.Edge] = true
+				out = append(out, a.Edge)
+			}
+		}
+	}
+	for _, e := range out {
+		marks[e] = false
+	}
+	slices.Sort(out)
+	return out
+}
+
+// traverseScratch holds the epoch-stamped distance array and queue reused
+// by the bounded traversals (Ball, BallEdgeCount). Pooled so per-vertex
+// ball queries over a whole view allocate nothing after the first.
+type traverseScratch struct {
+	dist  []int32
+	stamp []uint64
+	epoch uint64
+	queue []int
+}
+
+var traversePool = sync.Pool{New: func() any { return new(traverseScratch) }}
+
+func acquireTraverseScratch(n int) *traverseScratch {
+	t := traversePool.Get().(*traverseScratch)
+	if cap(t.dist) < n {
+		t.dist = make([]int32, n)
+		t.stamp = make([]uint64, n)
+	}
+	t.dist = t.dist[:n]
+	t.stamp = t.stamp[:n]
+	t.epoch++
+	t.queue = t.queue[:0]
+	return t
+}
+
+func (t *traverseScratch) release() { traversePool.Put(t) }
+
+// visit stamps v at distance d if unseen this epoch; reports whether it
+// was newly visited.
+func (t *traverseScratch) visit(v int, d int32) bool {
+	if t.stamp[v] == t.epoch {
+		return false
+	}
+	t.stamp[v] = t.epoch
+	t.dist[v] = d
+	t.queue = append(t.queue, v)
+	return true
+}

@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"testing"
+
+	"dexpander/internal/rng"
+)
+
+// randomView builds a graph with loops and parallel edges plus a random
+// member set and edge mask, exercising every cache code path.
+func randomView(t *testing.T, seed uint64) *Sub {
+	r := rng.New(seed)
+	n := 8 + r.Intn(40)
+	b := NewBuilder(n)
+	m := 2 * n
+	for i := 0; i < m; i++ {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		if r.Intn(8) == 0 {
+			v = u // loop
+		}
+		b.AddEdge(u, v)
+	}
+	g := b.Graph()
+	members := NewVSet(n)
+	for v := 0; v < n; v++ {
+		if r.Intn(4) != 0 {
+			members.Add(v)
+		}
+	}
+	if members.Empty() {
+		members.Add(0)
+	}
+	mask := make([]bool, g.M())
+	for e := range mask {
+		mask[e] = r.Intn(5) != 0
+	}
+	return NewSub(g, members, mask)
+}
+
+// naiveAliveDeg, naiveLoops, naiveUsableEdges re-derive the cached
+// quantities by direct Usable scans, mirroring the pre-cache
+// implementations.
+func naiveAliveDeg(s *Sub, v int) int {
+	d := 0
+	for _, a := range s.Base().Neighbors(v) {
+		if s.Usable(a.Edge) {
+			d++
+		}
+	}
+	return d
+}
+
+func naiveLoops(s *Sub, v int) int {
+	implicit := s.Base().Deg(v) - naiveAliveDeg(s, v)
+	real := 0
+	for _, a := range s.Base().Neighbors(v) {
+		if a.To == v && s.Usable(a.Edge) {
+			real++
+		}
+	}
+	return implicit + real
+}
+
+func naiveUsableEdges(s *Sub) int {
+	c := 0
+	for e := 0; e < s.Base().M(); e++ {
+		if s.Usable(e) {
+			c++
+		}
+	}
+	return c
+}
+
+func TestViewCacheMatchesNaiveScans(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		s := randomView(t, seed)
+		g := s.Base()
+		if got, want := s.UsableEdgeCount(), naiveUsableEdges(s); got != want {
+			t.Fatalf("seed %d: UsableEdgeCount = %d, want %d", seed, got, want)
+		}
+		if got, want := s.TotalVol(), g.Vol(s.Members()); got != want {
+			t.Fatalf("seed %d: TotalVol = %d, want %d", seed, got, want)
+		}
+		for v := 0; v < g.N(); v++ {
+			wantAlive := 0
+			if s.Has(v) {
+				wantAlive = naiveAliveDeg(s, v)
+			}
+			if got := s.AliveDeg(v); got != wantAlive {
+				t.Fatalf("seed %d: AliveDeg(%d) = %d, want %d", seed, v, got, wantAlive)
+			}
+			if !s.Has(v) {
+				continue
+			}
+			if got, want := s.Loops(v), naiveLoops(s, v); got != want {
+				t.Fatalf("seed %d: Loops(%d) = %d, want %d", seed, v, got, want)
+			}
+			// UsableNeighbors must be the Usable-filtered non-loop arcs
+			// in base adjacency order.
+			var want []Arc
+			for _, a := range g.Neighbors(v) {
+				if a.To != v && s.Usable(a.Edge) {
+					want = append(want, a)
+				}
+			}
+			got := s.UsableNeighbors(v)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d: UsableNeighbors(%d) len %d, want %d", seed, v, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d: UsableNeighbors(%d)[%d] = %+v, want %+v", seed, v, i, got[i], want[i])
+				}
+			}
+		}
+		// MemberList ascending and complete.
+		list := s.MemberList()
+		if len(list) != s.Members().Len() {
+			t.Fatalf("seed %d: MemberList len %d, want %d", seed, len(list), s.Members().Len())
+		}
+		for i, v := range list {
+			if !s.Has(v) || (i > 0 && list[i-1] >= v) {
+				t.Fatalf("seed %d: MemberList not an ascending member list at %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestVertexAtVolumeMatchesLinearScan(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		s := randomView(t, seed)
+		g := s.Base()
+		total := s.TotalVol()
+		for x := int64(0); x <= total+2; x++ {
+			// Linear-scan reference: subtract member degrees until the
+			// offset goes negative; overshoot clamps to the last member.
+			rem := x
+			want := -1
+			for _, v := range s.MemberList() {
+				rem -= int64(g.Deg(v))
+				if rem < 0 {
+					want = v
+					break
+				}
+			}
+			if want < 0 {
+				list := s.MemberList()
+				want = list[len(list)-1]
+			}
+			if got := s.VertexAtVolume(x); got != want {
+				t.Fatalf("seed %d: VertexAtVolume(%d) = %d, want %d", seed, x, got, want)
+			}
+		}
+	}
+}
+
+func TestBallEdgeCountMatchesGlobalScan(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		s := randomView(t, seed)
+		g := s.Base()
+		for _, v := range s.MemberList() {
+			for d := 0; d <= 4; d++ {
+				ball := s.Ball(v, d)
+				var want int64
+				for e := 0; e < g.M(); e++ {
+					if !s.Usable(e) {
+						continue
+					}
+					u, w := g.EdgeEndpoints(e)
+					if ball.Has(u) && ball.Has(w) {
+						want++
+					}
+				}
+				if got := s.BallEdgeCount(v, d); got != want {
+					t.Fatalf("seed %d: BallEdgeCount(%d,%d) = %d, want %d", seed, v, d, got, want)
+				}
+			}
+		}
+	}
+}

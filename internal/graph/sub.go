@@ -1,5 +1,7 @@
 package graph
 
+import "sync"
+
 // Sub is a view of a base graph restricted to a member vertex set with an
 // alive-edge mask: the paper's G{S} with removed edges turned into implicit
 // self-loops. Degrees, and hence volumes, always come from the base graph.
@@ -7,10 +9,22 @@ package graph
 // Invariants maintained by the constructors: a nil edge mask means "all
 // edges alive"; an edge is usable only if it is alive and both endpoints
 // are members.
+//
+// A Sub lazily caches derived data (member list, volumes, alive degrees,
+// the usable-arc CSR) on first use, so repeated queries and whole-view
+// traversals do not re-filter the base adjacency through Usable. The
+// cache makes a view logically immutable: do not mutate the member set or
+// edge mask after calling any method — build a new view with Restrict or
+// NewSub instead (every construction site starts with an empty cache).
+// Cache construction is synchronized, so concurrent readers (e.g.
+// parallel nibble trials) may share one view.
 type Sub struct {
 	g       *Graph
 	members *VSet
 	edgeOn  []bool // nil means all alive
+
+	cacheOnce sync.Once
+	cache     *viewCache
 }
 
 // NewSub returns a view of g restricted to members with the given alive
@@ -56,30 +70,21 @@ func (s *Sub) Deg(v int) int { return s.g.Deg(v) }
 
 // AliveDeg returns the number of usable (alive, intra-member) edges at v,
 // counting loops once. Deg(v) - AliveDeg(v) is the implicit self-loop count
-// of v in G{S}.
+// of v in G{S}. O(1) from the view cache.
 func (s *Sub) AliveDeg(v int) int {
-	d := 0
-	for _, a := range s.g.Neighbors(v) {
-		if s.Usable(a.Edge) {
-			d++
-		}
-	}
-	return d
+	return int(s.cacheData().aliveDeg[v])
 }
 
-// Loops returns the implicit self-loop count of v in the view, including
-// any real loops of the base graph that remain alive. Real alive loops are
-// counted by AliveDeg (Usable is true for them), so the implicit count is
-// the degree deficit plus those.
+// Loops returns the self-loop count of v in the view G{S}: the degree
+// deficit (implicit loops) plus any real loops of the base graph that
+// remain alive. Both counts come from the single pass of the cached
+// degree builder; O(1) per query.
 func (s *Sub) Loops(v int) int {
-	implicit := s.g.Deg(v) - s.AliveDeg(v)
-	real := 0
-	for _, a := range s.g.Neighbors(v) {
-		if a.To == v && s.Usable(a.Edge) {
-			real++
-		}
+	if !s.members.Has(v) {
+		// A non-member has no usable edges: the whole degree is deficit.
+		return s.g.Deg(v)
 	}
-	return implicit + real
+	return int(s.cacheData().loops[v])
 }
 
 // Vol returns the volume of set x (base degrees), which should be a subset
@@ -88,23 +93,19 @@ func (s *Sub) Vol(x *VSet) int64 { return s.g.Vol(x) }
 
 // TotalVol returns the volume of the whole member set; this is Vol(V) of
 // the view's graph G{S}, which equals the base volume of S because degrees
-// are preserved.
-func (s *Sub) TotalVol() int64 { return s.g.Vol(s.members) }
-
-// UsableEdgeCount returns the number of usable edges in the view.
-func (s *Sub) UsableEdgeCount() int {
-	c := 0
-	for e := 0; e < s.g.M(); e++ {
-		if s.Usable(e) {
-			c++
-		}
-	}
-	return c
+// are preserved. O(1) from the view cache.
+func (s *Sub) TotalVol() int64 {
+	c := s.cacheData()
+	return c.cumVol[len(c.cumVol)-1]
 }
+
+// UsableEdgeCount returns the number of usable edges in the view, from
+// the view cache.
+func (s *Sub) UsableEdgeCount() int { return s.cacheData().usableEdges }
 
 // Restrict returns a new view with the member set further restricted to x
 // (which should be a subset of the current members). The edge mask is
-// shared.
+// shared; the new view starts with an empty cache.
 func (s *Sub) Restrict(x *VSet) *Sub {
 	return &Sub{g: s.g, members: x, edgeOn: s.edgeOn}
 }

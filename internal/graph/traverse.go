@@ -4,6 +4,9 @@ package graph
 // from the source within the view.
 const Unreachable = -1
 
+// All traversals run over the view cache's usable-arc CSR (loops already
+// excluded), so no per-arc Usable filtering happens inside the loops.
+
 // BFS computes hop distances from src to every member of the view, using
 // only usable edges. Non-members and unreachable members get Unreachable.
 func (s *Sub) BFS(src int) []int {
@@ -19,10 +22,7 @@ func (s *Sub) BFS(src int) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, a := range s.g.Neighbors(v) {
-			if !s.Usable(a.Edge) || a.To == v {
-				continue
-			}
+		for _, a := range s.UsableNeighbors(v) {
 			if dist[a.To] == Unreachable {
 				dist[a.To] = dist[v] + 1
 				queue = append(queue, a.To)
@@ -40,19 +40,17 @@ func (s *Sub) Components() (labels []int, count int) {
 	for i := range labels {
 		labels[i] = Unreachable
 	}
-	for v := 0; v < s.g.N(); v++ {
-		if !s.members.Has(v) || labels[v] != Unreachable {
+	var queue []int
+	for _, v := range s.MemberList() {
+		if labels[v] != Unreachable {
 			continue
 		}
 		labels[v] = count
-		queue := []int{v}
+		queue = append(queue[:0], v)
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, a := range s.g.Neighbors(u) {
-				if !s.Usable(a.Edge) || a.To == u {
-					continue
-				}
+			for _, a := range s.UsableNeighbors(u) {
 				if labels[a.To] == Unreachable {
 					labels[a.To] = count
 					queue = append(queue, a.To)
@@ -107,11 +105,11 @@ func (s *Sub) Eccentricity(src int) int {
 // tests and quality verification.
 func (s *Sub) Diameter() int {
 	max := 0
-	s.members.ForEach(func(v int) {
+	for _, v := range s.MemberList() {
 		if ecc := s.Eccentricity(v); ecc > max {
 			max = ecc
 		}
-	})
+	}
 	return max
 }
 
@@ -136,58 +134,59 @@ func (s *Sub) Ball(v, d int) *VSet {
 	if !s.members.Has(v) {
 		return out
 	}
-	dist := s.boundedBFS(v, d)
-	for u, du := range dist {
-		if du != Unreachable && du <= d {
-			out.Add(u)
-		}
+	t := acquireTraverseScratch(s.g.N())
+	defer t.release()
+	s.boundedBFS(t, v, d)
+	for _, u := range t.queue {
+		out.Add(u)
 	}
 	return out
 }
 
 // BallEdgeCount returns |E(N^d(v))| in the view: the number of usable
 // edges with both endpoints within distance d of v. This is the quantity
-// the low-diameter decomposition thresholds on.
+// the low-diameter decomposition thresholds on. It touches only the
+// ball's own adjacency (plus its boundary arcs), not the global edge
+// list, and allocates nothing after warm-up.
 func (s *Sub) BallEdgeCount(v, d int) int64 {
-	ball := s.Ball(v, d)
+	if !s.members.Has(v) {
+		return 0
+	}
+	t := acquireTraverseScratch(s.g.N())
+	defer t.release()
+	s.boundedBFS(t, v, d)
+	c := s.cacheData()
 	var cnt int64
-	for e := 0; e < s.g.M(); e++ {
-		if !s.Usable(e) {
-			continue
+	for _, u := range t.queue {
+		for _, a := range s.UsableNeighbors(u) {
+			// Count each internal non-loop edge from its smaller
+			// endpoint only; ties (parallel edges) are distinct ids and
+			// still count once per id because each contributes one arc
+			// in each direction.
+			if a.To > u && t.stamp[a.To] == t.epoch {
+				cnt++
+			}
 		}
-		ed := s.g.edges[e]
-		if ball.Has(ed.U) && ball.Has(ed.V) {
-			cnt++
-		}
+		// Real alive loops are trivially ball-internal.
+		cnt += int64(c.aliveDeg[u]) - int64(len(s.UsableNeighbors(u)))
 	}
 	return cnt
 }
 
-// boundedBFS is BFS truncated at depth d.
-func (s *Sub) boundedBFS(src, d int) []int {
-	dist := make([]int, s.g.N())
-	for i := range dist {
-		dist[i] = Unreachable
-	}
-	dist[src] = 0
-	queue := []int{src}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		if dist[v] >= d {
+// boundedBFS fills the scratch with every member within distance d of
+// src: visited vertices accumulate in t.queue with distances in t.dist.
+func (s *Sub) boundedBFS(t *traverseScratch, src, d int) {
+	t.visit(src, 0)
+	for head := 0; head < len(t.queue); head++ {
+		v := t.queue[head]
+		dv := t.dist[v]
+		if int(dv) >= d {
 			continue
 		}
-		for _, a := range s.g.Neighbors(v) {
-			if !s.Usable(a.Edge) || a.To == v {
-				continue
-			}
-			if dist[a.To] == Unreachable {
-				dist[a.To] = dist[v] + 1
-				queue = append(queue, a.To)
-			}
+		for _, a := range s.UsableNeighbors(v) {
+			t.visit(a.To, dv+1)
 		}
 	}
-	return dist
 }
 
 // BFSTree returns, for each member reachable from src, its parent in a BFS
@@ -209,10 +208,7 @@ func (s *Sub) BFSTree(src int) (parent, dist []int) {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, a := range s.g.Neighbors(v) {
-			if !s.Usable(a.Edge) || a.To == v {
-				continue
-			}
+		for _, a := range s.UsableNeighbors(v) {
 			if dist[a.To] == Unreachable {
 				dist[a.To] = dist[v] + 1
 				parent[a.To] = v

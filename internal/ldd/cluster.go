@@ -13,60 +13,87 @@ import (
 // adjacent to a cluster join it one hop per epoch. Cluster ids are center
 // vertex ids; the result satisfies Lemma 12: each edge is cut with
 // probability at most 2*beta, and cluster radius is below T.
+//
+// The epoch loop runs as a frontier process rather than a per-epoch scan
+// of every member: only vertices clustered in the previous epoch can
+// trigger joins (any earlier-clustered neighbor would already have
+// recruited — or centered — the vertex), and epochs with an empty
+// frontier and no new centers change nothing and are skipped. Total work
+// is O(n + vol(S) + T) instead of O(T * (n + vol(S))), with pointwise
+// identical labels (pinned against the scan implementation by tests).
 func Clustering(view *graph.Sub, pr Params, r *rng.RNG) *Result {
-	g := view.Base()
-	n := g.N()
+	n := view.Base().N()
 	labels := make([]int, n)
 	for i := range labels {
 		labels[i] = graph.Unreachable
 	}
 	start := make([]int, n)
-	view.Members().ForEach(func(v int) {
+	// T+2 buckets: start epochs are clamped up to 1 even when T < 1 (the
+	// epoch loop then never runs, like the scan implementation).
+	startsAt := make([][]int, pr.T+2)
+	for _, v := range view.MemberList() {
 		delta := r.Fork(uint64(v)).Exponential(pr.Beta)
 		s := pr.T - int(delta)
 		if s < 1 {
 			s = 1
 		}
 		start[v] = s
-	})
-	// clusteredAt[v] = epoch at which v got its label.
+		startsAt[s] = append(startsAt[s], v)
+	}
+	// clusteredAt[v] = epoch at which v got its label; candStamp marks
+	// vertices already examined as join candidates this epoch.
 	clusteredAt := make([]int, n)
+	candStamp := make([]int, n)
+	type join struct{ v, label int }
+	var joins []join
+	var frontier, nextFrontier []int
 	for t := 1; t <= pr.T; t++ {
+		if len(frontier) == 0 && len(startsAt[t]) == 0 {
+			continue
+		}
 		// Join moves first read only labels assigned before epoch t,
 		// then new centers appear; mirroring the paper's "clustered
 		// before epoch t" condition. Collect joins before mutating.
-		type join struct{ v, label int }
-		var joins []join
-		view.Members().ForEach(func(v int) {
-			if labels[v] != graph.Unreachable || start[v] == t {
-				return
-			}
-			best := graph.Unreachable
-			for _, a := range g.Neighbors(v) {
-				if !view.Usable(a.Edge) || a.To == v {
+		// Candidates are the unclustered neighbors of the previous
+		// epoch's frontier: a vertex with a neighbor clustered before
+		// t-1 was itself clustered (or centered) no later than that
+		// neighbor's epoch plus one.
+		joins = joins[:0]
+		nextFrontier = nextFrontier[:0]
+		for _, u := range frontier {
+			for _, a := range view.UsableNeighbors(u) {
+				v := a.To
+				if labels[v] != graph.Unreachable || start[v] == t || candStamp[v] == t {
 					continue
 				}
-				u := a.To
-				if labels[u] != graph.Unreachable && clusteredAt[u] < t {
-					if best == graph.Unreachable || labels[u] < best {
-						best = labels[u]
+				candStamp[v] = t
+				best := graph.Unreachable
+				for _, aa := range view.UsableNeighbors(v) {
+					w := aa.To
+					if labels[w] != graph.Unreachable && clusteredAt[w] < t {
+						if best == graph.Unreachable || labels[w] < best {
+							best = labels[w]
+						}
 					}
 				}
+				if best != graph.Unreachable {
+					joins = append(joins, join{v, best})
+				}
 			}
-			if best != graph.Unreachable {
-				joins = append(joins, join{v, best})
-			}
-		})
+		}
 		for _, j := range joins {
 			labels[j.v] = j.label
 			clusteredAt[j.v] = t
+			nextFrontier = append(nextFrontier, j.v)
 		}
-		view.Members().ForEach(func(v int) {
-			if labels[v] == graph.Unreachable && start[v] == t {
+		for _, v := range startsAt[t] {
+			if labels[v] == graph.Unreachable {
 				labels[v] = v
 				clusteredAt[v] = t
+				nextFrontier = append(nextFrontier, v)
 			}
-		})
+		}
+		frontier, nextFrontier = nextFrontier, frontier
 	}
 	return finishClusters(view, labels)
 }

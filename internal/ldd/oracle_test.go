@@ -1,0 +1,152 @@
+package ldd
+
+import (
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/rng"
+)
+
+// scanClustering is the original per-epoch full-member-scan
+// implementation of Clustering, kept verbatim as the oracle for the
+// frontier version.
+func scanClustering(view *graph.Sub, pr Params, r *rng.RNG) *Result {
+	g := view.Base()
+	n := g.N()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = graph.Unreachable
+	}
+	start := make([]int, n)
+	view.Members().ForEach(func(v int) {
+		delta := r.Fork(uint64(v)).Exponential(pr.Beta)
+		s := pr.T - int(delta)
+		if s < 1 {
+			s = 1
+		}
+		start[v] = s
+	})
+	clusteredAt := make([]int, n)
+	for t := 1; t <= pr.T; t++ {
+		type join struct{ v, label int }
+		var joins []join
+		view.Members().ForEach(func(v int) {
+			if labels[v] != graph.Unreachable || start[v] == t {
+				return
+			}
+			best := graph.Unreachable
+			for _, a := range g.Neighbors(v) {
+				if !view.Usable(a.Edge) || a.To == v {
+					continue
+				}
+				u := a.To
+				if labels[u] != graph.Unreachable && clusteredAt[u] < t {
+					if best == graph.Unreachable || labels[u] < best {
+						best = labels[u]
+					}
+				}
+			}
+			if best != graph.Unreachable {
+				joins = append(joins, join{v, best})
+			}
+		})
+		for _, j := range joins {
+			labels[j.v] = j.label
+			clusteredAt[j.v] = t
+		}
+		view.Members().ForEach(func(v int) {
+			if labels[v] == graph.Unreachable && start[v] == t {
+				labels[v] = v
+				clusteredAt[v] = t
+			}
+		})
+	}
+	return finishClusters(view, labels)
+}
+
+// scanDensityPartition is the original per-member double-BFS density
+// test, kept as the oracle for the component-total shortcut.
+func scanDensityPartition(view *graph.Sub, pr Params) (vd, vs *graph.VSet) {
+	n := view.Base().N()
+	vd, vs = graph.NewVSet(n), graph.NewVSet(n)
+	view.Members().ForEach(func(v int) {
+		small := view.BallEdgeCount(v, pr.A)
+		big := view.BallEdgeCount(v, pr.RBig)
+		if float64(small) >= float64(big)/(2*float64(pr.B)) {
+			vd.Add(v)
+		} else {
+			vs.Add(v)
+		}
+	})
+	return vd, vs
+}
+
+func lddOracleViews(seed uint64) map[string]*graph.Sub {
+	views := map[string]*graph.Sub{
+		"ring-of-cliques": graph.WholeGraph(gen.RingOfCliques(4, 7, seed)),
+		"dumbbell":        graph.WholeGraph(gen.Dumbbell(9, 1, seed)),
+		"gnp":             graph.WholeGraph(gen.GNP(36, 0.12, seed)),
+		"grid":            graph.WholeGraph(gen.Grid(6, 5)),
+		"path":            graph.WholeGraph(gen.Path(30)),
+	}
+	// A restricted view with dead vertices/edges (disconnection likely).
+	g := gen.RingOfCliques(3, 8, seed)
+	members := graph.NewVSet(g.N())
+	for v := 0; v < g.N(); v++ {
+		if v%6 != 0 {
+			members.Add(v)
+		}
+	}
+	mask := make([]bool, g.M())
+	for e := range mask {
+		mask[e] = e%5 != 0
+	}
+	views["restricted"] = graph.NewSub(g, members, mask)
+	return views
+}
+
+// TestClusteringMatchesScanOracle pins the frontier Clustering to the
+// per-epoch scan implementation, pointwise.
+func TestClusteringMatchesScanOracle(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		for name, view := range lddOracleViews(seed) {
+			for _, beta := range []float64{0.5, 0.12, 0.02} {
+				pr := NewParams(view.Members().Len(), beta, Practical)
+				got := Clustering(view, pr, rng.New(seed))
+				want := scanClustering(view, pr, rng.New(seed))
+				if got.Count != want.Count || got.CutEdges != want.CutEdges {
+					t.Fatalf("%s seed %d beta %v: (count,cut) = (%d,%d), want (%d,%d)",
+						name, seed, beta, got.Count, got.CutEdges, want.Count, want.CutEdges)
+				}
+				for v := range got.Labels {
+					if got.Labels[v] != want.Labels[v] {
+						t.Fatalf("%s seed %d beta %v: label[%d] = %d, want %d",
+							name, seed, beta, v, got.Labels[v], want.Labels[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDensityPartitionMatchesScanOracle pins the component-total
+// DensityPartition to the per-member BFS implementation, including on
+// parameters where A stays below the component-collapse threshold.
+func TestDensityPartitionMatchesScanOracle(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		for name, view := range lddOracleViews(seed) {
+			for _, pr := range []Params{
+				NewParams(view.Members().Len(), 0.3, Practical),
+				{Beta: 0.3, T: 8, A: 2, B: 3, RBig: 5, Preset: Practical},    // small radii: BFS path
+				{Beta: 0.3, T: 8, A: 3, B: 2, RBig: 4096, Preset: Practical}, // mixed: BFS + component total
+			} {
+				gotVD, gotVS := DensityPartition(view, pr)
+				wantVD, wantVS := scanDensityPartition(view, pr)
+				if !gotVD.Equal(wantVD) || !gotVS.Equal(wantVS) {
+					t.Fatalf("%s seed %d params %+v: density partition diverged", name, seed, pr)
+				}
+			}
+		}
+	}
+}

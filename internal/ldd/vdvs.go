@@ -10,19 +10,53 @@ import (
 // the V'_S requirement |E(N^a(v))| <= |E(N^RBig(v))| / b with room to
 // spare). Vertices in the factor-2 gap may go either way per the paper;
 // this reference resolves them into V'_D.
+//
+// A radius of n-1 or more reaches the whole component, so such ball
+// counts (RBig is capped at 4n and usually qualifies; at practical
+// parameter scales A does too) collapse to one component-labeling pass
+// with per-component usable edge totals instead of a BFS per member.
 func DensityPartition(view *graph.Sub, pr Params) (vd, vs *graph.VSet) {
 	n := view.Base().N()
 	vd, vs = graph.NewVSet(n), graph.NewVSet(n)
-	view.Members().ForEach(func(v int) {
-		small := view.BallEdgeCount(v, pr.A)
-		big := view.BallEdgeCount(v, pr.RBig)
+	var compOf []int
+	var compEdges []int64
+	if pr.A >= n-1 || pr.RBig >= n-1 {
+		compOf, compEdges = componentEdgeTotals(view)
+	}
+	ballCount := func(v, radius int) int64 {
+		if radius >= n-1 {
+			return compEdges[compOf[v]]
+		}
+		return view.BallEdgeCount(v, radius)
+	}
+	for _, v := range view.MemberList() {
+		small := ballCount(v, pr.A)
+		big := ballCount(v, pr.RBig)
 		if float64(small) >= float64(big)/(2*float64(pr.B)) {
 			vd.Add(v)
 		} else {
 			vs.Add(v)
 		}
-	})
+	}
 	return vd, vs
+}
+
+// componentEdgeTotals labels the view's components and tallies each
+// component's usable edge count (loops once) in one pass over the cached
+// usable adjacency.
+func componentEdgeTotals(view *graph.Sub) (compOf []int, compEdges []int64) {
+	compOf, count := view.Components()
+	compEdges = make([]int64, count)
+	for _, v := range view.MemberList() {
+		row := len(view.UsableNeighbors(v))
+		loops := view.AliveDeg(v) - row
+		// Non-loop arcs appear once per endpoint: halve after summing.
+		compEdges[compOf[v]] += int64(row + 2*loops)
+	}
+	for i := range compEdges {
+		compEdges[i] /= 2
+	}
+	return compOf, compEdges
 }
 
 // BuildVD runs the W-iteration of Appendix B.1: starting from
@@ -109,10 +143,7 @@ func multiSourceBFS(view *graph.Sub, sources *graph.VSet, maxD int) []int {
 		if dist[v] >= maxD {
 			continue
 		}
-		for _, a := range g.Neighbors(v) {
-			if !view.Usable(a.Edge) || a.To == v {
-				continue
-			}
+		for _, a := range view.UsableNeighbors(v) {
 			if dist[a.To] == -1 {
 				dist[a.To] = dist[v] + 1
 				queue = append(queue, a.To)

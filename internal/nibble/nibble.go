@@ -22,6 +22,14 @@ type Result struct {
 // Empty reports whether the run returned no cut.
 func (r *Result) Empty() bool { return r.C == nil || r.C.Empty() }
 
+// Both nibble variants drive the sparse local-walk engine
+// (spectral.WalkState): each step costs O(vol(support)), the touched set
+// and P* come from the engine's incremental bookkeeping instead of O(n)
+// and O(m) rescans, and the engine's pooled buffers make repeated trials
+// allocation-free at steady state. The engine is bit-identical to the
+// dense reference walk, so these functions return exactly what the
+// original dense implementations returned (pinned by oracle tests).
+
 // Nibble runs the original Spielman–Teng Nibble(G, v, phi, b) on the
 // view: a truncated lazy walk from v for up to T0 steps, checking at each
 // step every sweep prefix j for conditions (C.1)–(C.3). It is the
@@ -32,14 +40,19 @@ func Nibble(view *graph.Sub, pr Params, v, b int) *Result {
 	eps := pr.EpsB(b)
 	totalVol := view.TotalVol()
 	minVol := 5.0 / 7.0 * math.Pow(2, float64(b-1))
-	p := spectral.Chi(view.Base().N(), v)
-	touched := graph.NewVSet(view.Base().N())
-	markTouched(touched, p)
+	ws := spectral.AcquireWalkState(view)
+	defer ws.Release()
+	ws.Init(v)
 	for t := 1; t <= pr.T0; t++ {
-		p = spectral.Truncate(view, spectral.Step(view, p), eps)
-		markTouched(touched, p)
+		ws.StepTruncate(eps)
 		res.Steps = t
-		sweep := spectral.NewSweepOrderSupport(view, spectral.Rho(view, p))
+		if ws.SupportLen() == 0 {
+			// Truncation killed the walk; the remaining steps are all
+			// empty sweeps, so report the full step count and stop.
+			res.Steps = pr.T0
+			break
+		}
+		sweep := ws.Sweep()
 		jmax := sweep.JMax()
 		for j := 1; j <= jmax; j++ {
 			volJ := sweep.PrefixVol[j]
@@ -56,11 +69,11 @@ func Nibble(view *graph.Sub, pr Params, v, b int) *Result {
 				continue
 			}
 			res.C = sweep.PrefixSet(view.Base().N(), j)
-			res.PStar = participating(view, touched)
+			res.PStar = ws.Participating()
 			return res
 		}
 	}
-	res.PStar = participating(view, touched)
+	res.PStar = ws.Participating()
 	return res
 }
 
@@ -75,17 +88,21 @@ func ApproximateNibble(view *graph.Sub, pr Params, v, b int) *Result {
 	eps := pr.EpsB(b)
 	totalVol := view.TotalVol()
 	minVol := 5.0 / 7.0 * math.Pow(2, float64(b-1))
-	p := spectral.Chi(view.Base().N(), v)
-	touched := graph.NewVSet(view.Base().N())
-	markTouched(touched, p)
+	ws := spectral.AcquireWalkState(view)
+	defer ws.Release()
+	ws.Init(v)
+	var jbuf []int // reused across steps
 	for t := 1; t <= pr.T0; t++ {
-		p = spectral.Truncate(view, spectral.Step(view, p), eps)
-		markTouched(touched, p)
+		ws.StepTruncate(eps)
 		res.Steps = t
-		sweep := spectral.NewSweepOrderSupport(view, spectral.Rho(view, p))
-		jseq := jSequence(sweep, pr.Phi)
-		for x, j := range jseq {
-			dense := x == 0 || j == jseq[x-1]+1
+		if ws.SupportLen() == 0 {
+			res.Steps = pr.T0
+			break
+		}
+		sweep := ws.Sweep()
+		jbuf = appendJSequence(jbuf[:0], sweep, pr.Phi)
+		for x, j := range jbuf {
+			dense := x == 0 || j == jbuf[x-1]+1
 			volJ := float64(sweep.PrefixVol[j])
 			phiJ := sweep.Conductance(j, totalVol)
 			var ok bool
@@ -94,33 +111,34 @@ func ApproximateNibble(view *graph.Sub, pr Params, v, b int) *Result {
 					sweep.Rho[j]*volJ >= pr.Gamma &&
 					volJ >= minVol && volJ <= 5.0/6.0*float64(totalVol)
 			} else {
-				prev := jseq[x-1]
+				prev := jbuf[x-1]
 				ok = phiJ <= 12*pr.Phi &&
 					sweep.Rho[prev]*volJ >= pr.Gamma &&
 					volJ >= minVol && volJ <= 11.0/12.0*float64(totalVol)
 			}
 			if ok {
 				res.C = sweep.PrefixSet(view.Base().N(), j)
-				res.PStar = participating(view, touched)
+				res.PStar = ws.Participating()
 				return res
 			}
 		}
 	}
-	res.PStar = participating(view, touched)
+	res.PStar = ws.Participating()
 	return res
 }
 
-// jSequence computes the paper's geometric index sequence (j_x) for one
-// sweep: j_1 = 1, and j_i = max(j_{i-1}+1, largest j with
-// Vol(prefix j) <= (1+phi) Vol(prefix j_{i-1})), ending at jmax.
-func jSequence(s *spectral.SweepOrder, phi float64) []int {
+// appendJSequence computes the paper's geometric index sequence (j_x) for
+// one sweep into dst: j_1 = 1, and j_i = max(j_{i-1}+1, largest j with
+// Vol(prefix j) <= (1+phi) Vol(prefix j_{i-1})), ending at jmax. dst is
+// reused across steps so the per-step hot path stays allocation-free.
+func appendJSequence(dst []int, s *spectral.SweepOrder, phi float64) []int {
 	jmax := s.JMax()
 	if jmax == 0 {
-		return nil
+		return dst
 	}
-	seq := []int{1}
-	for seq[len(seq)-1] < jmax {
-		prev := seq[len(seq)-1]
+	dst = append(dst, 1)
+	for dst[len(dst)-1] < jmax {
+		prev := dst[len(dst)-1]
 		limit := (1 + phi) * float64(s.PrefixVol[prev])
 		// PrefixVol is nondecreasing: binary search the largest j with
 		// PrefixVol[j] <= limit.
@@ -137,32 +155,7 @@ func jSequence(s *spectral.SweepOrder, phi float64) []int {
 		if next < prev+1 {
 			next = prev + 1
 		}
-		seq = append(seq, next)
+		dst = append(dst, next)
 	}
-	return seq
-}
-
-func markTouched(set *graph.VSet, p spectral.Dist) {
-	for v, mass := range p {
-		if mass > 0 {
-			set.Add(v)
-		}
-	}
-}
-
-// participating returns the usable edges with at least one touched
-// endpoint (Definition 2's P*).
-func participating(view *graph.Sub, touched *graph.VSet) []int {
-	g := view.Base()
-	var out []int
-	for e := 0; e < g.M(); e++ {
-		if !view.Usable(e) {
-			continue
-		}
-		u, v := g.EdgeEndpoints(e)
-		if touched.Has(u) || touched.Has(v) {
-			out = append(out, e)
-		}
-	}
-	return out
+	return dst
 }

@@ -135,7 +135,7 @@ func TestJSequenceProperties(t *testing.T) {
 	p := spectral.Walk(view, spectral.Chi(g.N(), 0), 5)[5]
 	sweep := spectral.NewSweepOrder(view, spectral.Rho(view, p))
 	phi := 0.1
-	seq := jSequence(sweep, phi)
+	seq := appendJSequence(nil, sweep, phi)
 	if len(seq) == 0 || seq[0] != 1 {
 		t.Fatalf("jSequence = %v, must start at 1", seq)
 	}
@@ -168,7 +168,7 @@ func TestJSequenceEmptyDist(t *testing.T) {
 	g := gen.Path(5)
 	view := graph.WholeGraph(g)
 	sweep := spectral.NewSweepOrder(view, spectral.NewDist(5))
-	if seq := jSequence(sweep, 0.1); seq != nil {
+	if seq := appendJSequence(nil, sweep, 0.1); seq != nil {
 		t.Fatalf("jSequence on zero mass = %v, want nil", seq)
 	}
 }

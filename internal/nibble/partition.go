@@ -49,6 +49,9 @@ func Partition(view *graph.Sub, pr Params, r *rng.RNG) *PartitionResult {
 		}
 		emptyStreak = 0
 		res.C.AddAll(pn.C)
+		// sub (which aliases w and has cached its member data by now) is
+		// dead from here on: the peel must come after its last use, and
+		// the next iteration restricts the view afresh.
 		w.RemoveAll(pn.C)
 		if float64(view.Vol(w)) <= 47.0/48.0*totalVol {
 			break

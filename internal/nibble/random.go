@@ -1,32 +1,25 @@
 package nibble
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"dexpander/internal/graph"
 	"dexpander/internal/rng"
 )
 
 // SampleStart draws a starting vertex from the view's degree distribution
 // psi_V and a scale b in [1, Ell] with Pr[b=i] proportional to 2^-i,
-// exactly as RandomNibble specifies.
+// exactly as RandomNibble specifies. The vertex lookup binary-searches
+// the view's cached degree prefix instead of scanning the member set, so
+// one draw costs O(log n) after the view's first use.
 func SampleStart(view *graph.Sub, pr Params, r *rng.RNG) (v, b int) {
 	total := view.TotalVol()
-	// Degree-proportional vertex sample.
+	// Degree-proportional vertex sample; float rounding overshoot clamps
+	// to the last member, as the scan-based sampler did.
 	x := int64(r.Float64() * float64(total))
-	v = -1
-	view.Members().ForEach(func(u int) {
-		if v >= 0 {
-			return
-		}
-		x -= int64(view.Base().Deg(u))
-		if x < 0 {
-			v = u
-		}
-	})
-	if v < 0 {
-		// Rounding fell off the end; use the last member.
-		ms := view.Members().Members()
-		v = ms[len(ms)-1]
-	}
+	v = view.VertexAtVolume(x)
 	// Pr[b=i] = 2^-i / (1 - 2^-ell).
 	denom := 1 - 1/float64(int64(1)<<uint(pr.Ell))
 	u := r.Float64() * denom
@@ -64,24 +57,58 @@ type ParallelResult struct {
 // merges a prefix of their outputs (Appendix A.4): if any edge
 // participates in more than W instances the result is empty; otherwise
 // the largest prefix U_{i*} of the union with Vol <= (23/24) Vol(V) is
-// returned. The sequential code runs instances in a loop, which is
-// equivalent: instances are independent given the view, and the
-// distributed implementation (package dnibble) runs them on multiplexed
-// channels.
+// returned.
+//
+// The k instances really do run in parallel here — they are independent
+// given the view, exactly the independence the paper's A.4 scheduling
+// exploits. Determinism is preserved for any GOMAXPROCS by splitting the
+// sequential schedule into three phases: all k (start, scale) pairs are
+// drawn from r first (the same RNG consumption order as a serial loop,
+// since the walks themselves never touch r), the trials then execute on a
+// worker pool into their seed-order slots, and the overlap counts and
+// union prefix merge in seed order. The output is bit-identical to the
+// serial loop for every worker count.
 func ParallelNibble(view *graph.Sub, pr Params, r *rng.RNG) *ParallelResult {
 	k := pr.InstanceCount(view)
 	res := &ParallelResult{C: graph.NewVSet(view.Base().N()), Instances: k}
+	type start struct{ v, b int }
+	starts := make([]start, k)
+	for i := range starts {
+		starts[i].v, starts[i].b = SampleStart(view, pr, r)
+	}
+	results := make([]*Result, k)
+	if workers := min(runtime.GOMAXPROCS(0), k); workers <= 1 {
+		for i, s := range starts {
+			results[i] = ApproximateNibble(view, pr, s.v, s.b)
+		}
+	} else {
+		view.UsableNeighbors(starts[0].v) // build the shared view cache once, up front
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= k {
+						return
+					}
+					results[i] = ApproximateNibble(view, pr, starts[i].v, starts[i].b)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Seed-order merge: identical to accumulating inside a serial loop.
 	overlap := make(map[int]int)
-	cuts := make([]*graph.VSet, 0, k)
-	for i := 0; i < k; i++ {
-		one := RandomNibble(view, pr, r)
+	for _, one := range results {
 		for _, e := range one.PStar {
 			overlap[e]++
 			if overlap[e] > res.MaxOverlap {
 				res.MaxOverlap = overlap[e]
 			}
 		}
-		cuts = append(cuts, one.C)
 	}
 	if res.MaxOverlap > pr.W {
 		res.Overflowed = true
@@ -90,8 +117,8 @@ func ParallelNibble(view *graph.Sub, pr Params, r *rng.RNG) *ParallelResult {
 	z := 23.0 / 24.0 * float64(view.TotalVol())
 	union := graph.NewVSet(view.Base().N())
 	best := graph.NewVSet(view.Base().N())
-	for _, c := range cuts {
-		union.AddAll(c)
+	for _, one := range results {
+		union.AddAll(one.C)
 		if float64(view.Vol(union)) <= z {
 			best = union.Clone()
 		}

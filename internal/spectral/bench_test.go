@@ -68,3 +68,44 @@ func BenchmarkMixingTime(b *testing.B) {
 		MixingTime(view, 0, 0.25, 10000)
 	}
 }
+
+// BenchmarkLocalWalkStep measures the sparse engine's per-step cost on a
+// warm state; allocs/op must be 0 at steady state.
+func BenchmarkLocalWalkStep(b *testing.B) {
+	g := gen.RingOfCliques(16, 16, 1)
+	view := graph.WholeGraph(g)
+	ws := AcquireWalkState(view)
+	defer ws.Release()
+	ws.Init(0)
+	for i := 0; i < 10; i++ {
+		ws.StepTruncate(1e-6)
+		ws.Sweep()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.StepTruncate(1e-6)
+		ws.Sweep()
+	}
+}
+
+// BenchmarkLocalWalkNibbleShaped runs whole short truncated walks
+// (acquire, walk, participating, release), the shape one nibble trial
+// drives the engine in.
+func BenchmarkLocalWalkNibbleShaped(b *testing.B) {
+	g := gen.RingOfCliques(16, 16, 1)
+	view := graph.WholeGraph(g)
+	view.TotalVol() // build the view cache outside the loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws := AcquireWalkState(view)
+		ws.Init(i % g.N())
+		for t := 0; t < 30; t++ {
+			ws.StepTruncate(1e-5)
+			ws.Sweep()
+		}
+		ws.Participating()
+		ws.Release()
+	}
+}

@@ -1,0 +1,218 @@
+package spectral
+
+import (
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+)
+
+// walkFamilies are the instances the engine-vs-oracle tests sweep:
+// every structural regime the walk meets (cliques, sparse cuts, grids,
+// random graphs, stars, loops via restricted views).
+func walkFamilies(seed uint64) map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"ring-of-cliques": gen.RingOfCliques(4, 8, seed),
+		"dumbbell":        gen.Dumbbell(10, 1, seed),
+		"gnp":             gen.GNPConnected(48, 0.12, seed),
+		"grid":            gen.Grid(7, 7),
+		"torus":           gen.Torus(6),
+		"expander":        gen.ExpanderByMatchings(32, 4, seed),
+		"star":            gen.Star(17),
+		"path":            gen.Path(23),
+	}
+}
+
+// restrictedView drops a third of the vertices and a few edges so the
+// walk sees implicit self-loops, exactly like mid-decomposition views.
+func restrictedView(g *graph.Graph, seed uint64) *graph.Sub {
+	members := graph.NewVSet(g.N())
+	for v := 0; v < g.N(); v++ {
+		if (uint64(v)*0x9e3779b97f4a7c15+seed)%3 != 0 {
+			members.Add(v)
+		}
+	}
+	if members.Empty() {
+		members.Add(0)
+	}
+	mask := make([]bool, g.M())
+	for e := range mask {
+		mask[e] = (uint64(e)*0xbf58476d1ce4e5b9+seed)%7 != 0
+	}
+	return graph.NewSub(g, members, mask)
+}
+
+func sameDist(a, b Dist) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameSweep(a, b *SweepOrder) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Vertices {
+		if a.Vertices[i] != b.Vertices[i] {
+			return false
+		}
+	}
+	for j := 0; j <= a.Len(); j++ {
+		if a.PrefixVol[j] != b.PrefixVol[j] ||
+			a.PrefixCut[j] != b.PrefixCut[j] ||
+			a.Rho[j] != b.Rho[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWalkStateMatchesDenseOracle runs the sparse engine and the dense
+// reference side by side through truncated walks and demands bit-equal
+// distributions and sweep orders at every step, over whole and
+// restricted views of every family.
+func TestWalkStateMatchesDenseOracle(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		for name, g := range walkFamilies(seed) {
+			for _, mode := range []string{"whole", "restricted"} {
+				view := graph.WholeGraph(g)
+				if mode == "restricted" {
+					view = restrictedView(g, seed)
+				}
+				start := view.MemberList()[int(seed)%len(view.MemberList())]
+				eps := 1e-4 / float64(seed)
+
+				ws := AcquireWalkState(view)
+				ws.Init(start)
+				dense := Chi(g.N(), start)
+				for step := 1; step <= 25; step++ {
+					ws.StepTruncate(eps)
+					dense = Truncate(view, Step(view, dense), eps)
+					if !sameDist(ws.Dist(), dense) {
+						t.Fatalf("%s/%s seed %d step %d: sparse dist != dense dist", name, mode, seed, step)
+					}
+					if !sameSweep(ws.Sweep(), NewSweepOrderSupport(view, Rho(view, dense))) {
+						t.Fatalf("%s/%s seed %d step %d: sweep order mismatch", name, mode, seed, step)
+					}
+					if ws.SupportLen() == 0 {
+						break
+					}
+				}
+				ws.Release()
+			}
+		}
+	}
+}
+
+// TestWalkStateTouchedAndParticipating pins the touched set and P*
+// against the dense bookkeeping (markTouched over every step's
+// distribution, then the global usable-edge scan).
+func TestWalkStateTouchedAndParticipating(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		for name, g := range walkFamilies(seed) {
+			view := restrictedView(g, seed)
+			start := view.MemberList()[0]
+			eps := 5e-4
+
+			ws := AcquireWalkState(view)
+			ws.Init(start)
+			touched := graph.NewVSet(g.N())
+			touched.Add(start)
+			dense := Chi(g.N(), start)
+			for step := 1; step <= 20; step++ {
+				ws.StepTruncate(eps)
+				dense = Truncate(view, Step(view, dense), eps)
+				for v, x := range dense {
+					if x > 0 {
+						touched.Add(v)
+					}
+				}
+			}
+			if got, want := ws.Touched(), touched.Members(); !slicesEqual(got, want) {
+				t.Fatalf("%s seed %d: touched %v, want %v", name, seed, got, want)
+			}
+			var wantP []int
+			for e := 0; e < g.M(); e++ {
+				if !view.Usable(e) {
+					continue
+				}
+				u, v := g.EdgeEndpoints(e)
+				if touched.Has(u) || touched.Has(v) {
+					wantP = append(wantP, e)
+				}
+			}
+			if got := ws.Participating(); !slicesEqual(got, wantP) {
+				t.Fatalf("%s seed %d: P* %v, want %v", name, seed, got, wantP)
+			}
+			ws.Release()
+		}
+	}
+}
+
+func slicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWalkStateReuseAcrossTrials reruns a walk on a released-and-
+// reacquired state (and on a different graph in between) and demands the
+// same results as a fresh run, pinning the epoch-stamp reset logic.
+func TestWalkStateReuseAcrossTrials(t *testing.T) {
+	g := gen.RingOfCliques(4, 8, 1)
+	view := graph.WholeGraph(g)
+	run := func() (Dist, []int) {
+		ws := AcquireWalkState(view)
+		defer ws.Release()
+		ws.Init(3)
+		for i := 0; i < 15; i++ {
+			ws.StepTruncate(1e-4)
+		}
+		return ws.Dist(), ws.Participating()
+	}
+	d1, p1 := run()
+	// Pollute the pool with a walk on a smaller graph.
+	small := graph.WholeGraph(gen.Path(5))
+	wsmall := AcquireWalkState(small)
+	wsmall.Init(0)
+	wsmall.StepTruncate(0)
+	wsmall.Release()
+	d2, p2 := run()
+	if !sameDist(d1, d2) || !slicesEqual(p1, p2) {
+		t.Fatal("pooled reuse changed walk results")
+	}
+}
+
+// TestWalkStateSteadyStateAllocs pins the zero-allocation contract of
+// the per-step hot path: after warm-up, StepTruncate plus Sweep allocate
+// nothing.
+func TestWalkStateSteadyStateAllocs(t *testing.T) {
+	g := gen.RingOfCliques(6, 12, 1)
+	view := graph.WholeGraph(g)
+	ws := AcquireWalkState(view)
+	defer ws.Release()
+	ws.Init(0)
+	for i := 0; i < 10; i++ { // warm up support and sweep buffers
+		ws.StepTruncate(1e-6)
+		ws.Sweep()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		ws.StepTruncate(1e-6)
+		ws.Sweep()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state walk step allocates %v objects/op, want 0", allocs)
+	}
+}

@@ -3,6 +3,18 @@
 // verification oracles used by tests and benchmarks: sweep cuts, Cheeger
 // bounds via power iteration, and mixing-time estimation.
 //
+// Two walk implementations live here with pinned bit-identical behavior:
+//
+//   - The dense reference (Step, Truncate, Rho, NewSweepOrderSupport,
+//     Walk, TruncatedWalk) allocates fresh O(n) distributions and is the
+//     readable specification; tests and the verification oracles use it.
+//   - The sparse local-walk engine (WalkState, via AcquireWalkState) is
+//     what Nibble actually runs on: pooled dense buffers with an
+//     epoch-stamped support list make every step, truncation, sweep
+//     construction, and P* assembly cost O(vol(support)) — the locality
+//     that makes one nibble cost O(vol(support)) rather than O(n·t0) —
+//     with zero allocations per step at steady state.
+//
 // All computations run on a graph.Sub view, i.e. the paper's G{S}: walk
 // transition probabilities use original degrees, with the degree deficit
 // acting as self-loops, exactly matching the paper's M = (A D^{-1} + I)/2
