@@ -61,7 +61,10 @@ func run() error {
 		rep.Merge(bench.Run(bench.LargeLocalScenarios(), bench.LocalAlgorithms(), opt))
 	}
 	// Decomposition cells run in both modes: the expander-decomposition
-	// pipeline is the PR-3 perf surface the baseline gate tracks.
+	// and enumeration pipelines are the perf surface the baseline gate
+	// tracks, and their -seq/-par column pairs must carry identical
+	// checksums — the gate thereby re-verifies the parallel pipelines'
+	// bit-identity to serial on every CI run.
 	rep.Merge(bench.Run(bench.DecompositionScenarios(), bench.DecompositionAlgorithms(), opt))
 
 	if *tables {

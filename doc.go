@@ -35,6 +35,23 @@
 // these make the sequential Theorem 1 pipeline tens of times faster at
 // thousand-vertex scales (see BenchmarkDecomposeSequential).
 //
+// The decomposition and enumeration pipelines exploit the component
+// parallelism their round accounting models: the vertex-disjoint tasks
+// of a Phase 1 level, the independent Phase 2 components, and a
+// recursion level's component routing all run on a worker pool
+// (Options.Workers in core and triangle; 0 = GOMAXPROCS, 1 = inline
+// serial). Outputs are bit-identical to serial for any worker count via
+// the seed-prefork / private-effects / ordered-merge discipline — seeds
+// drawn from the shared counter in task order before dispatch, per-task
+// removal logs over pooled private mask copies (respectively per-
+// component triangle sets), and task-ordered merging — with sibling
+// costs combined as max rounds but summed traffic
+// (congest.Stats.CombineParallel), exactly how Theorems 1 and 2 charge
+// simultaneous components. Equivalence to literal serial
+// re-implementations and GOMAXPROCS sweeps are pinned by tests, and the
+// benchmark baseline pins the -seq/-par cell checksum equality on every
+// CI run.
+//
 // Performance is tracked by the scenario-matrix benchmark subsystem
 // (internal/bench, driven by cmd/benchrunner): graph families x
 // algorithms x sizes, each cell measured (wall time, simulated rounds

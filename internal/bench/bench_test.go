@@ -199,3 +199,38 @@ func TestCalibratePositive(t *testing.T) {
 		t.Fatalf("calibration constant %d", c)
 	}
 }
+
+// TestDecompositionParCellsMatchSeq pins the contract the -par matrix
+// columns exist for: on every scenario, the parallel decomposition and
+// enumeration cells must carry exactly the seq cells' full-output
+// checksums, triangles, and simulated costs — the CI baseline then keeps
+// pinning that equality on real hardware with real worker pools.
+func TestDecompositionParCellsMatchSeq(t *testing.T) {
+	rep := Run(DecompositionScenarios()[:2], DecompositionAlgorithms(), Options{Seed: 3})
+	byCell := map[string]map[string]Cell{}
+	for _, c := range rep.Cells {
+		if c.Error != "" {
+			t.Fatalf("cell %s errored: %s", c.Key(), c.Error)
+		}
+		key := c.Scenario + "|" + c.Params
+		if byCell[key] == nil {
+			byCell[key] = map[string]Cell{}
+		}
+		byCell[key][c.Algorithm] = c
+	}
+	for scen, algs := range byCell {
+		for _, pair := range [][2]string{
+			{"decompose-seq", "decompose-par"},
+			{"enumerate-seq", "enumerate-par"},
+		} {
+			seq, par := algs[pair[0]], algs[pair[1]]
+			if seq.Checksum == "" || par.Checksum == "" {
+				t.Fatalf("%s: missing %v cells", scen, pair)
+			}
+			if seq.Checksum != par.Checksum || seq.Triangles != par.Triangles ||
+				seq.Rounds != par.Rounds || seq.Messages != par.Messages {
+				t.Errorf("%s: %s and %s diverged:\nseq %+v\npar %+v", scen, pair[0], pair[1], seq, par)
+			}
+		}
+	}
+}

@@ -186,30 +186,63 @@ func DecompositionScenarios() []Scenario {
 }
 
 // DecompositionAlgorithms are the columns run on DecompositionScenarios:
-// the sequential Theorem 1 decomposition and the Theorem 3 nearly most
-// balanced sparse cut, both driven by the sparse local-walk engine. Their
-// checksums digest the full structural output (labels respectively cut
-// membership), so the CI baseline gate catches any behavioral drift in
-// the decomposition stack, not just its timing.
+// the Theorem 1 decomposition and Theorem 2 enumeration pipelines in both
+// execution modes (one inline worker vs. the GOMAXPROCS pool), plus the
+// Theorem 3 nearly most balanced sparse cut, all driven by the sparse
+// local-walk engine. Their checksums digest the full structural output
+// (labels, cut membership, the complete triangle set), so the CI baseline
+// gate catches any behavioral drift in the stack, not just its timing —
+// and because the -seq and -par cells of a pipeline must carry the SAME
+// checksum, the baseline also pins the parallel execution's bit-identity
+// to serial on every CI run.
 func DecompositionAlgorithms() []Algorithm {
 	return []Algorithm{
-		{Name: "decompose-seq", Run: runDecomposeSeq},
+		{Name: "decompose-seq", Run: decomposeCell(1)},
+		{Name: "decompose-par", Run: decomposeCell(0)},
 		{Name: "partition-seq", Run: runPartitionSeq},
+		{Name: "enumerate-seq", Run: enumerateCell(1)},
+		{Name: "enumerate-par", Run: enumerateCell(0)},
 	}
 }
 
-func runDecomposeSeq(view *graph.Sub, seed uint64) (Result, error) {
-	opt := core.Options{Eps: 0.4, K: 2, Preset: nibble.Practical, Seed: seed}
-	dec, err := core.Decompose(view, opt, core.SeqSubroutines{Preset: nibble.Practical})
-	if err != nil {
-		return Result{}, err
+// decomposeCell runs the Theorem 1 pipeline with the given worker count
+// (1 = inline serial, 0 = GOMAXPROCS) and digests its full structural
+// output.
+func decomposeCell(workers int) func(view *graph.Sub, seed uint64) (Result, error) {
+	return func(view *graph.Sub, seed uint64) (Result, error) {
+		opt := core.Options{Eps: 0.4, K: 2, Preset: nibble.Practical, Seed: seed, Workers: workers}
+		dec, err := core.Decompose(view, opt, core.SeqSubroutines{Preset: nibble.Practical, Workers: workers})
+		if err != nil {
+			return Result{}, err
+		}
+		words := make([]uint64, 0, len(dec.Labels)+2)
+		words = append(words, uint64(dec.Count), uint64(dec.CutEdges))
+		for _, l := range dec.Labels {
+			words = append(words, uint64(int64(l)))
+		}
+		return Result{Checksum: triangle.HashWords(words...)}, nil
 	}
-	words := make([]uint64, 0, len(dec.Labels)+2)
-	words = append(words, uint64(dec.Count), uint64(dec.CutEdges))
-	for _, l := range dec.Labels {
-		words = append(words, uint64(int64(l)))
+}
+
+// enumerateCell runs the Theorem 2 pipeline with the given worker count;
+// the cell carries the full triangle-set checksum plus the simulated
+// rounds/messages, all of which the baseline gate pins.
+func enumerateCell(workers int) func(view *graph.Sub, seed uint64) (Result, error) {
+	return func(view *graph.Sub, seed uint64) (Result, error) {
+		set, stats, err := triangle.Enumerate(view, triangle.Options{Seed: seed, Workers: workers})
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Triangles: set.Len(),
+			Checksum:  set.Checksum(),
+			Stats: congest.Stats{
+				Rounds:        stats.Rounds,
+				CongestRounds: stats.CongestRounds,
+				Messages:      stats.Messages,
+			},
+		}, nil
 	}
-	return Result{Checksum: triangle.HashWords(words...)}, nil
 }
 
 func runPartitionSeq(view *graph.Sub, seed uint64) (Result, error) {

@@ -106,6 +106,23 @@ func (s *Stats) Add(other Stats) {
 	s.Words += other.Words
 }
 
+// CombineParallel folds in the cost of a protocol that ran simultaneously
+// with s on a vertex-disjoint part of the network: the synchronous clock
+// advances in lockstep, so rounds (and channel-inflated rounds,
+// independently — the widest channel need not belong to the longest run)
+// combine as the maximum, while traffic flows on disjoint edges and sums.
+// This is how the paper charges sibling components in Theorems 1 and 2.
+func (s *Stats) CombineParallel(other Stats) {
+	if other.Rounds > s.Rounds {
+		s.Rounds = other.Rounds
+	}
+	if other.CongestRounds > s.CongestRounds {
+		s.CongestRounds = other.CongestRounds
+	}
+	s.Messages += other.Messages
+	s.Words += other.Words
+}
+
 // outMsg is a staged outgoing message, already resolved to its receiver.
 type outMsg struct {
 	peerNode int32

@@ -1,0 +1,27 @@
+package congest
+
+import "testing"
+
+// TestStatsCombineParallel pins the vertex-disjoint combination rule:
+// rounds and channel-inflated rounds max independently, traffic sums.
+func TestStatsCombineParallel(t *testing.T) {
+	// The round-longest run is NOT the congestion-heaviest and carries
+	// almost no traffic, so any "copy the max-Rounds Stats" combiner gets
+	// every other field wrong.
+	long := Stats{Rounds: 10, CongestRounds: 20, Messages: 5, Words: 7}
+	heavy := Stats{Rounds: 3, CongestRounds: 50, Messages: 100, Words: 200}
+	var s Stats
+	s.CombineParallel(long)
+	s.CombineParallel(heavy)
+	want := Stats{Rounds: 10, CongestRounds: 50, Messages: 105, Words: 207}
+	if s != want {
+		t.Fatalf("CombineParallel: got %+v, want %+v", s, want)
+	}
+	// Order must not matter.
+	var r Stats
+	r.CombineParallel(heavy)
+	r.CombineParallel(long)
+	if r != want {
+		t.Fatalf("CombineParallel not commutative: got %+v, want %+v", r, want)
+	}
+}

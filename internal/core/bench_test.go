@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"dexpander/internal/congest"
@@ -28,6 +29,30 @@ func BenchmarkDecomposeSequential(b *testing.B) {
 			view := graph.WholeGraph(g)
 			opt := Options{Eps: 0.6, K: 2, Preset: nibble.Practical, Seed: 1}
 			subs := SeqSubroutines{Preset: nibble.Practical}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Decompose(view, opt, subs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecomposeWorkers sweeps the host worker count on the n=4096
+// instance (the PR 3 serial perf surface): Workers=1 is the inline
+// serial execution, higher counts fan the vertex-disjoint Phase 1 tasks
+// and Phase 2 components across goroutines with bit-identical output.
+// On a single-core machine every row measures the same work plus pool
+// overhead; on multicore the spread is the component-parallel speedup.
+func BenchmarkDecomposeWorkers(b *testing.B) {
+	g := gen.RingOfCliques(64, 64, 1)
+	view := graph.WholeGraph(g)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			subs := SeqSubroutines{Preset: nibble.Practical, Workers: workers}
+			opt := Options{Eps: 0.6, K: 2, Preset: nibble.Practical, Seed: 1, Workers: workers}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

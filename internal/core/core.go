@@ -22,18 +22,34 @@
 // sequential reference implementations (SeqSubroutines) or inside the
 // CONGEST simulator (dnibble/dldd wiring; see package dnibble). Round
 // statistics are combined the way a synchronous network would: steps over
-// vertex-disjoint sibling components run in parallel, so their cost is
-// the maximum, while successive steps add.
+// vertex-disjoint sibling components run in parallel, so their rounds
+// combine as the maximum while their traffic sums
+// (congest.Stats.CombineParallel), and successive steps add.
+//
+// The host-side execution exploits the same structure the accounting
+// models: the vertex-disjoint tasks of a Phase 1 level (the LDD step, then
+// the sparse-cut step) and the independent Phase 2 components run on
+// Options.Workers goroutines. Determinism is preserved for any worker
+// count by the seed-prefork / private-log / ordered-merge discipline: every
+// per-task seed is drawn from the shared counter in task order before
+// dispatch (Phase 2 components reserve a seed block sized by their
+// deterministic iteration cap), each task mutates a pooled private copy of
+// the evolving edge mask and records its removals in a removalLog, and the
+// logs, cluster lists, and statistics fold back into the shared state in
+// task order after each stage. Outputs are bit-identical to the
+// single-worker execution (pinned by the parallel oracle tests).
 package core
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dexpander/internal/congest"
 	"dexpander/internal/graph"
 	"dexpander/internal/ldd"
 	"dexpander/internal/nibble"
+	"dexpander/internal/par"
 	"dexpander/internal/rng"
 )
 
@@ -51,6 +67,11 @@ type Options struct {
 	// MaxPhase1Depth overrides the derived depth cap d when positive
 	// (tests use it to bound runtime).
 	MaxPhase1Depth int
+	// Workers bounds the host goroutines running vertex-disjoint tasks
+	// (Phase 1 subroutine calls, Phase 2 components) concurrently.
+	// 0 means GOMAXPROCS; 1 forces inline serial execution. The output is
+	// bit-identical for every value.
+	Workers int
 }
 
 func (o Options) validate() error {
@@ -66,7 +87,9 @@ func (o Options) validate() error {
 	return nil
 }
 
-// Subroutines abstracts the decomposition's two primitives.
+// Subroutines abstracts the decomposition's two primitives. Both methods
+// may be called concurrently on vertex-disjoint views, so implementations
+// must not share mutable state across calls.
 type Subroutines interface {
 	// LDD decomposes the view with parameter beta (Theorem 4).
 	LDD(view *graph.Sub, beta float64, seed uint64) (*ldd.Result, congest.Stats, error)
@@ -148,14 +171,15 @@ func Decompose(view *graph.Sub, opt Options, subs Subroutines) (*Decomposition, 
 	}
 
 	st := &state{
-		view:   view,
-		opt:    opt,
-		subs:   subs,
-		ladder: ladder,
-		beta:   beta,
-		d:      d,
-		mask:   aliveMask(view),
-		root:   rng.New(opt.Seed),
+		view:    view,
+		opt:     opt,
+		subs:    subs,
+		ladder:  ladder,
+		beta:    beta,
+		d:       d,
+		mask:    aliveMask(view),
+		root:    rng.New(opt.Seed),
+		workers: par.Workers(opt.Workers),
 	}
 	dec := &Decomposition{PhiTarget: ladder[opt.K], PhiLadder: ladder}
 
@@ -178,25 +202,33 @@ func Decompose(view *graph.Sub, opt Options, subs Subroutines) (*Decomposition, 
 	// overridden depths).
 	phase2 = append(phase2, tasks...)
 
-	// Phase 2 per component; parallel across components.
-	var maxStats congest.Stats
-	for _, u := range phase2 {
-		stats, iters, err := st.phase2(u, dec)
-		if err != nil {
-			return nil, err
-		}
-		if iters > dec.Phase2MaxIterations {
-			dec.Phase2MaxIterations = iters
-		}
-		if stats.Rounds > maxStats.Rounds {
-			maxStats = stats
-		}
+	// Phase 2 per component; parallel across components, each working on
+	// its own private mask with a seed block reserved in task order.
+	budgets := make([]int, len(phase2))
+	bases := make([]uint64, len(phase2))
+	for i, u := range phase2 {
+		budgets[i] = st.phase2Budget(u)
+		bases[i] = st.reserveSeeds(budgets[i])
 	}
-	dec.Stats.Add(maxStats)
-	dec.Stats.Rounds += st.stats.Rounds
-	dec.Stats.CongestRounds += st.stats.CongestRounds
-	dec.Stats.Messages += st.stats.Messages
-	dec.Stats.Words += st.stats.Words
+	outs := make([]phase2Out, len(phase2))
+	par.ForEach(st.workers, len(phase2), func(i int) {
+		outs[i] = st.phase2(phase2[i], budgets[i], bases[i])
+	})
+	var p2Par congest.Stats
+	for i := range outs {
+		o := &outs[i]
+		if o.err != nil {
+			return nil, o.err
+		}
+		if o.iters > dec.Phase2MaxIterations {
+			dec.Phase2MaxIterations = o.iters
+		}
+		o.log.applyTo(st.mask)
+		dec.Removed3 += o.removed
+		p2Par.CombineParallel(o.stats)
+	}
+	dec.Stats.Add(p2Par)
+	dec.Stats.Add(st.stats)
 
 	// Final labeling: connected components of the surviving mask.
 	final := graph.NewSub(g, view.Members(), st.mask)
@@ -214,16 +246,17 @@ func Decompose(view *graph.Sub, opt Options, subs Subroutines) (*Decomposition, 
 
 // state carries the evolving edge mask and accounting.
 type state struct {
-	view   *graph.Sub
-	opt    Options
-	subs   Subroutines
-	ladder []float64
-	beta   float64
-	d      int
-	mask   []bool
-	root   *rng.RNG
-	stats  congest.Stats
-	seqNo  uint64
+	view    *graph.Sub
+	opt     Options
+	subs    Subroutines
+	ladder  []float64
+	beta    float64
+	d       int
+	mask    []bool
+	root    *rng.RNG
+	stats   congest.Stats
+	seqNo   uint64
+	workers int
 }
 
 func (s *state) current() *graph.Sub {
@@ -235,170 +268,300 @@ func (s *state) nextSeed() uint64 {
 	return s.root.Fork(s.seqNo).Uint64()
 }
 
+// reserveSeeds claims a block of count consecutive stream ids from the
+// shared counter and returns the first; the caller derives seed j of its
+// block as root.Fork(first + j). Blocks are reserved in task order before
+// dispatch, which keeps the seed schedule independent of worker timing.
+func (s *state) reserveSeeds(count int) uint64 {
+	first := s.seqNo + 1
+	s.seqNo += uint64(count)
+	return first
+}
+
 // phase1Level runs one recursion level of Phase 1 over all live tasks:
 // the LDD step, then the sparse-cut step on each resulting component.
 // It returns the tasks for the next level and the components entering
-// Phase 2. Sibling costs combine as max; the two steps add.
+// Phase 2. Both steps fan their vertex-disjoint tasks across the worker
+// pool; per-task seeds are drawn in task order before dispatch, each task
+// works on a pooled private copy of the stage-start mask, and removal
+// logs, cluster lists, and stats merge back in task order. Sibling costs
+// combine as max-rounds/summed-traffic; the two steps add.
 func (s *state) phase1Level(tasks []*graph.VSet, dec *Decomposition) (next []*graph.VSet, phase2 []*graph.VSet, err error) {
-	var lddMax, cutMax congest.Stats
-	var afterLDD []*graph.VSet
-	for _, u := range tasks {
-		sub := s.current().Restrict(u)
-		res, stats, err := s.subs.LDD(sub, s.beta, s.nextSeed())
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: phase 1 LDD: %w", err)
-		}
-		if stats.Rounds > lddMax.Rounds {
-			lddMax = stats
-		}
-		// Remove-1: inter-cluster edges.
-		dec.Removed1 += s.removeInterLabel(u, res.Labels)
-		afterLDD = append(afterLDD, splitComponents(s.current(), u)...)
+	g := s.view.Base()
+
+	type lddOut struct {
+		log     removalLog
+		removed int64
+		comps   []*graph.VSet
+		stats   congest.Stats
+		err     error
 	}
-	for _, u := range afterLDD {
-		sub := s.current().Restrict(u)
-		cut, stats, err := s.subs.SparseCut(sub, u, s.ladder[0], s.nextSeed())
+	lddSeeds := make([]uint64, len(tasks))
+	for i := range tasks {
+		lddSeeds[i] = s.nextSeed()
+	}
+	lddOuts := make([]lddOut, len(tasks))
+	par.ForEach(s.workers, len(tasks), func(i int) {
+		o := &lddOuts[i]
+		u := tasks[i]
+		priv := acquireMask(s.mask)
+		defer releaseMask(priv)
+		sub := graph.NewSub(g, s.view.Members(), *priv).Restrict(u)
+		res, stats, err := s.subs.LDD(sub, s.beta, lddSeeds[i])
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: phase 1 sparse cut: %w", err)
+			o.err = fmt.Errorf("core: phase 1 LDD: %w", err)
+			return
 		}
-		if stats.Rounds > cutMax.Rounds {
-			cutMax = stats
+		o.stats = stats
+		// Remove-1: inter-cluster edges.
+		o.removed = o.log.removeInterLabel(g, *priv, u, res.Labels)
+		o.comps = splitComponents(graph.NewSub(g, s.view.Members(), *priv), u)
+	})
+	var lddPar congest.Stats
+	var afterLDD []*graph.VSet
+	for i := range lddOuts {
+		o := &lddOuts[i]
+		if o.err != nil {
+			return nil, nil, o.err
 		}
+		lddPar.CombineParallel(o.stats)
+		o.log.applyTo(s.mask)
+		dec.Removed1 += o.removed
+		afterLDD = append(afterLDD, o.comps...)
+	}
+
+	const (
+		cutFinal = iota
+		cutSmall
+		cutRemoved
+	)
+	type cutOut struct {
+		kind    int
+		log     removalLog
+		removed int64
+		comps   []*graph.VSet
+		stats   congest.Stats
+		err     error
+	}
+	cutSeeds := make([]uint64, len(afterLDD))
+	for i := range afterLDD {
+		cutSeeds[i] = s.nextSeed()
+	}
+	cutOuts := make([]cutOut, len(afterLDD))
+	par.ForEach(s.workers, len(afterLDD), func(i int) {
+		o := &cutOuts[i]
+		u := afterLDD[i]
+		priv := acquireMask(s.mask)
+		defer releaseMask(priv)
+		sub := graph.NewSub(g, s.view.Members(), *priv).Restrict(u)
+		cut, stats, err := s.subs.SparseCut(sub, u, s.ladder[0], cutSeeds[i])
+		if err != nil {
+			o.err = fmt.Errorf("core: phase 1 sparse cut: %w", err)
+			return
+		}
+		o.stats = stats
 		switch {
 		case cut.Empty():
 			// Final component: conductance certified at phi_0 >= phi_k.
-		case float64(s.view.Base().Vol(cut.C)) <= s.opt.Eps/12*float64(s.view.Base().Vol(u)):
+			o.kind = cutFinal
+		case float64(g.Vol(cut.C)) <= s.opt.Eps/12*float64(g.Vol(u)):
 			// Small cut: enter Phase 2 WITHOUT removing the cut edges.
-			phase2 = append(phase2, u)
+			o.kind = cutSmall
 		default:
 			// Remove-2 and recurse on both sides.
-			dec.Removed2 += s.removeCut(u, cut.C)
+			o.kind = cutRemoved
+			o.removed = o.log.removeCut(g, *priv, u, cut.C)
 			rest := u.Minus(cut.C)
-			next = append(next, splitComponents(s.current(), cut.C)...)
-			next = append(next, splitComponents(s.current(), rest)...)
+			after := graph.NewSub(g, s.view.Members(), *priv)
+			o.comps = append(splitComponents(after, cut.C), splitComponents(after, rest)...)
+		}
+	})
+	var cutPar congest.Stats
+	for i := range cutOuts {
+		o := &cutOuts[i]
+		if o.err != nil {
+			return nil, nil, o.err
+		}
+		cutPar.CombineParallel(o.stats)
+		switch o.kind {
+		case cutSmall:
+			phase2 = append(phase2, afterLDD[i])
+		case cutRemoved:
+			o.log.applyTo(s.mask)
+			dec.Removed2 += o.removed
+			next = append(next, o.comps...)
 		}
 	}
-	s.stats.Add(lddMax)
-	s.stats.Add(cutMax)
+	s.stats.Add(lddPar)
+	s.stats.Add(cutPar)
 	return next, phase2, nil
 }
 
-// phase2 runs the level ladder on one component U (the paper's G*).
-func (s *state) phase2(u *graph.VSet, dec *Decomposition) (congest.Stats, int, error) {
-	g := s.view.Base()
-	volU := float64(g.Vol(u))
-	k := s.opt.K
-	tau := math.Pow(s.opt.Eps/6*volU, 1/float64(k))
+// phase2Tau is the level-width parameter tau of Phase 2 on component u.
+func (s *state) phase2Tau(u *graph.VSet) float64 {
+	volU := float64(s.view.Base().Vol(u))
+	tau := math.Pow(s.opt.Eps/6*volU, 1/float64(s.opt.K))
 	if tau < 2 {
 		tau = 2
 	}
+	return tau
+}
+
+// phase2Budget is the deterministic iteration safety cap of Phase 2 on u:
+// each level survives at most 2*tau productive iterations (Lemma 2) plus
+// level bumps. It doubles as the size of the seed block reserved per
+// component, so the seed schedule never depends on how many iterations a
+// sibling actually used.
+func (s *state) phase2Budget(u *graph.VSet) int {
+	return s.opt.K*(int(2*s.phase2Tau(u))+4) + 8
+}
+
+// phase2Out is what one Phase 2 component task reports back for the
+// task-ordered merge.
+type phase2Out struct {
+	log     removalLog
+	removed int64
+	iters   int
+	stats   congest.Stats
+	err     error
+}
+
+// phase2 runs the level ladder on one component U (the paper's G*) over a
+// private mask copy; iteration seeds come from the component's reserved
+// block.
+func (s *state) phase2(u *graph.VSet, maxIters int, seedBase uint64) (out phase2Out) {
+	g := s.view.Base()
+	volU := float64(g.Vol(u))
+	k := s.opt.K
+	tau := s.phase2Tau(u)
 	mL := s.opt.Eps / 6 * volU // m_1
 	level := 1
 	active := u.Clone()
-	var stats congest.Stats
-	iters := 0
-	// Iteration safety cap: each level survives at most 2*tau
-	// productive iterations (Lemma 2) plus level bumps.
-	maxIters := k*(int(2*tau)+4) + 8
-	for iters < maxIters {
-		iters++
+	priv := acquireMask(s.mask)
+	defer releaseMask(priv)
+	for out.iters < maxIters {
+		seed := s.root.Fork(seedBase + uint64(out.iters)).Uint64()
+		out.iters++
 		// The paper lets Phase 2 communicate over all of G*'s edges even
 		// when U' shrinks; we pass G{U} under the current mask (alive
 		// edges of U), which is a subset only by the Remove-3 edges of
 		// already-peeled satellites — their endpoints are isolated
 		// singletons that take no further part either way.
-		comm := s.current().Restrict(u)
-		cut, cs, err := s.subs.SparseCut(comm, active, s.ladder[level], s.nextSeed())
+		comm := graph.NewSub(g, s.view.Members(), *priv).Restrict(u)
+		cut, cs, err := s.subs.SparseCut(comm, active, s.ladder[level], seed)
 		if err != nil {
-			return stats, iters, fmt.Errorf("core: phase 2 sparse cut: %w", err)
+			out.err = fmt.Errorf("core: phase 2 sparse cut: %w", err)
+			return out
 		}
-		stats.Add(cs)
+		out.stats.Add(cs)
 		switch {
 		case cut.Empty():
-			return stats, iters, nil
+			return out
 		case float64(g.Vol(cut.C)) <= mL/(2*tau):
 			if level == k {
 				// m_k/(2 tau) < 1 in the paper, so this cannot recur;
 				// with practical constants guard explicitly.
-				return stats, iters, nil
+				return out
 			}
 			level++
 			mL /= tau
 		default:
 			// Remove-3: peel C entirely; its vertices become
 			// singletons.
-			dec.Removed3 += s.removeIncident(u, cut.C)
+			out.removed += out.log.removeIncident(g, *priv, u, cut.C)
 			active.RemoveAll(cut.C)
 			if active.Empty() {
-				return stats, iters, nil
+				return out
 			}
 		}
 	}
-	return stats, iters, nil
+	return out
 }
 
-// removeInterLabel kills usable edges within u whose endpoints carry
-// different labels; returns the number removed.
-func (s *state) removeInterLabel(u *graph.VSet, labels []int) int64 {
-	g := s.view.Base()
-	var removed int64
-	for e := 0; e < g.M(); e++ {
-		if !s.mask[e] {
-			continue
-		}
-		a, b := g.EdgeEndpoints(e)
-		if a == b || !u.Has(a) || !u.Has(b) {
-			continue
-		}
-		la, lb := labels[a], labels[b]
-		if la != graph.Unreachable && lb != graph.Unreachable && la != lb {
-			s.mask[e] = false
-			removed++
-		}
+// removalLog is one task's private record of edge removals. Tasks operate
+// on vertex-disjoint components, so their removal sets are disjoint; each
+// remove* helper marks the edges dead in the task's private mask (so later
+// steps of the same task observe them) and records the ids so the merge
+// loop can replay them onto the shared mask in task order.
+type removalLog struct {
+	edges []int
+}
+
+// applyTo replays the recorded removals onto mask (the shared evolving
+// mask, at merge time).
+func (l *removalLog) applyTo(mask []bool) {
+	for _, e := range l.edges {
+		mask[e] = false
 	}
-	return removed
 }
 
-// removeCut kills usable edges within u crossing c; returns the count.
-func (s *state) removeCut(u, c *graph.VSet) int64 {
-	g := s.view.Base()
+// removeWhere is the shared skeleton of the three Remove sites: it kills
+// every alive edge within u whose endpoints satisfy kill, marking the
+// task's private mask and recording the ids. Returns the number removed.
+func (l *removalLog) removeWhere(g *graph.Graph, mask []bool, u *graph.VSet, kill func(a, b int) bool) int64 {
 	var removed int64
 	for e := 0; e < g.M(); e++ {
-		if !s.mask[e] {
-			continue
-		}
-		a, b := g.EdgeEndpoints(e)
-		if a == b || !u.Has(a) || !u.Has(b) {
-			continue
-		}
-		if c.Has(a) != c.Has(b) {
-			s.mask[e] = false
-			removed++
-		}
-	}
-	return removed
-}
-
-// removeIncident kills all usable edges within u incident to c; returns
-// the count.
-func (s *state) removeIncident(u, c *graph.VSet) int64 {
-	g := s.view.Base()
-	var removed int64
-	for e := 0; e < g.M(); e++ {
-		if !s.mask[e] {
+		if !mask[e] {
 			continue
 		}
 		a, b := g.EdgeEndpoints(e)
 		if !u.Has(a) || !u.Has(b) {
 			continue
 		}
-		if c.Has(a) || c.Has(b) {
-			s.mask[e] = false
+		if kill(a, b) {
+			mask[e] = false
+			l.edges = append(l.edges, e)
 			removed++
 		}
 	}
 	return removed
 }
+
+// removeInterLabel kills usable edges within u whose endpoints carry
+// different labels (Remove-1).
+func (l *removalLog) removeInterLabel(g *graph.Graph, mask []bool, u *graph.VSet, labels []int) int64 {
+	return l.removeWhere(g, mask, u, func(a, b int) bool {
+		la, lb := labels[a], labels[b]
+		return a != b && la != graph.Unreachable && lb != graph.Unreachable && la != lb
+	})
+}
+
+// removeCut kills usable edges within u crossing c (Remove-2).
+func (l *removalLog) removeCut(g *graph.Graph, mask []bool, u, c *graph.VSet) int64 {
+	return l.removeWhere(g, mask, u, func(a, b int) bool {
+		return a != b && c.Has(a) != c.Has(b)
+	})
+}
+
+// removeIncident kills all usable edges within u incident to c, loops
+// included (Remove-3).
+func (l *removalLog) removeIncident(g *graph.Graph, mask []bool, u, c *graph.VSet) int64 {
+	return l.removeWhere(g, mask, u, func(a, b int) bool {
+		return c.Has(a) || c.Has(b)
+	})
+}
+
+// maskPool recycles the per-task private mask copies so a level with many
+// components allocates at most one buffer per live worker.
+var maskPool sync.Pool
+
+// acquireMask returns a pooled copy of src for one task's private use.
+func acquireMask(src []bool) *[]bool {
+	v, _ := maskPool.Get().(*[]bool)
+	if v == nil {
+		v = new([]bool)
+	}
+	buf := *v
+	if cap(buf) < len(src) {
+		buf = make([]bool, len(src))
+	}
+	buf = buf[:len(src)]
+	copy(buf, src)
+	*v = buf
+	return v
+}
+
+func releaseMask(v *[]bool) { maskPool.Put(v) }
 
 // splitComponents returns the connected components of the given member
 // subset under the current mask.

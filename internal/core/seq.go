@@ -14,6 +14,14 @@ import (
 type SeqSubroutines struct {
 	// Preset selects the constant family for both subroutines.
 	Preset nibble.Preset
+	// Workers bounds the trial pool each SparseCut's ParallelNibble
+	// rounds fan across (0 = GOMAXPROCS, 1 = inline serial; output
+	// identical either way). Set 1 for a genuinely serial execution end
+	// to end — e.g. the bench matrix's -seq cells. The default 0 is fine
+	// under Decompose's own component pool: nesting pools keeps the
+	// hardware busy whether a level has many small components or one big
+	// one, and the surplus runnable goroutines just queue.
+	Workers int
 }
 
 var _ Subroutines = SeqSubroutines{}
@@ -24,11 +32,14 @@ func (s SeqSubroutines) LDD(view *graph.Sub, beta float64, seed uint64) (*ldd.Re
 	return ldd.Decompose(view, pr, rng.New(seed)), congest.Stats{}, nil
 }
 
-// SparseCut implements Subroutines with nibble.SparseCut on the active
-// member set.
+// SparseCut implements Subroutines with the Theorem 3 re-parameterization
+// of nibble.Partition on the active member set (the same composition as
+// nibble.SparseCut, with the trial pool bounded by s.Workers).
 func (s SeqSubroutines) SparseCut(comm *graph.Sub, active *graph.VSet, phi float64, seed uint64) (*nibble.PartitionResult, congest.Stats, error) {
 	view := comm.Restrict(active)
-	res := nibble.SparseCut(view, phi, s.Preset, rng.New(seed))
+	pr := nibble.NewParams(view, nibble.PartitionPhi(view, phi, s.Preset), s.Preset)
+	pr.Workers = s.Workers
+	res := nibble.Partition(view, pr, rng.New(seed))
 	return res, congest.Stats{}, nil
 }
 

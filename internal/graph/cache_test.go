@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"sync"
 	"testing"
 
 	"dexpander/internal/rng"
@@ -174,6 +175,58 @@ func TestBallEdgeCountMatchesGlobalScan(t *testing.T) {
 				}
 				if got := s.BallEdgeCount(v, d); got != want {
 					t.Fatalf("seed %d: BallEdgeCount(%d,%d) = %d, want %d", seed, v, d, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestViewCacheConcurrentFirstUse exercises the contract the concurrent
+// decomposition and enumeration pipelines rely on: sibling views sharing
+// one base graph and edge mask — and the shared parent view itself — may
+// all have their caches built for the first time from concurrent
+// goroutines. The race detector does the real checking; the asserted
+// values are cross-checked against freshly built serial views.
+func TestViewCacheConcurrentFirstUse(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		parent := randomView(t, seed)
+		g, members, mask := parent.Base(), parent.Members(), parent.EdgeMask()
+		// Two disjoint sibling restrictions plus the parent, all cold.
+		lo, hi := NewVSet(g.N()), NewVSet(g.N())
+		members.ForEach(func(v int) {
+			if v%2 == 0 {
+				lo.Add(v)
+			} else {
+				hi.Add(v)
+			}
+		})
+		views := []*Sub{parent, parent.Restrict(lo), parent.Restrict(hi)}
+		type result struct {
+			edges int
+			vol   int64
+			comps int
+		}
+		const workers = 8
+		got := make([][]result, workers)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for _, v := range views {
+					_, comps := v.Components()
+					got[w] = append(got[w], result{v.UsableEdgeCount(), v.TotalVol(), comps})
+				}
+			}(w)
+		}
+		wg.Wait()
+		for i, v := range []*VSet{members, lo, hi} {
+			fresh := NewSub(g, v, mask)
+			_, comps := fresh.Components()
+			want := result{fresh.UsableEdgeCount(), fresh.TotalVol(), comps}
+			for w := 0; w < workers; w++ {
+				if got[w][i] != want {
+					t.Fatalf("seed %d view %d worker %d: %+v, want %+v", seed, i, w, got[w][i], want)
 				}
 			}
 		}

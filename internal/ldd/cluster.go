@@ -1,10 +1,61 @@
 package ldd
 
 import (
+	"sync"
+
 	"dexpander/internal/congest"
 	"dexpander/internal/graph"
 	"dexpander/internal/rng"
 )
+
+// clusterScratch holds the working arrays of one Clustering call, pooled
+// so the decomposition's many LDD invocations — now also issued
+// concurrently from core's worker pool — allocate nothing at steady
+// state. Only labels, candStamp, and the epoch buckets carry state across
+// calls and need resetting: start and clusteredAt are written before any
+// read that the (reset) labels array gates.
+type clusterScratch struct {
+	labels      []int
+	start       []int
+	clusteredAt []int
+	candStamp   []int
+	startsAt    [][]int
+	joins       []clusterJoin
+	frontier    []int
+	next        []int
+}
+
+type clusterJoin struct{ v, label int }
+
+var clusterPool = sync.Pool{New: func() any { return new(clusterScratch) }}
+
+func acquireClusterScratch(n, epochs int) *clusterScratch {
+	sc := clusterPool.Get().(*clusterScratch)
+	if cap(sc.labels) < n {
+		sc.labels = make([]int, n)
+		sc.start = make([]int, n)
+		sc.clusteredAt = make([]int, n)
+		sc.candStamp = make([]int, n)
+	}
+	sc.labels = sc.labels[:n]
+	sc.start = sc.start[:n]
+	sc.clusteredAt = sc.clusteredAt[:n]
+	sc.candStamp = sc.candStamp[:n]
+	for i := range sc.labels {
+		sc.labels[i] = graph.Unreachable
+	}
+	clear(sc.candStamp)
+	if cap(sc.startsAt) < epochs {
+		sc.startsAt = make([][]int, epochs)
+	}
+	sc.startsAt = sc.startsAt[:epochs]
+	for i := range sc.startsAt {
+		sc.startsAt[i] = sc.startsAt[i][:0]
+	}
+	return sc
+}
+
+func (sc *clusterScratch) release() { clusterPool.Put(sc) }
 
 // Clustering runs the Miller–Peng–Xu exponential-shift clustering
 // (Appendix B, algorithm Clustering(beta)) sequentially on the view.
@@ -23,14 +74,11 @@ import (
 // identical labels (pinned against the scan implementation by tests).
 func Clustering(view *graph.Sub, pr Params, r *rng.RNG) *Result {
 	n := view.Base().N()
-	labels := make([]int, n)
-	for i := range labels {
-		labels[i] = graph.Unreachable
-	}
-	start := make([]int, n)
 	// T+2 buckets: start epochs are clamped up to 1 even when T < 1 (the
 	// epoch loop then never runs, like the scan implementation).
-	startsAt := make([][]int, pr.T+2)
+	sc := acquireClusterScratch(n, pr.T+2)
+	defer sc.release()
+	labels, start, startsAt := sc.labels, sc.start, sc.startsAt
 	for _, v := range view.MemberList() {
 		delta := r.Fork(uint64(v)).Exponential(pr.Beta)
 		s := pr.T - int(delta)
@@ -42,11 +90,9 @@ func Clustering(view *graph.Sub, pr Params, r *rng.RNG) *Result {
 	}
 	// clusteredAt[v] = epoch at which v got its label; candStamp marks
 	// vertices already examined as join candidates this epoch.
-	clusteredAt := make([]int, n)
-	candStamp := make([]int, n)
-	type join struct{ v, label int }
-	var joins []join
-	var frontier, nextFrontier []int
+	clusteredAt, candStamp := sc.clusteredAt, sc.candStamp
+	joins := sc.joins[:0]
+	frontier, nextFrontier := sc.frontier[:0], sc.next[:0]
 	for t := 1; t <= pr.T; t++ {
 		if len(frontier) == 0 && len(startsAt[t]) == 0 {
 			continue
@@ -77,7 +123,7 @@ func Clustering(view *graph.Sub, pr Params, r *rng.RNG) *Result {
 					}
 				}
 				if best != graph.Unreachable {
-					joins = append(joins, join{v, best})
+					joins = append(joins, clusterJoin{v, best})
 				}
 			}
 		}
@@ -95,6 +141,8 @@ func Clustering(view *graph.Sub, pr Params, r *rng.RNG) *Result {
 		}
 		frontier, nextFrontier = nextFrontier, frontier
 	}
+	// Hand the grown buffers back so the next call reuses their capacity.
+	sc.joins, sc.frontier, sc.next = joins, frontier, nextFrontier
 	return finishClusters(view, labels)
 }
 

@@ -72,6 +72,12 @@ type Params struct {
 	CCut float64
 	// FailProb is the Partition failure probability p (sets s).
 	FailProb float64
+	// Workers bounds the host goroutines ParallelNibble fans its trials
+	// across (0 = GOMAXPROCS, 1 = inline serial). Callers already running
+	// on a worker pool — core's per-component tasks — set 1 to avoid
+	// nesting a second full-width pool; the output is bit-identical for
+	// every value.
+	Workers int
 }
 
 // EpsB returns the truncation parameter for scale b.

@@ -1,11 +1,10 @@
 package nibble
 
 import (
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"dexpander/internal/graph"
+	"dexpander/internal/par"
 	"dexpander/internal/rng"
 )
 
@@ -53,6 +52,45 @@ type ParallelResult struct {
 	MaxOverlap int
 }
 
+// overlapScratch pools the per-edge participation counters of
+// ParallelNibble's seed-order merge: a dense count array indexed by edge
+// id plus the touched list that lets release() restore it to all-zero in
+// O(touched) instead of O(m). Replaces the per-call map, so the merge of
+// every trial round in the partition loop is allocation-free at steady
+// state.
+type overlapScratch struct {
+	count   []int32
+	touched []int
+}
+
+var overlapPool = sync.Pool{New: func() any { return new(overlapScratch) }}
+
+func acquireOverlapScratch(m int) *overlapScratch {
+	sc := overlapPool.Get().(*overlapScratch)
+	if cap(sc.count) < m {
+		sc.count = make([]int32, m)
+	}
+	sc.count = sc.count[:m]
+	sc.touched = sc.touched[:0]
+	return sc
+}
+
+// bump increments edge e's participation count and returns the new value.
+func (sc *overlapScratch) bump(e int) int {
+	if sc.count[e] == 0 {
+		sc.touched = append(sc.touched, e)
+	}
+	sc.count[e]++
+	return int(sc.count[e])
+}
+
+func (sc *overlapScratch) release() {
+	for _, e := range sc.touched {
+		sc.count[e] = 0
+	}
+	overlapPool.Put(sc)
+}
+
 // ParallelNibble runs k = InstanceCount simultaneous RandomNibbles and
 // merges a prefix of their outputs (Appendix A.4): if any edge
 // participates in more than W instances the result is empty; otherwise
@@ -77,36 +115,20 @@ func ParallelNibble(view *graph.Sub, pr Params, r *rng.RNG) *ParallelResult {
 		starts[i].v, starts[i].b = SampleStart(view, pr, r)
 	}
 	results := make([]*Result, k)
-	if workers := min(runtime.GOMAXPROCS(0), k); workers <= 1 {
-		for i, s := range starts {
-			results[i] = ApproximateNibble(view, pr, s.v, s.b)
-		}
-	} else {
+	workers := par.Workers(pr.Workers)
+	if workers > 1 && k > 1 {
 		view.UsableNeighbors(starts[0].v) // build the shared view cache once, up front
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= k {
-						return
-					}
-					results[i] = ApproximateNibble(view, pr, starts[i].v, starts[i].b)
-				}
-			}()
-		}
-		wg.Wait()
 	}
+	par.ForEach(workers, k, func(i int) {
+		results[i] = ApproximateNibble(view, pr, starts[i].v, starts[i].b)
+	})
 	// Seed-order merge: identical to accumulating inside a serial loop.
-	overlap := make(map[int]int)
+	overlap := acquireOverlapScratch(view.Base().M())
+	defer overlap.release()
 	for _, one := range results {
 		for _, e := range one.PStar {
-			overlap[e]++
-			if overlap[e] > res.MaxOverlap {
-				res.MaxOverlap = overlap[e]
+			if c := overlap.bump(e); c > res.MaxOverlap {
+				res.MaxOverlap = c
 			}
 		}
 	}

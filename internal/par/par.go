@@ -1,0 +1,60 @@
+// Package par is the deterministic fan-out helper behind the host-side
+// component-parallel pipelines (core.Decompose's phase tasks,
+// triangle.Enumerate's per-component loop, nibble's trial pool). It only
+// schedules: callers keep determinism by drawing every seed before
+// dispatch and merging results by task index afterwards, so the worker
+// count never influences outputs — only wall time.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: non-positive means
+// GOMAXPROCS. ForEach further clamps to the task count, so no idle
+// goroutines are spawned.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
+// and returns when all calls have finished. With workers <= 1 (or n <= 1)
+// it degenerates to an inline loop on the caller's goroutine — the serial
+// execution the equivalence tests oracle against. Tasks are handed out in
+// index order through a shared counter; fn must write results only into
+// its own index's slot.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,34 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if w := Workers(0); w < 1 {
+		t.Fatalf("Workers(0) = %d", w)
+	}
+	if w := Workers(-3); w < 1 {
+		t.Fatalf("Workers(-3) = %d", w)
+	}
+	if w := Workers(5); w != 5 {
+		t.Fatalf("Workers(5) = %d", w)
+	}
+}
+
+// TestForEachCoversEveryIndexOnce checks the dispatch contract for the
+// inline path, the clamped path, and a genuinely fanned-out pool.
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 50
+		var hits [n]atomic.Int32
+		ForEach(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+	ForEach(4, 0, func(i int) { t.Fatal("fn called for n=0") })
+}

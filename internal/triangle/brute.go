@@ -60,6 +60,15 @@ func (s *Set) Has(t Triangle) bool {
 	return ok
 }
 
+// Merge inserts every triangle of o. Set semantics make the result
+// independent of merge order, so concurrent producers can be folded in
+// any sequence (Enumerate merges per-component sets in component order).
+func (s *Set) Merge(o *Set) {
+	for k, t := range o.m {
+		s.m[k] = t
+	}
+}
+
 // Sorted returns the triangles in lexicographic order.
 func (s *Set) Sorted() []Triangle {
 	out := make([]Triangle, 0, len(s.m))

@@ -8,6 +8,7 @@ import (
 	"dexpander/internal/core"
 	"dexpander/internal/graph"
 	"dexpander/internal/nibble"
+	"dexpander/internal/par"
 	"dexpander/internal/rng"
 	"dexpander/internal/route"
 )
@@ -33,6 +34,11 @@ type Options struct {
 	// MaxRecursion caps E* recursion depth (default 64; the paper's
 	// O(log n) bound applies when Eps <= 1/2).
 	MaxRecursion int
+	// Workers bounds the host goroutines processing a level's
+	// vertex-disjoint components concurrently (and is forwarded to the
+	// decomposition). 0 means GOMAXPROCS; 1 forces inline serial
+	// execution. The output is bit-identical for every value.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -49,7 +55,9 @@ func (o Options) withDefaults() Options {
 		o.Preset = nibble.Practical
 	}
 	if o.Subs == nil {
-		o.Subs = core.SeqSubroutines{Preset: o.Preset}
+		// Forward the worker bound so Workers=1 is genuinely serial all
+		// the way down to the nibble trial pool.
+		o.Subs = core.SeqSubroutines{Preset: o.Preset, Workers: o.Workers}
 	}
 	if o.MaxRecursion == 0 {
 		o.MaxRecursion = 64
@@ -77,6 +85,33 @@ type Stats struct {
 	DecompRounds int
 }
 
+// componentSeedID packs a recursion level and a component index into the
+// stream id of the per-component RNG fork. The high bit separates the
+// component streams from the per-level decomposition streams (which fork
+// on the bare level); the level occupies bits 32..62 and the component
+// index bits 0..31, so the packing is injective for any level < 2^31 and
+// any component count up to 2^32 — the old level<<20|ci packing collided
+// as soon as a level had 2^20 components.
+func componentSeedID(level, ci int) uint64 {
+	return 1<<63 | uint64(level)<<32 | uint64(ci)
+}
+
+// combineComponents folds per-component routing costs the way the
+// synchronous network charges vertex-disjoint components running
+// simultaneously: Rounds and CongestRounds are each the maximum over
+// components (independently — the congestion-heaviest component need not
+// be the round-longest), while Messages and Words sum, since every
+// component's traffic really crosses the wire. The old combiner copied
+// the whole Stats of the max-Rounds component, undercounting total
+// message traffic.
+func combineComponents(stats []congest.Stats) congest.Stats {
+	var total congest.Stats
+	for _, cs := range stats {
+		total.CombineParallel(cs)
+	}
+	return total
+}
+
 // Enumerate implements Theorem 2: every triangle of the view is reported.
 // Each level computes an (eps, phi)-expander decomposition, processes
 // each component Vi with the group-triple routing scheme over the edge
@@ -84,33 +119,40 @@ type Stats struct {
 // having at least one intra-component edge — and recurses on the
 // inter-component edges E* (at most eps*m of them, so the recursion
 // shrinks geometrically).
+//
+// The vertex-disjoint components of a level are processed concurrently on
+// Options.Workers goroutines, matching the parallelism the round
+// accounting models. Determinism for any worker count follows the
+// seed-prefork / ordered-merge discipline: every component's seed is
+// forked from the root stream (componentSeedID) before dispatch, each
+// component collects its triangles into a private Set, and sets and stats
+// merge in component order — sibling F_i edge sets overlap only at
+// boundary edges, whose duplicate triangles the Set dedupes identically
+// regardless of merge order.
 func Enumerate(view *graph.Sub, opt Options) (*Set, Stats, error) {
 	opt = opt.withDefaults()
 	g := view.Base()
 	out := NewSet()
 	var st Stats
+	workers := par.Workers(opt.Workers)
 	mask := make([]bool, g.M())
+	remaining := 0
 	for e := 0; e < g.M(); e++ {
-		mask[e] = view.Usable(e) && !g.IsLoop(e)
+		if view.Usable(e) && !g.IsLoop(e) {
+			mask[e] = true
+			remaining++
+		}
 	}
 	root := rng.New(opt.Seed)
-	for level := 0; level < opt.MaxRecursion; level++ {
-		remaining := 0
-		for _, on := range mask {
-			if on {
-				remaining++
-			}
-		}
-		if remaining == 0 {
-			break
-		}
+	for level := 0; level < opt.MaxRecursion && remaining > 0; level++ {
 		st.Recursions++
 		cur := graph.NewSub(g, view.Members(), mask)
 		dec, err := core.Decompose(cur, core.Options{
-			Eps:    opt.Eps,
-			K:      opt.K,
-			Preset: opt.Preset,
-			Seed:   root.Fork(uint64(level)).Uint64(),
+			Eps:     opt.Eps,
+			K:       opt.K,
+			Preset:  opt.Preset,
+			Seed:    root.Fork(uint64(level)).Uint64(),
+			Workers: opt.Workers,
 		}, opt.Subs)
 		if err != nil {
 			return nil, st, fmt.Errorf("triangle: decomposition at level %d: %w", level, err)
@@ -120,30 +162,57 @@ func Enumerate(view *graph.Sub, opt Options) (*Set, Stats, error) {
 		st.Messages += dec.Stats.Messages
 		st.DecompRounds += dec.Stats.Rounds
 		final := graph.NewSub(g, view.Members(), dec.FinalMask)
-		var levelMax congest.Stats
+
+		// Component tasks: seeds forked in component order before
+		// dispatch, results merged back in component order.
+		type compTask struct {
+			ci   int
+			comp *graph.VSet
+			seed uint64
+		}
+		type compResult struct {
+			set   *Set
+			stats congest.Stats
+			err   error
+		}
+		var tasks []compTask
 		for ci, comp := range final.ComponentSets() {
 			if comp.Len() < 2 {
 				continue
 			}
-			st.Components++
-			compStats, err := processComponent(cur, final, comp, out, opt,
-				root.Fork(uint64(level)<<20|uint64(ci)).Uint64())
-			if err != nil {
-				return nil, st, fmt.Errorf("triangle: component %d at level %d: %w", ci, level, err)
-			}
-			if compStats.Rounds > levelMax.Rounds {
-				levelMax = compStats
-			}
+			tasks = append(tasks, compTask{
+				ci: ci, comp: comp,
+				seed: root.Fork(componentSeedID(level, ci)).Uint64(),
+			})
 		}
-		st.Rounds += levelMax.Rounds
-		st.CongestRounds += levelMax.CongestRounds
-		st.Messages += levelMax.Messages
-		// E* = the edges the decomposition removed; recurse on them.
+		results := make([]compResult, len(tasks))
+		par.ForEach(workers, len(tasks), func(i int) {
+			set, cs, err := processComponent(cur, final, tasks[i].comp, opt, tasks[i].seed)
+			results[i] = compResult{set: set, stats: cs, err: err}
+		})
+		compStats := make([]congest.Stats, 0, len(results))
+		for i, res := range results {
+			if res.err != nil {
+				return nil, st, fmt.Errorf("triangle: component %d at level %d: %w", tasks[i].ci, level, res.err)
+			}
+			st.Components++
+			compStats = append(compStats, res.stats)
+			out.Merge(res.set)
+		}
+		levelTotal := combineComponents(compStats)
+		st.Rounds += levelTotal.Rounds
+		st.CongestRounds += levelTotal.CongestRounds
+		st.Messages += levelTotal.Messages
+		// E* = the edges the decomposition removed; recurse on them. The
+		// remaining count is maintained while building the next mask, not
+		// by rescanning it at the top of the level.
 		next := make([]bool, g.M())
+		nextRemaining := 0
 		progress := false
 		for e := 0; e < g.M(); e++ {
 			if mask[e] && !dec.FinalMask[e] {
 				next[e] = true
+				nextRemaining++
 			} else if mask[e] {
 				progress = true // edge handled inside a component
 			}
@@ -155,12 +224,10 @@ func Enumerate(view *graph.Sub, opt Options) (*Set, Stats, error) {
 			// guarantee termination (cannot happen for eps < 1 on
 			// non-degenerate graphs, but guard anyway).
 			leftovers := BruteForce(graph.NewSub(g, view.Members(), next))
-			for _, t := range leftovers.Sorted() {
-				out.Add(t)
-			}
+			out.Merge(leftovers)
 			break
 		}
-		mask = next
+		mask, remaining = next, nextRemaining
 	}
 	return out, st, nil
 }
@@ -170,9 +237,12 @@ func Enumerate(view *graph.Sub, opt Options) (*Set, Stats, error) {
 // via the component's router, to handler vertices hashed from group
 // triples; handlers enumerate locally. Every triangle with at least one
 // edge inside comp is found: all three of its edges have an endpoint in
-// comp, hence lie in F and reach the triple's handler.
-func processComponent(cur, final *graph.Sub, comp *graph.VSet, out *Set, opt Options, seed uint64) (congest.Stats, error) {
+// comp, hence lie in F and reach the triple's handler. The triangles come
+// back in a private Set so sibling components can run concurrently; the
+// caller merges. cur and final are shared read-only across siblings.
+func processComponent(cur, final *graph.Sub, comp *graph.VSet, opt Options, seed uint64) (*Set, congest.Stats, error) {
 	g := cur.Base()
+	out := NewSet()
 	compView := final.Restrict(comp)
 	members := comp.Members()
 	nC := len(members)
@@ -187,7 +257,7 @@ func processComponent(cur, final *graph.Sub, comp *graph.VSet, out *Set, opt Opt
 		Seed:          seed,
 	})
 	if err != nil {
-		return total, fmt.Errorf("router build: %w", err)
+		return nil, total, fmt.Errorf("router build: %w", err)
 	}
 	total.Add(rt.BuildStats)
 
@@ -242,7 +312,7 @@ func processComponent(cur, final *graph.Sub, comp *graph.VSet, out *Set, opt Opt
 		}
 		deliveries, qs, err := rt.Route(reqs)
 		if err != nil {
-			return total, fmt.Errorf("routing F-edges (batch %d): %w", c, err)
+			return nil, total, fmt.Errorf("routing F-edges (batch %d): %w", c, err)
 		}
 		total.Add(qs)
 		for _, d := range deliveries {
@@ -278,5 +348,5 @@ func processComponent(cur, final *graph.Sub, comp *graph.VSet, out *Set, opt Opt
 			}
 		}
 	}
-	return total, nil
+	return out, total, nil
 }
