@@ -22,18 +22,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"dexpander/internal/bench"
+	"dexpander/internal/cli"
 	"dexpander/internal/harness"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchrunner:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("benchrunner", run) }
 
 func run() error {
 	var (
@@ -66,6 +61,12 @@ func run() error {
 	// checksums — the gate thereby re-verifies the parallel pipelines'
 	// bit-identity to serial on every CI run.
 	rep.Merge(bench.Run(bench.DecompositionScenarios(), bench.DecompositionAlgorithms(), opt))
+	// Serving cells drive a live dexpanderd service over loopback HTTP:
+	// serve-cold measures the first-query path, serve-hot the cached
+	// steady state, and the two cells of one scenario must carry the
+	// SAME checksum — the baseline gate thereby re-proves the cache's
+	// transparency (hot bytes == cold bytes) on every CI run.
+	rep.Merge(bench.Run(bench.ServingScenarios(), bench.ServingAlgorithms(), opt))
 
 	if *tables {
 		scale := harness.Default

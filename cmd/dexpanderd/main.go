@@ -1,0 +1,180 @@
+// Command dexpanderd is the long-running graph analytics server: a
+// snapshot registry of fingerprinted graphs plus a single-flight result
+// cache over the library's kernels (expander decomposition, triangle
+// counting and enumeration), served as an HTTP/JSON API. See
+// internal/service/README.md for the endpoint schema.
+//
+// Examples:
+//
+//	dexpanderd -addr 127.0.0.1:8437
+//	dexpanderd -addr 127.0.0.1:8437 -workers 4 -queue 32
+//	dexpanderd -smoke http://127.0.0.1:8437
+//
+// With -smoke the binary runs as a client instead: it registers a
+// generated graph on the server at the given URL, queries every
+// algorithm endpoint, recomputes each result in-process with the
+// library, and exits non-zero unless all checksums agree — the
+// end-to-end determinism check CI runs against a live server.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dexpander/internal/cli"
+	"dexpander/internal/core"
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/nibble"
+	"dexpander/internal/service"
+	"dexpander/internal/triangle"
+)
+
+func main() { cli.Main("dexpanderd", run) }
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8437", "listen address")
+		workers  = flag.Int("workers", 0, "compute pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "pending-computation queue capacity (0 = 4*workers)")
+		maxSnaps = flag.Int("max-snapshots", 64, "snapshot registry capacity")
+		maxParam = flag.Float64("max-gen-param", 1<<20, "cap on generator-spec parameters")
+		smoke    = flag.String("smoke", "", "run the end-to-end smoke check against this server URL and exit")
+	)
+	flag.Parse()
+
+	if *smoke != "" {
+		return runSmoke(*smoke)
+	}
+
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		Queue:        *queue,
+		MaxSnapshots: *maxSnaps,
+		MaxGenParam:  *maxParam,
+	})
+	defer svc.Close()
+
+	server := &http.Server{
+		Addr:    *addr,
+		Handler: svc.Handler(),
+		// Bound slow clients: headers promptly, whole request (incl. a
+		// large upload body) within 10 minutes, idle keep-alives dropped.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	fmt.Printf("dexpanderd listening on %s (workers=%d queue=%d)\n",
+		*addr, svc.Stats().Workers, svc.Stats().QueueCap)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		fmt.Println("dexpanderd: shutting down")
+		return server.Shutdown(shutdownCtx)
+	}
+}
+
+// runSmoke drives a live server end to end and diffs every served
+// checksum against a direct library computation.
+func runSmoke(base string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	c := service.NewClient(base)
+
+	spec := gen.Spec{
+		Family: "ring",
+		Params: map[string]float64{"blocks": 4, "size": 8},
+		Seed:   7,
+	}
+	snap, err := c.RegisterSpec(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+	fmt.Printf("smoke: registered %s (n=%d m=%d)\n", snap.ID, snap.N, snap.M)
+
+	g, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	view := graph.WholeGraph(g)
+
+	count, err := c.TriangleCount(ctx, snap.ID, service.QueryParams{})
+	if err != nil {
+		return fmt.Errorf("triangle-count: %w", err)
+	}
+	directSet := triangle.BruteForce(view)
+	if err := diff("triangle-count", count.Checksum, checksum(directSet.Checksum())); err != nil {
+		return err
+	}
+
+	enum, err := c.Enumerate(ctx, snap.ID, service.QueryParams{Seed: 3})
+	if err != nil {
+		return fmt.Errorf("enumerate: %w", err)
+	}
+	enumSet, _, err := triangle.Enumerate(view, triangle.Options{Seed: 3})
+	if err != nil {
+		return err
+	}
+	if err := diff("enumerate", enum.Checksum, checksum(enumSet.Checksum())); err != nil {
+		return err
+	}
+
+	decQ := service.QueryParams{Eps: 0.4, K: 2, Seed: 1}
+	dec, err := c.Decompose(ctx, snap.ID, decQ)
+	if err != nil {
+		return fmt.Errorf("decompose: %w", err)
+	}
+	directDec, err := core.Decompose(view, core.Options{
+		Eps: decQ.Eps, K: decQ.K, Preset: nibble.Practical, Seed: decQ.Seed,
+	}, core.SeqSubroutines{Preset: nibble.Practical})
+	if err != nil {
+		return err
+	}
+	words := make([]uint64, 0, len(directDec.Labels)+2)
+	words = append(words, uint64(directDec.Count), uint64(directDec.CutEdges))
+	for _, l := range directDec.Labels {
+		words = append(words, uint64(int64(l)))
+	}
+	if err := diff("decompose", dec.Checksum, checksum(triangle.HashWords(words...))); err != nil {
+		return err
+	}
+
+	st, err := c.ServerStats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if st.Computations < 3 {
+		return fmt.Errorf("smoke: server reports %d computations, want >= 3", st.Computations)
+	}
+	if err := c.Release(ctx, snap.ID); err != nil {
+		return fmt.Errorf("release: %w", err)
+	}
+	fmt.Println("smoke: PASS — all served checksums equal the library's")
+	return nil
+}
+
+func checksum(sum uint64) string { return fmt.Sprintf("fnv64:%016x", sum) }
+
+func diff(what, served, direct string) error {
+	if served != direct {
+		return errors.New("smoke: " + what + " checksum mismatch: served " + served + ", library " + direct)
+	}
+	fmt.Printf("smoke: %-14s %s == library\n", what, served)
+	return nil
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"dexpander/internal/cli"
 	"dexpander/internal/core"
 	"dexpander/internal/dnibble"
 	"dexpander/internal/gen"
@@ -19,28 +20,20 @@ import (
 	"dexpander/internal/nibble"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "expanderdecomp:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("expanderdecomp", run) }
 
 func run() error {
+	gf := cli.GraphFlags{Family: "ring", Blocks: 6, Size: 12, Bridges: 1, D: 6, P: 0.5, Seed: 1}
+	gf.Register(flag.CommandLine)
 	var (
-		kind   = flag.String("graph", "ring", "graph family: ring|gnp|sbm|torus|dumbbell|expander")
-		blocks = flag.Int("blocks", 6, "block/clique count (ring, sbm)")
-		size   = flag.Int("size", 12, "block/clique size, torus side, or n for gnp/expander")
-		p      = flag.Float64("p", 0.5, "edge probability (gnp) / intra probability (sbm)")
-		eps    = flag.Float64("eps", 0.6, "target inter-cluster edge fraction")
-		k      = flag.Int("k", 2, "Theorem 1 trade-off parameter")
-		dist   = flag.Bool("dist", false, "run the distributed (CONGEST) subroutines and report rounds")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		dot    = flag.String("dot", "", "write the decomposition as Graphviz DOT to this file")
+		eps  = flag.Float64("eps", 0.6, "target inter-cluster edge fraction")
+		k    = flag.Int("k", 2, "Theorem 1 trade-off parameter")
+		dist = flag.Bool("dist", false, "run the distributed (CONGEST) subroutines and report rounds")
+		dot  = flag.String("dot", "", "write the decomposition as Graphviz DOT to this file")
 	)
 	flag.Parse()
 
-	g, err := buildGraph(*kind, *blocks, *size, *p, *seed)
+	g, err := gf.Build()
 	if err != nil {
 		return err
 	}
@@ -51,7 +44,7 @@ func run() error {
 		subs = dnibble.DistSubroutines{Preset: nibble.Practical}
 	}
 	dec, err := core.Decompose(view, core.Options{
-		Eps: *eps, K: *k, Preset: nibble.Practical, Seed: *seed,
+		Eps: *eps, K: *k, Preset: nibble.Practical, Seed: gf.Seed,
 	}, subs)
 	if err != nil {
 		return err
@@ -87,23 +80,4 @@ func run() error {
 		fmt.Println("wrote DOT to", *dot)
 	}
 	return nil
-}
-
-func buildGraph(kind string, blocks, size int, p float64, seed uint64) (*graph.Graph, error) {
-	switch kind {
-	case "ring":
-		return gen.RingOfCliques(blocks, size, seed), nil
-	case "gnp":
-		return gen.GNP(size, p, seed), nil
-	case "sbm":
-		return gen.PlantedPartition(blocks, size, p, p/50, seed), nil
-	case "torus":
-		return gen.Torus(size), nil
-	case "dumbbell":
-		return gen.Dumbbell(size, 1, seed), nil
-	case "expander":
-		return gen.ExpanderByMatchings(size, 6, seed), nil
-	default:
-		return nil, fmt.Errorf("unknown graph family %q", kind)
-	}
 }

@@ -1,8 +1,12 @@
 package main
 
-import "testing"
+import (
+	"testing"
 
-func TestBuildGraphFamilies(t *testing.T) {
+	"dexpander/internal/cli"
+)
+
+func TestGraphFlagFamilies(t *testing.T) {
 	cases := []struct {
 		kind   string
 		blocks int
@@ -17,7 +21,9 @@ func TestBuildGraphFamilies(t *testing.T) {
 		{"expander", 0, 16, 16},
 	}
 	for _, tc := range cases {
-		g, err := buildGraph(tc.kind, tc.blocks, tc.size, 0.4, 1)
+		gf := cli.GraphFlags{Family: tc.kind, Blocks: tc.blocks, Size: tc.size,
+			Bridges: 1, D: 6, P: 0.4, Seed: 1}
+		g, err := gf.Build()
 		if err != nil {
 			t.Errorf("%s: %v", tc.kind, err)
 			continue
@@ -28,8 +34,9 @@ func TestBuildGraphFamilies(t *testing.T) {
 	}
 }
 
-func TestBuildGraphUnknown(t *testing.T) {
-	if _, err := buildGraph("nope", 1, 1, 0.5, 1); err == nil {
+func TestGraphFlagUnknown(t *testing.T) {
+	gf := cli.GraphFlags{Family: "nope", Size: 4}
+	if _, err := gf.Build(); err == nil {
 		t.Fatal("unknown family accepted")
 	}
 }

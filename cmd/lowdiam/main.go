@@ -9,43 +9,29 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"dexpander/internal/cli"
 	"dexpander/internal/gen"
 	"dexpander/internal/graph"
 	"dexpander/internal/ldd"
 	"dexpander/internal/rng"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "lowdiam:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("lowdiam", run) }
 
 func run() error {
+	// P <= 0 keeps the historical gnp fallback of p = 4/n.
+	gf := cli.GraphFlags{Family: "torus", Blocks: 6, Size: 20, Bridges: 1, D: 6, Seed: 1}
+	gf.Register(flag.CommandLine)
 	var (
-		kind = flag.String("graph", "torus", "graph family: torus|path|gnp|ring")
-		size = flag.Int("size", 20, "size parameter (torus side, path length, n)")
 		beta = flag.Float64("beta", 0.5, "cut fraction parameter in (0,1)")
 		dist = flag.Bool("dist", false, "run the full distributed pipeline and report rounds")
-		seed = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
-	var g *graph.Graph
-	switch *kind {
-	case "torus":
-		g = gen.Torus(*size)
-	case "path":
-		g = gen.Path(*size)
-	case "gnp":
-		g = gen.GNP(*size, 4/float64(*size), *seed)
-	case "ring":
-		g = gen.RingOfCliques(6, *size, *seed)
-	default:
-		return fmt.Errorf("unknown graph family %q", *kind)
+	g, err := gf.Build()
+	if err != nil {
+		return err
 	}
 	fmt.Println("graph:", gen.Describe(g))
 	view := graph.WholeGraph(g)
@@ -54,14 +40,14 @@ func run() error {
 
 	var res *ldd.Result
 	if *dist {
-		r, s, err := ldd.DistDecompose(view, pr, *seed)
+		r, s, err := ldd.DistDecompose(view, pr, gf.Seed)
 		if err != nil {
 			return err
 		}
 		res = r
 		fmt.Printf("CONGEST rounds: %d (messages %d)\n", s.Rounds, s.Messages)
 	} else {
-		res = ldd.Decompose(view, pr, rng.New(*seed))
+		res = ldd.Decompose(view, pr, rng.New(gf.Seed))
 	}
 	fmt.Printf("components:     %d\n", res.Count)
 	fmt.Printf("cut edges:      %d (fraction %.4f, bound 3*beta = %.4f)\n",

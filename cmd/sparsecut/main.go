@@ -10,8 +10,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"dexpander/internal/cli"
 	"dexpander/internal/dnibble"
 	"dexpander/internal/gen"
 	"dexpander/internal/graph"
@@ -19,38 +19,20 @@ import (
 	"dexpander/internal/rng"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "sparsecut:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("sparsecut", run) }
 
 func run() error {
+	gf := cli.GraphFlags{Family: "dumbbell", Blocks: 4, Size: 12, Bridges: 1, Small: 6, D: 6, Seed: 1}
+	gf.Register(flag.CommandLine)
 	var (
-		kind  = flag.String("graph", "dumbbell", "graph family: dumbbell|unbalanced|ring|expander|torus")
-		size  = flag.Int("size", 12, "primary size parameter")
-		small = flag.Int("small", 6, "small side size (unbalanced)")
-		phi   = flag.Float64("phi", 0.05, "conductance target")
-		dist  = flag.Bool("dist", false, "run in the CONGEST simulator and report rounds")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		phi  = flag.Float64("phi", 0.05, "conductance target")
+		dist = flag.Bool("dist", false, "run in the CONGEST simulator and report rounds")
 	)
 	flag.Parse()
 
-	var g *graph.Graph
-	switch *kind {
-	case "dumbbell":
-		g = gen.Dumbbell(*size, 1, *seed)
-	case "unbalanced":
-		g = gen.UnbalancedDumbbell(*size, *small, *seed)
-	case "ring":
-		g = gen.RingOfCliques(4, *size, *seed)
-	case "expander":
-		g = gen.ExpanderByMatchings(*size, 6, *seed)
-	case "torus":
-		g = gen.Torus(*size)
-	default:
-		return fmt.Errorf("unknown graph family %q", *kind)
+	g, err := gf.Build()
+	if err != nil {
+		return err
 	}
 	fmt.Println("graph:", gen.Describe(g))
 	view := graph.WholeGraph(g)
@@ -58,7 +40,7 @@ func run() error {
 	fmt.Printf("phi target: %.5f; Theorem 3 conductance bound h(phi) = %.5f\n", *phi, h)
 
 	if *dist {
-		res, stats, err := dnibble.SparseCut(view, view, *phi, nibble.Practical, *seed)
+		res, stats, err := dnibble.SparseCut(view, view, *phi, nibble.Practical, gf.Seed)
 		if err != nil {
 			return err
 		}
@@ -66,7 +48,7 @@ func run() error {
 		fmt.Printf("CONGEST rounds: %d (messages %d)\n", stats.Rounds, stats.Messages)
 		return nil
 	}
-	res := nibble.SparseCut(view, *phi, nibble.Practical, rng.New(*seed))
+	res := nibble.SparseCut(view, *phi, nibble.Practical, rng.New(gf.Seed))
 	report(res)
 	return nil
 }

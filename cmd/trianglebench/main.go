@@ -17,20 +17,15 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 
 	"dexpander/internal/bench"
+	"dexpander/internal/cli"
 	"dexpander/internal/harness"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "trianglebench:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("trianglebench", run) }
 
 func run() error {
 	var (

@@ -52,6 +52,20 @@
 // benchmark baseline pins the -seq/-par cell checksum equality on every
 // CI run.
 //
+// The serving layer (internal/service, served by cmd/dexpanderd) turns
+// the library into a long-running system: immutable graph snapshots
+// registered by upload (gzip and SNAP-style edge lists accepted) or
+// generator spec and identified by an FNV fingerprint of the canonical
+// edge list, with a single-flight result cache that runs each
+// (snapshot, algorithm, params) computation exactly once on a bounded
+// worker pool — queue-full requests fail fast with a retryable error
+// instead of piling up goroutines. Served checksums are the same
+// digests the bench matrix pins, so a live server's answers diff
+// directly against library calls (the CI smoke step does exactly that),
+// and the serve-cold/serve-hot bench cells measure the HTTP path's
+// first-query versus cached steady-state cost on every push. See
+// internal/service/README.md for the architecture and endpoint schema.
+//
 // Performance is tracked by the scenario-matrix benchmark subsystem
 // (internal/bench, driven by cmd/benchrunner): graph families x
 // algorithms x sizes, each cell measured (wall time, simulated rounds

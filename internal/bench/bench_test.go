@@ -205,6 +205,31 @@ func TestCalibratePositive(t *testing.T) {
 // enumeration cells must carry exactly the seq cells' full-output
 // checksums, triangles, and simulated costs — the CI baseline then keeps
 // pinning that equality on real hardware with real worker pools.
+// TestServingCellsHotMatchesCold pins the serving matrix's contract:
+// on every scenario, the hot (cached) cell must carry exactly the cold
+// cell's checksum and triangle count — the HTTP cache is transparent —
+// so the CI baseline keeps re-proving it against a live service.
+func TestServingCellsHotMatchesCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a service per cell")
+	}
+	rep := Run(ServingScenarios()[:1], ServingAlgorithms(), Options{Seed: 5})
+	cells := map[string]Cell{}
+	for _, c := range rep.Cells {
+		if c.Error != "" {
+			t.Fatalf("cell %s errored: %s", c.Key(), c.Error)
+		}
+		cells[c.Algorithm] = c
+	}
+	cold, hot := cells["serve-cold"], cells["serve-hot"]
+	if cold.Checksum == "" || hot.Checksum == "" {
+		t.Fatalf("missing serving cells: %v", cells)
+	}
+	if cold.Checksum != hot.Checksum || cold.Triangles != hot.Triangles {
+		t.Fatalf("hot cell diverged from cold:\ncold %+v\nhot %+v", cold, hot)
+	}
+}
+
 func TestDecompositionParCellsMatchSeq(t *testing.T) {
 	rep := Run(DecompositionScenarios()[:2], DecompositionAlgorithms(), Options{Seed: 3})
 	byCell := map[string]map[string]Cell{}

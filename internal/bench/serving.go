@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"dexpander/internal/graph"
+	"dexpander/internal/service"
+	"dexpander/internal/triangle"
+)
+
+// ServingScenarios is the serving-path slice of the matrix: the graph
+// shapes whose queries the dexpanderd cache amortizes (a random graph
+// and a certified expander-of-cliques).
+func ServingScenarios() []Scenario {
+	return []Scenario{
+		gnpScenario(64, 0.25),
+		expanderOfCliquesScenario(6, 8, 3),
+	}
+}
+
+// servingHotQueries is the number of repeated query triples the hot cell
+// issues after warming the cache. The hot per-query cost is
+// (serve-hot wall - serve-cold wall) / (3 * servingHotQueries), since
+// both cells pay the identical boot+register+first-compute prefix.
+const servingHotQueries = 64
+
+// ServingAlgorithms measures the HTTP serving path end to end over a
+// loopback listener:
+//
+//   - serve-cold: boot a fresh dexpanderd service, upload the scenario
+//     graph as an edge list, and run one decompose + triangle-count +
+//     enumerate triple — every answer computed from scratch. This is the
+//     first-query latency a cold replica pays.
+//   - serve-hot: the same prefix, then servingHotQueries identical
+//     triples served from the single-flight cache — the steady-state
+//     path a warm replica serves traffic on.
+//
+// Cell checksums digest the three response checksums (which themselves
+// equal the direct library calls' digests), so the CI baseline pins the
+// served bytes' determinism, and the hot/cold cells of one scenario must
+// carry the SAME checksum — re-proving cache transparency on every run.
+func ServingAlgorithms() []Algorithm {
+	return []Algorithm{
+		{Name: "serve-cold", Run: servingCell(0)},
+		{Name: "serve-hot", Run: servingCell(servingHotQueries)},
+	}
+}
+
+// servingCell boots a service over loopback HTTP, registers the view's
+// base graph, runs one cold query triple, then hotReps cached triples.
+func servingCell(hotReps int) func(view *graph.Sub, seed uint64) (Result, error) {
+	return func(view *graph.Sub, seed uint64) (Result, error) {
+		svc := service.New(service.Config{Workers: 2})
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return Result{}, err
+		}
+		server := &http.Server{Handler: svc.Handler()}
+		go server.Serve(ln) //nolint:errcheck
+		defer server.Close()
+
+		ctx := context.Background()
+		c := service.NewClient("http://" + ln.Addr().String())
+
+		var buf bytes.Buffer
+		if err := graph.WriteEdgeList(&buf, view.Base()); err != nil {
+			return Result{}, err
+		}
+		snap, err := c.RegisterEdgeList(ctx, &buf)
+		if err != nil {
+			return Result{}, err
+		}
+
+		var res Result
+		for rep := 0; rep <= hotReps; rep++ {
+			dec, err := c.Decompose(ctx, snap.ID, service.QueryParams{Seed: seed})
+			if err != nil {
+				return Result{}, err
+			}
+			count, err := c.TriangleCount(ctx, snap.ID, service.QueryParams{})
+			if err != nil {
+				return Result{}, err
+			}
+			enum, err := c.Enumerate(ctx, snap.ID, service.QueryParams{Seed: seed})
+			if err != nil {
+				return Result{}, err
+			}
+			sums, err := parseChecksums(dec.Checksum, count.Checksum, enum.Checksum)
+			if err != nil {
+				return Result{}, err
+			}
+			triple := Result{Triangles: count.Triangles, Checksum: triangle.HashWords(sums...)}
+			if rep == 0 {
+				res = triple
+			} else if triple != res {
+				// The cache must be transparent: hot responses carry the
+				// cold computation's exact digests.
+				return Result{}, fmt.Errorf("hot rep %d diverged from cold responses", rep)
+			}
+		}
+		return res, nil
+	}
+}
+
+// parseChecksums decodes "fnv64:<16 hex>" response digests into words.
+func parseChecksums(strs ...string) ([]uint64, error) {
+	out := make([]uint64, len(strs))
+	for i, s := range strs {
+		hex, ok := strings.CutPrefix(s, "fnv64:")
+		if !ok {
+			return nil, fmt.Errorf("bench: malformed checksum %q", s)
+		}
+		v, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench: malformed checksum %q: %w", s, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

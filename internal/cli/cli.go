@@ -1,0 +1,130 @@
+// Package cli holds the flag and process boilerplate shared by every
+// command under cmd/: the error-exit wrapper and the graph-selection
+// flag block that maps the long-standing -graph/-blocks/-size/... flags
+// onto the gen.Spec registry, so all tools (and the dexpanderd service)
+// accept the same families with the same parameter names.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+)
+
+// Main runs the command body and turns an error return into the
+// conventional "name: error" on stderr plus exit status 1.
+func Main(name string, run func() error) {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, name+":", err)
+		os.Exit(1)
+	}
+}
+
+// GraphFlags is the shared graph-selection flag block. Zero values are
+// replaced by each command's defaults before Register, so existing
+// invocations keep their historical meaning (e.g. sparsecut's ring
+// defaults to 4 blocks, lowdiam's to 6).
+type GraphFlags struct {
+	// Family is the gen.Spec family (plus the historical aliases handled
+	// in Spec).
+	Family string
+	// Blocks is the block/clique count (ring, sbm, expander-of-cliques).
+	Blocks int
+	// Size is the primary size parameter: block/clique size, torus side,
+	// grid side, or n for the single-parameter families.
+	Size int
+	// Bridges is the dumbbell bridge count.
+	Bridges int
+	// Small is the small side (unbalanced dumbbell).
+	Small int
+	// D is the expander matching count / hypercube dimension.
+	D int
+	// P is the edge probability (gnp, sbm intra; <= 0 selects the
+	// family's fallback: 4/n for gnp, the registry default otherwise).
+	P float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Register installs the flag block on fs (use flag.CommandLine in main).
+func (f *GraphFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Family, "graph", f.Family,
+		fmt.Sprintf("graph family, one of %v", gen.Families()))
+	fs.IntVar(&f.Blocks, "blocks", f.Blocks, "block/clique count (ring, sbm, expander-of-cliques)")
+	fs.IntVar(&f.Size, "size", f.Size, "primary size parameter (block size, torus/grid side, or n)")
+	fs.IntVar(&f.Bridges, "bridges", f.Bridges, "bridge count (dumbbell)")
+	fs.IntVar(&f.Small, "small", f.Small, "small side size (unbalanced)")
+	fs.IntVar(&f.D, "d", f.D, "degree parameter (expander, expander-of-cliques, hypercube)")
+	fs.Float64Var(&f.P, "p", f.P, "edge probability (gnp) / intra probability (sbm); <= 0 means the family fallback")
+	fs.Uint64Var(&f.Seed, "seed", f.Seed, "random seed")
+}
+
+// Spec translates the flag values into the registry spec for the chosen
+// family, reproducing each historical CLI convention: -size is n for the
+// single-parameter families, gnp with p <= 0 falls back to 4/n, and sbm's
+// inter-block probability is p/50 as before.
+func (f *GraphFlags) Spec() (gen.Spec, error) {
+	s := gen.Spec{Family: f.Family, Seed: f.Seed, Params: map[string]float64{}}
+	switch f.Family {
+	case "gnp", "gnp-connected":
+		s.Params["n"] = float64(f.Size)
+		if f.P > 0 {
+			s.Params["p"] = f.P
+		} else if f.Size > 0 {
+			s.Params["p"] = 4 / float64(f.Size)
+		}
+	case "ring":
+		s.Params["blocks"] = float64(f.Blocks)
+		s.Params["size"] = float64(f.Size)
+	case "sbm":
+		s.Params["blocks"] = float64(f.Blocks)
+		s.Params["size"] = float64(f.Size)
+		if f.P > 0 {
+			s.Params["p"] = f.P
+			s.Params["pout"] = f.P / 50
+		}
+	case "torus":
+		s.Params["size"] = float64(f.Size)
+	case "grid":
+		s.Params["rows"] = float64(f.Size)
+		s.Params["cols"] = float64(f.Size)
+	case "dumbbell":
+		s.Params["size"] = float64(f.Size)
+		s.Params["bridges"] = float64(f.Bridges)
+	case "unbalanced":
+		s.Params["size"] = float64(f.Size)
+		s.Params["small"] = float64(f.Small)
+	case "expander":
+		s.Params["n"] = float64(f.Size)
+		s.Params["d"] = float64(f.D)
+	case "expander-of-cliques":
+		s.Params["blocks"] = float64(f.Blocks)
+		s.Params["size"] = float64(f.Size)
+		s.Params["d"] = float64(f.D)
+	case "bipartite":
+		s.Params["nl"] = float64(f.Size)
+		s.Params["nr"] = float64(f.Size)
+		if f.P > 0 {
+			s.Params["p"] = f.P
+		}
+	case "chung-lu", "path", "cycle", "star", "complete":
+		s.Params["n"] = float64(f.Size)
+	case "hypercube":
+		s.Params["d"] = float64(f.D)
+	default:
+		return gen.Spec{}, fmt.Errorf("unknown graph family %q (known: %v)", f.Family, gen.Families())
+	}
+	return s, nil
+}
+
+// Build constructs the selected graph.
+func (f *GraphFlags) Build() (*graph.Graph, error) {
+	s, err := f.Spec()
+	if err != nil {
+		return nil, err
+	}
+	return s.Build()
+}

@@ -1,0 +1,59 @@
+package cli
+
+import (
+	"flag"
+	"testing"
+
+	"dexpander/internal/gen"
+)
+
+// TestSpecHistoricalConventions pins the CLI-era parameter translations:
+// -size is n for single-parameter families, gnp with p <= 0 falls back to
+// 4/n, and sbm's inter-block probability is p/50.
+func TestSpecHistoricalConventions(t *testing.T) {
+	gf := GraphFlags{Family: "gnp", Size: 20, Seed: 5}
+	g, err := gf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := gen.GNP(20, 4/20.0, 5); g.Fingerprint() != want.Fingerprint() {
+		t.Error("gnp p fallback is not 4/n")
+	}
+
+	gf = GraphFlags{Family: "sbm", Blocks: 3, Size: 8, P: 0.5, Seed: 2}
+	g, err = gf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := gen.PlantedPartition(3, 8, 0.5, 0.5/50, 2); g.Fingerprint() != want.Fingerprint() {
+		t.Error("sbm pout is not p/50")
+	}
+
+	gf = GraphFlags{Family: "expander", Size: 16, D: 6, Seed: 3}
+	g, err = gf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := gen.ExpanderByMatchings(16, 6, 3); g.Fingerprint() != want.Fingerprint() {
+		t.Error("expander does not map -size to n and -d to d")
+	}
+}
+
+func TestRegisterParsesFlags(t *testing.T) {
+	gf := GraphFlags{Family: "ring", Blocks: 6, Size: 12, Bridges: 1, D: 6, Seed: 1}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	gf.Register(fs)
+	if err := fs.Parse([]string{"-graph", "torus", "-size", "5", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	if gf.Family != "torus" || gf.Size != 5 || gf.Seed != 9 {
+		t.Fatalf("parsed flags: %+v", gf)
+	}
+	g, err := gf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 25 {
+		t.Fatalf("torus size 5: N = %d", g.N())
+	}
+}

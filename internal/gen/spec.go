@@ -1,0 +1,266 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dexpander/internal/graph"
+)
+
+// Spec is a JSON-friendly description of a generated graph: a family
+// name, named numeric parameters, and the seed. It is the single registry
+// behind both the command-line tools' -graph flags and the service
+// layer's register-by-spec endpoint, so a spec accepted anywhere builds
+// the same instance everywhere (deterministic in Seed).
+type Spec struct {
+	// Family is the generator key, e.g. "gnp" or "ring"; see Families.
+	Family string `json:"family"`
+	// Params holds the family's named parameters; omitted ones take the
+	// family's defaults, unknown names are rejected.
+	Params map[string]float64 `json:"params,omitempty"`
+	// Seed drives the family's randomness (ignored by deterministic
+	// families such as torus).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// param is one named parameter of a family: its default value and the
+// minimum the underlying generator accepts (generators panic below their
+// minimum, so Build validates first and returns an error instead).
+type param struct {
+	name string
+	def  float64
+	min  float64
+}
+
+type familySpec struct {
+	params []param
+	// check enforces cross-parameter constraints (evenness, orderings)
+	// on the defaulted parameter map; nil means the minimums suffice.
+	check func(v map[string]float64) error
+	build func(v map[string]float64, seed uint64) *graph.Graph
+}
+
+func iv(v map[string]float64, name string) int { return int(math.Round(v[name])) }
+
+// families is the registry. Parameter names follow the long-standing CLI
+// flags (blocks, size, p, small, d, ...) so existing invocations keep
+// their meaning.
+var families = map[string]familySpec{
+	"gnp": {
+		params: []param{{"n", 64, 1}, {"p", 0.25, 0}},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return GNP(iv(v, "n"), v["p"], seed)
+		},
+	},
+	"gnp-connected": {
+		params: []param{{"n", 64, 1}, {"p", 0.1, 0}},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return GNPConnected(iv(v, "n"), v["p"], seed)
+		},
+	},
+	"ring": {
+		params: []param{{"blocks", 6, 2}, {"size", 12, 2}},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return RingOfCliques(iv(v, "blocks"), iv(v, "size"), seed)
+		},
+	},
+	"sbm": {
+		params: []param{{"blocks", 6, 1}, {"size", 12, 1}, {"p", 0.5, 0}, {"pout", 0.01, 0}},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return PlantedPartition(iv(v, "blocks"), iv(v, "size"), v["p"], v["pout"], seed)
+		},
+	},
+	"torus": {
+		params: []param{{"size", 12, 3}},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return Torus(iv(v, "size"))
+		},
+	},
+	"grid": {
+		params: []param{{"rows", 8, 1}, {"cols", 8, 1}},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return Grid(iv(v, "rows"), iv(v, "cols"))
+		},
+	},
+	"dumbbell": {
+		params: []param{{"size", 12, 2}, {"bridges", 1, 1}},
+		check: func(v map[string]float64) error {
+			if iv(v, "bridges") > iv(v, "size") {
+				return fmt.Errorf("gen: dumbbell needs bridges <= size")
+			}
+			return nil
+		},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return Dumbbell(iv(v, "size"), iv(v, "bridges"), seed)
+		},
+	},
+	"unbalanced": {
+		params: []param{{"size", 12, 2}, {"small", 6, 2}},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return UnbalancedDumbbell(iv(v, "size"), iv(v, "small"), seed)
+		},
+	},
+	"expander": {
+		params: []param{{"n", 64, 2}, {"d", 6, 1}},
+		check: func(v map[string]float64) error {
+			if iv(v, "n")%2 != 0 {
+				return fmt.Errorf("gen: expander needs even n")
+			}
+			return nil
+		},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return ExpanderByMatchings(iv(v, "n"), iv(v, "d"), seed)
+		},
+	},
+	"expander-of-cliques": {
+		params: []param{{"blocks", 6, 2}, {"size", 8, 2}, {"d", 3, 1}},
+		check: func(v map[string]float64) error {
+			if iv(v, "blocks")%2 != 0 {
+				return fmt.Errorf("gen: expander-of-cliques needs even blocks")
+			}
+			return nil
+		},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return ExpanderOfCliques(iv(v, "blocks"), iv(v, "size"), iv(v, "d"), seed)
+		},
+	},
+	"bipartite": {
+		params: []param{{"nl", 32, 1}, {"nr", 32, 1}, {"p", 0.15, 0}},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return BipartiteGNP(iv(v, "nl"), iv(v, "nr"), v["p"], seed)
+		},
+	},
+	"chung-lu": {
+		params: []param{{"n", 96, 1}, {"gamma", 2.5, 0}, {"avg", 8, 0}},
+		check: func(v map[string]float64) error {
+			if v["gamma"] <= 2 {
+				return fmt.Errorf("gen: chung-lu needs gamma > 2")
+			}
+			return nil
+		},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return ChungLu(iv(v, "n"), v["gamma"], v["avg"], seed)
+		},
+	},
+	"path": {
+		params: []param{{"n", 32, 1}},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return Path(iv(v, "n"))
+		},
+	},
+	"cycle": {
+		params: []param{{"n", 32, 3}},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return Cycle(iv(v, "n"))
+		},
+	},
+	"star": {
+		params: []param{{"n", 32, 1}},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return Star(iv(v, "n"))
+		},
+	},
+	"complete": {
+		params: []param{{"n", 16, 1}},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return Complete(iv(v, "n"))
+		},
+	},
+	"hypercube": {
+		params: []param{{"d", 6, 0}},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return Hypercube(iv(v, "d"))
+		},
+	},
+}
+
+// Families lists the registered family names, sorted.
+func Families() []string {
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// resolved validates the spec against the registry and returns its family
+// descriptor together with the fully-defaulted parameter map.
+func (s Spec) resolved(maxParam float64) (familySpec, map[string]float64, error) {
+	fam, ok := families[s.Family]
+	if !ok {
+		return familySpec{}, nil, fmt.Errorf("gen: unknown family %q (known: %v)", s.Family, Families())
+	}
+	vals := make(map[string]float64, len(fam.params))
+	known := make(map[string]param, len(fam.params))
+	for _, p := range fam.params {
+		vals[p.name] = p.def
+		known[p.name] = p
+	}
+	for name, val := range s.Params {
+		p, ok := known[name]
+		if !ok {
+			return familySpec{}, nil, fmt.Errorf("gen: family %q has no parameter %q", s.Family, name)
+		}
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return familySpec{}, nil, fmt.Errorf("gen: %s.%s = %v is not finite", s.Family, name, val)
+		}
+		if val < p.min {
+			return familySpec{}, nil, fmt.Errorf("gen: %s.%s = %v below minimum %v", s.Family, name, val, p.min)
+		}
+		if val > maxParam {
+			return familySpec{}, nil, fmt.Errorf("gen: %s.%s = %v exceeds limit %v", s.Family, name, val, maxParam)
+		}
+		vals[name] = val
+	}
+	if fam.check != nil {
+		if err := fam.check(vals); err != nil {
+			return familySpec{}, nil, err
+		}
+	}
+	return fam, vals, nil
+}
+
+// Validate checks the spec without building it: the family must exist,
+// every provided parameter must be known to it, finite, and at least the
+// family's minimum, and no parameter may exceed maxParam (callers that
+// accept untrusted specs use maxParam to bound instance sizes before any
+// allocation happens; pass +Inf to disable).
+func (s Spec) Validate(maxParam float64) error {
+	_, _, err := s.resolved(maxParam)
+	return err
+}
+
+// Build validates the spec and constructs the instance. Deterministic:
+// equal specs yield identical graphs on every machine. A generator panic
+// that slips past validation (the registry's checks are meant to be
+// exhaustive) is converted into an error so spec-driven servers never
+// crash on untrusted input.
+func (s Spec) Build() (g *graph.Graph, err error) {
+	fam, vals, err := s.resolved(math.Inf(1))
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("gen: build %s: %v", s.Family, r)
+		}
+	}()
+	return fam.build(vals, s.Seed), nil
+}
+
+// String renders the spec canonically (family, sorted explicit params,
+// seed) — stable across processes, suitable for logs and cache keys.
+func (s Spec) String() string {
+	out := s.Family
+	names := make([]string, 0, len(s.Params))
+	for name := range s.Params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out += fmt.Sprintf(" %s=%v", name, s.Params[name])
+	}
+	return fmt.Sprintf("%s seed=%d", out, s.Seed)
+}

@@ -1,0 +1,89 @@
+package gen
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpecDefaultsBuildEveryFamily(t *testing.T) {
+	for _, fam := range Families() {
+		g, err := Spec{Family: fam, Seed: 7}.Build()
+		if err != nil {
+			t.Errorf("%s: %v", fam, err)
+			continue
+		}
+		if g.N() <= 0 {
+			t.Errorf("%s: built empty graph", fam)
+		}
+	}
+}
+
+func TestSpecMatchesDirectGenerator(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want func() interface{ Fingerprint() uint64 }
+	}{
+		{
+			Spec{Family: "gnp", Params: map[string]float64{"n": 40, "p": 0.3}, Seed: 11},
+			func() interface{ Fingerprint() uint64 } { return GNP(40, 0.3, 11) },
+		},
+		{
+			Spec{Family: "ring", Params: map[string]float64{"blocks": 4, "size": 7}, Seed: 3},
+			func() interface{ Fingerprint() uint64 } { return RingOfCliques(4, 7, 3) },
+		},
+		{
+			Spec{Family: "torus", Params: map[string]float64{"size": 5}},
+			func() interface{ Fingerprint() uint64 } { return Torus(5) },
+		},
+		{
+			Spec{Family: "chung-lu", Params: map[string]float64{"n": 50, "gamma": 2.5, "avg": 6}, Seed: 9},
+			func() interface{ Fingerprint() uint64 } { return ChungLu(50, 2.5, 6, 9) },
+		},
+	}
+	for _, c := range cases {
+		g, err := c.spec.Build()
+		if err != nil {
+			t.Fatalf("%v: %v", c.spec, err)
+		}
+		if g.Fingerprint() != c.want().Fingerprint() {
+			t.Errorf("%v: spec build differs from direct generator call", c.spec)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Family: "nope"},
+		{Family: "gnp", Params: map[string]float64{"q": 0.5}},
+		{Family: "gnp", Params: map[string]float64{"n": -4}},
+		{Family: "gnp", Params: map[string]float64{"p": math.NaN()}},
+		{Family: "expander", Params: map[string]float64{"n": 63}},
+		{Family: "expander-of-cliques", Params: map[string]float64{"blocks": 5}},
+		{Family: "dumbbell", Params: map[string]float64{"size": 3, "bridges": 9}},
+		{Family: "chung-lu", Params: map[string]float64{"gamma": 2}},
+		{Family: "torus", Params: map[string]float64{"size": 2}},
+	}
+	for _, s := range bad {
+		if _, err := s.Build(); err == nil {
+			t.Errorf("%v: accepted", s)
+		}
+	}
+	if err := (Spec{Family: "gnp", Params: map[string]float64{"n": 4096}}).Validate(1024); err == nil {
+		t.Error("maxParam cap not enforced")
+	}
+	if err := (Spec{Family: "gnp", Params: map[string]float64{"n": 512}}).Validate(1024); err != nil {
+		t.Errorf("in-cap spec rejected: %v", err)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Family: "gnp", Params: map[string]float64{"p": 0.25, "n": 64}, Seed: 5}
+	got := s.String()
+	if got != "gnp n=64 p=0.25 seed=5" {
+		t.Fatalf("canonical string = %q", got)
+	}
+	if !strings.Contains(Spec{Family: "torus"}.String(), "torus seed=0") {
+		t.Fatalf("bare spec string = %q", Spec{Family: "torus"}.String())
+	}
+}

@@ -1,0 +1,43 @@
+package graph
+
+import "sort"
+
+// FNV-1a 64-bit constants, shared with the triangle/bench checksum idiom.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Fingerprint returns a 64-bit FNV-1a digest of the canonical edge list:
+// the vertex count, the edge count, and every edge (endpoints normalized
+// U <= V) in sorted (U, V) order. Because the edges are sorted before
+// hashing, the fingerprint is independent of insertion order — the same
+// graph uploaded from differently-ordered edge-list files fingerprints
+// identically — while parallel edges and self-loops still count with
+// multiplicity. This is the snapshot identity the service layer caches
+// under.
+func (g *Graph) Fingerprint() uint64 {
+	es := make([]Edge, len(g.edges))
+	copy(es, g.edges)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	h := uint64(fnvOffset)
+	mix := func(w uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= w & 0xff
+			h *= fnvPrime
+			w >>= 8
+		}
+	}
+	mix(uint64(g.n))
+	mix(uint64(len(es)))
+	for _, e := range es {
+		mix(uint64(e.U))
+		mix(uint64(e.V))
+	}
+	return h
+}

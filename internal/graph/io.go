@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"strconv"
@@ -26,9 +27,119 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadEdgeList parses the format written by WriteEdgeList. Lines that
-// are empty or start with '#' are skipped; the header is required.
+// ReadEdgeList parses the format written by WriteEdgeList, plus the two
+// variations real-world graph dumps need so they can be ingested
+// unmodified:
+//
+//   - gzip: the stream is sniffed for the gzip magic bytes and
+//     transparently decompressed, so "graph.txt.gz" uploads work as-is.
+//   - SNAP headers: lines that are empty or start with '#' are skipped,
+//     and a SNAP-style "# Nodes: N Edges: M" comment seen before any data
+//     line supplies the vertex count, replacing the "n m" header line.
+//     The Edges figure from such a comment is treated as a capacity hint
+//     only (SNAP files count arcs or edges depending on the dataset), so
+//     the strict edge-count check applies only to explicit headers.
+//
+// Without either header form the first data line must be the "n m"
+// header, exactly as before.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return ReadEdgeListLimited(r, ReadLimits{})
+}
+
+// ReadLimits bounds untrusted edge-list input. Both limits apply to the
+// decompressed stream, so a small gzip upload cannot expand into
+// unbounded work; zero means unlimited.
+type ReadLimits struct {
+	// MaxVertices caps the header's vertex count (the parser allocates
+	// per-vertex state, so a lying header must be rejected up front).
+	MaxVertices int
+	// MaxEdges caps the number of edge lines accepted.
+	MaxEdges int
+	// MaxBytes caps the decompressed bytes consumed.
+	MaxBytes int64
+}
+
+// ReadEdgeListLimited is ReadEdgeList with resource bounds — the
+// entry point for servers ingesting untrusted uploads.
+func ReadEdgeListLimited(r io.Reader, lim ReadLimits) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: open gzip stream: %w", err)
+		}
+		g, err := readEdgeList(zr, lim)
+		if err != nil {
+			zr.Close()
+			return nil, err
+		}
+		// Close verifies the gzip checksum; a truncated or corrupted
+		// archive must not yield a silently short graph.
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("graph: gzip stream: %w", err)
+		}
+		return g, nil
+	}
+	return readEdgeList(br, lim)
+}
+
+// errTooLarge marks a stream that outgrew ReadLimits.MaxBytes.
+var errTooLarge = fmt.Errorf("graph: edge list exceeds the decompressed byte limit")
+
+// cappedReader errors (rather than io.EOF) once MORE than max bytes
+// have been consumed, so a bounds violation is distinguishable from a
+// complete stream. A stream of exactly max bytes passes: the reader
+// allows one sentinel byte past the cap and only errors when it
+// arrives.
+type cappedReader struct {
+	r         io.Reader
+	remaining int64 // bytes still allowed; -1 once the cap is breached
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.remaining < 0 {
+		return 0, errTooLarge
+	}
+	if int64(len(p)) > c.remaining+1 {
+		p = p[:c.remaining+1]
+	}
+	n, err := c.r.Read(p)
+	c.remaining -= int64(n)
+	if c.remaining < 0 {
+		return 0, errTooLarge
+	}
+	return n, err
+}
+
+// snapHeader extracts (nodes, edges) from a SNAP-style comment such as
+// "# Nodes: 4039 Edges: 88234".
+func snapHeader(line string) (n, m int, ok bool) {
+	fields := strings.Fields(strings.ToLower(line))
+	n, m = -1, -1
+	for i := 0; i+1 < len(fields); i++ {
+		switch fields[i] {
+		case "nodes:":
+			if v, err := strconv.Atoi(fields[i+1]); err == nil && v >= 0 {
+				n = v
+			}
+		case "edges:":
+			if v, err := strconv.Atoi(fields[i+1]); err == nil && v >= 0 {
+				m = v
+			}
+		}
+	}
+	return n, m, n >= 0
+}
+
+// edgeCapHint bounds the slice capacity pre-allocated from an untrusted
+// "Edges:" count, so a lying header cannot demand the allocation its
+// edge lines never justify.
+const edgeCapHint = 1 << 20
+
+func readEdgeList(r io.Reader, lim ReadLimits) (*Graph, error) {
+	if lim.MaxBytes > 0 {
+		r = &cappedReader{r: r, remaining: lim.MaxBytes}
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
 	var b *Builder
@@ -37,6 +148,17 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
+			if b == nil {
+				if n, m, ok := snapHeader(line); ok {
+					if lim.MaxVertices > 0 && n > lim.MaxVertices {
+						return nil, fmt.Errorf("graph: header vertex count %d exceeds the %d limit", n, lim.MaxVertices)
+					}
+					b = NewBuilder(n)
+					if m > 0 {
+						b.edges = make([]Edge, 0, min(m, edgeCapHint))
+					}
+				}
+			}
 			continue
 		}
 		fields := strings.Fields(line)
@@ -55,12 +177,21 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			if a < 0 || c < 0 {
 				return nil, fmt.Errorf("graph: negative header %q", line)
 			}
+			if lim.MaxVertices > 0 && a > lim.MaxVertices {
+				return nil, fmt.Errorf("graph: header vertex count %d exceeds the %d limit", a, lim.MaxVertices)
+			}
+			if lim.MaxEdges > 0 && c > lim.MaxEdges {
+				return nil, fmt.Errorf("graph: header edge count %d exceeds the %d limit", c, lim.MaxEdges)
+			}
 			b = NewBuilder(a)
 			wantEdges = c
 			continue
 		}
 		if a < 0 || a >= bN(b) || c < 0 || c >= bN(b) {
 			return nil, fmt.Errorf("graph: edge (%d,%d) out of range", a, c)
+		}
+		if lim.MaxEdges > 0 && edges >= lim.MaxEdges {
+			return nil, fmt.Errorf("graph: edge list exceeds the %d-edge limit", lim.MaxEdges)
 		}
 		b.AddEdge(a, c)
 		edges++

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"compress/gzip"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -63,6 +64,182 @@ func TestReadEdgeListSkipsComments(t *testing.T) {
 	}
 	if g.N() != 3 || g.M() != 2 {
 		t.Fatalf("N,M = %d,%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListGzipRoundTrip(t *testing.T) {
+	g := FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 3}, {4, 5}, {0, 5}})
+	var plain bytes.Buffer
+	if err := WriteEdgeList(&plain, g); err != nil {
+		t.Fatal(err)
+	}
+	var packed bytes.Buffer
+	zw := gzip.NewWriter(&packed)
+	if _, err := zw.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() || back.Fingerprint() != g.Fingerprint() {
+		t.Fatalf("gzip round trip: N,M,fp = %d,%d,%x want %d,%d,%x",
+			back.N(), back.M(), back.Fingerprint(), g.N(), g.M(), g.Fingerprint())
+	}
+}
+
+func TestReadEdgeListGzipTruncated(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	var plain bytes.Buffer
+	if err := WriteEdgeList(&plain, g); err != nil {
+		t.Fatal(err)
+	}
+	var packed bytes.Buffer
+	zw := gzip.NewWriter(&packed)
+	if _, err := zw.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cut := packed.Bytes()[:packed.Len()-6] // drop part of the gzip trailer
+	if _, err := ReadEdgeList(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated gzip stream accepted")
+	}
+}
+
+func TestReadEdgeListSNAPHeader(t *testing.T) {
+	// Real SNAP dumps carry the vertex/edge counts in a comment and no
+	// "n m" header line; tabs separate the endpoints.
+	in := "# Directed graph (each unordered pair of nodes is saved once)\n" +
+		"# Nodes: 5 Edges: 4\n" +
+		"# FromNodeId\tToNodeId\n" +
+		"0\t1\n1\t2\n2\t3\n3\t4\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("N,M = %d,%d", g.N(), g.M())
+	}
+	// The Edges figure from a comment is advisory: fewer data lines than
+	// announced must still parse (dataset conventions differ on
+	// arcs-vs-edges counting).
+	in = "# Nodes: 3 Edges: 99\n0 1\n1 2\n"
+	g, err = ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("advisory edge count: N,M = %d,%d", g.N(), g.M())
+	}
+	// Comments after data lines must not re-trigger header parsing.
+	in = "2 1\n0 1\n# Nodes: 9 Edges: 9\n"
+	g, err = ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 || g.M() != 1 {
+		t.Fatalf("trailing comment: N,M = %d,%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListSNAPGzip(t *testing.T) {
+	var packed bytes.Buffer
+	zw := gzip.NewWriter(&packed)
+	if _, err := zw.Write([]byte("# Nodes: 4 Edges: 3\n0 1\n1 2\n2 3\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadEdgeList(&packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("N,M = %d,%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListLimits(t *testing.T) {
+	// A lying "Edges:" comment must not drive a giant allocation: the
+	// capacity is hinted, never trusted.
+	in := "# Nodes: 2 Edges: 9000000000000000000\n0 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 || g.M() != 1 {
+		t.Fatalf("lying edge hint: N,M = %d,%d", g.N(), g.M())
+	}
+
+	lim := ReadLimits{MaxVertices: 100, MaxEdges: 2, MaxBytes: 1 << 20}
+	cases := map[string]string{
+		"vertices (header)": "500 0\n",
+		"vertices (snap)":   "# Nodes: 500 Edges: 1\n0 1\n",
+		"edges (header)":    "3 9\n0 1\n",
+		"edges (lines)":     "# Nodes: 3\n0 1\n1 2\n0 2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadEdgeListLimited(strings.NewReader(in), lim); err == nil {
+			t.Errorf("%s: limit not enforced on %q", name, in)
+		}
+	}
+	if _, err := ReadEdgeListLimited(strings.NewReader("2 1\n0 1\n"), lim); err != nil {
+		t.Errorf("in-limit input rejected: %v", err)
+	}
+
+	// A stream of EXACTLY MaxBytes must pass; one byte more must not.
+	exact := "2 1\n0 1\n"
+	if _, err := ReadEdgeListLimited(strings.NewReader(exact),
+		ReadLimits{MaxBytes: int64(len(exact))}); err != nil {
+		t.Errorf("exactly-at-limit stream rejected: %v", err)
+	}
+	if _, err := ReadEdgeListLimited(strings.NewReader(exact+"\n"),
+		ReadLimits{MaxBytes: int64(len(exact))}); err == nil {
+		t.Error("beyond-limit stream accepted")
+	}
+
+	// MaxBytes bounds the DECOMPRESSED stream: a compact gzip body whose
+	// expansion exceeds the cap errors instead of parsing on.
+	var bomb bytes.Buffer
+	zw := gzip.NewWriter(&bomb)
+	zw.Write([]byte("# Nodes: 5\n")) //nolint:errcheck
+	for i := 0; i < 100_000; i++ {
+		zw.Write([]byte("0 1\n")) //nolint:errcheck
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadEdgeListLimited(bytes.NewReader(bomb.Bytes()),
+		ReadLimits{MaxBytes: 4096, MaxEdges: 1 << 20})
+	if err == nil {
+		t.Fatal("gzip expansion beyond MaxBytes accepted")
+	}
+}
+
+func TestFingerprintOrderIndependent(t *testing.T) {
+	a := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {3, 4}, {2, 2}})
+	b := FromEdges(5, [][2]int{{2, 2}, {4, 3}, {2, 1}, {1, 0}})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("edge order changed the fingerprint")
+	}
+	c := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different edge sets share a fingerprint")
+	}
+	d := FromEdges(6, [][2]int{{0, 1}, {1, 2}, {3, 4}, {2, 2}})
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("different vertex counts share a fingerprint")
+	}
+	// Parallel edges count with multiplicity.
+	e := FromEdges(5, [][2]int{{0, 1}, {0, 1}, {1, 2}, {3, 4}, {2, 2}})
+	if a.Fingerprint() == e.Fingerprint() {
+		t.Fatal("parallel edge did not change the fingerprint")
 	}
 }
 

@@ -1,0 +1,220 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dexpander/internal/core"
+	"dexpander/internal/graph"
+	"dexpander/internal/nibble"
+	"dexpander/internal/triangle"
+)
+
+// QueryParams are the per-request knobs. Zero values take each
+// algorithm's defaults (applied before cache keying, so "defaults
+// spelled out" and "defaults omitted" hit the same cache line).
+type QueryParams struct {
+	// Eps is the decomposition's target inter-cluster edge fraction
+	// (decompose only; default 0.4, matching the bench matrix cells).
+	Eps float64 `json:"eps,omitempty"`
+	// K is Theorem 1's trade-off parameter (decompose; default 2).
+	K int `json:"k,omitempty"`
+	// Seed drives the computation's randomness (default 1, the bench
+	// matrix seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Limit caps the triangle list an enumerate response carries
+	// (default 1000; the count and checksum always cover the full set).
+	Limit int `json:"limit,omitempty"`
+
+	// algoWorkers is the service's per-computation parallelism bound
+	// (Config.AlgoWorkers), injected by Query after defaulting. It never
+	// enters the cache key: outputs are bit-identical for every value.
+	algoWorkers int
+}
+
+// Result is one computed (and cached) analytics answer. All fields are
+// deterministic in (snapshot, algorithm, params): the checksums are the
+// same FNV digests the bench matrix pins, so a served answer can be
+// diffed against a direct library call or a checked-in baseline.
+type Result struct {
+	Algorithm string `json:"algorithm"`
+	Params    string `json:"params"`
+	// Checksum digests the full structural output, "fnv64:" + 16 hex.
+	Checksum string `json:"checksum"`
+	// ComputeNS is the wall time of the single computation that
+	// populated this cache entry (identical for every caller).
+	ComputeNS int64 `json:"compute_ns"`
+
+	// Decomposition fields.
+	Components  int     `json:"components,omitempty"`
+	CutEdges    int64   `json:"cut_edges,omitempty"`
+	EpsAchieved float64 `json:"eps_achieved,omitempty"`
+	PhiTarget   float64 `json:"phi_target,omitempty"`
+
+	// Triangle fields.
+	Triangles int `json:"triangles,omitempty"`
+	// List holds the lexicographically first Limit triangles (enumerate
+	// only); Truncated reports whether the full set was larger.
+	List      [][3]int `json:"list,omitempty"`
+	Truncated bool     `json:"truncated,omitempty"`
+
+	// Simulated CONGEST costs (enumerate only).
+	Rounds   int   `json:"rounds,omitempty"`
+	Messages int64 `json:"messages,omitempty"`
+}
+
+// algorithm couples defaulting, validation, canonical cache keying, and
+// execution.
+type algorithm struct {
+	defaults func(QueryParams) QueryParams
+	// validate rejects bad defaults-applied params up front (nil = all
+	// params acceptable), so run failures can be treated as server
+	// faults rather than caller errors.
+	validate func(QueryParams) error
+	// canon renders the defaults-applied params canonically; it is the
+	// params component of the cache key and must mention every field the
+	// computation reads.
+	canon func(QueryParams) string
+	run   func(view *graph.Sub, name string, p QueryParams) (*Result, error)
+}
+
+// Algorithms the service serves, by endpoint name.
+var algorithms = map[string]algorithm{
+	"decompose": {
+		defaults: func(p QueryParams) QueryParams {
+			if p.Eps == 0 {
+				p.Eps = 0.4
+			}
+			if p.K == 0 {
+				p.K = 2
+			}
+			if p.Seed == 0 {
+				p.Seed = 1
+			}
+			return p
+		},
+		validate: func(p QueryParams) error {
+			if !(p.Eps > 0 && p.Eps < 1) {
+				return fmt.Errorf("service: eps = %v out of (0,1)", p.Eps)
+			}
+			if p.K < 1 {
+				return fmt.Errorf("service: k = %d must be positive", p.K)
+			}
+			return nil
+		},
+		canon: func(p QueryParams) string {
+			return fmt.Sprintf("eps=%v k=%d seed=%d", p.Eps, p.K, p.Seed)
+		},
+		run: runDecompose,
+	},
+	"triangle-count": {
+		defaults: func(p QueryParams) QueryParams { return p },
+		canon:    func(QueryParams) string { return "" },
+		run:      runTriangleCount,
+	},
+	"enumerate": {
+		defaults: func(p QueryParams) QueryParams {
+			if p.Seed == 0 {
+				p.Seed = 1
+			}
+			if p.Limit <= 0 {
+				// Also clamps negative limits: p.Limit reaches a slice
+				// bound in runEnumerate, and a panic there would kill a
+				// pool worker, not just one request.
+				p.Limit = 1000
+			}
+			return p
+		},
+		canon: func(p QueryParams) string {
+			return fmt.Sprintf("seed=%d limit=%d", p.Seed, p.Limit)
+		},
+		run: runEnumerate,
+	},
+}
+
+// AlgorithmNames lists the query endpoints (for docs and errors),
+// derived from the registry so it cannot drift.
+func AlgorithmNames() []string {
+	names := make([]string, 0, len(algorithms))
+	for name := range algorithms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// runDecompose executes the Theorem 1 pipeline. The checksum digests the
+// full structural output exactly like the bench matrix's decompose cells:
+// HashWords(count, cutEdges, labels...).
+func runDecompose(view *graph.Sub, name string, p QueryParams) (*Result, error) {
+	algoWorkers := p.algoWorkers
+	start := time.Now()
+	dec, err := core.Decompose(view, core.Options{
+		Eps: p.Eps, K: p.K, Preset: nibble.Practical, Seed: p.Seed, Workers: algoWorkers,
+	}, core.SeqSubroutines{Preset: nibble.Practical, Workers: algoWorkers})
+	if err != nil {
+		return nil, err
+	}
+	words := make([]uint64, 0, len(dec.Labels)+2)
+	words = append(words, uint64(dec.Count), uint64(dec.CutEdges))
+	for _, l := range dec.Labels {
+		words = append(words, uint64(int64(l)))
+	}
+	return &Result{
+		Algorithm:   name,
+		Checksum:    checksumString(triangle.HashWords(words...)),
+		ComputeNS:   time.Since(start).Nanoseconds(),
+		Components:  dec.Count,
+		CutEdges:    dec.CutEdges,
+		EpsAchieved: dec.EpsAchieved,
+		PhiTarget:   dec.PhiTarget,
+	}, nil
+}
+
+// runTriangleCount runs the sharded parallel kernel; checksum and count
+// match the bench matrix's brute/brute-par cells.
+func runTriangleCount(view *graph.Sub, name string, p QueryParams) (*Result, error) {
+	start := time.Now()
+	set := triangle.BruteForceParallel(view, p.algoWorkers)
+	return &Result{
+		Algorithm: name,
+		Checksum:  checksumString(set.Checksum()),
+		ComputeNS: time.Since(start).Nanoseconds(),
+		Triangles: set.Len(),
+	}, nil
+}
+
+// runEnumerate runs the paper's CONGEST enumeration pipeline (Theorem 2)
+// and reports the simulated round/message costs alongside the result;
+// checksum, count, rounds, and messages match the bench matrix's
+// enumerate cells.
+func runEnumerate(view *graph.Sub, name string, p QueryParams) (*Result, error) {
+	start := time.Now()
+	set, stats, err := triangle.Enumerate(view, triangle.Options{Seed: p.Seed, Workers: p.algoWorkers})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Algorithm: name,
+		Checksum:  checksumString(set.Checksum()),
+		ComputeNS: time.Since(start).Nanoseconds(),
+		Triangles: set.Len(),
+		Rounds:    stats.Rounds,
+		Messages:  stats.Messages,
+	}
+	sorted := set.Sorted()
+	if len(sorted) > p.Limit {
+		sorted = sorted[:p.Limit]
+		res.Truncated = true
+	}
+	res.List = make([][3]int, len(sorted))
+	for i, t := range sorted {
+		res.List[i] = [3]int{t.A, t.B, t.C}
+	}
+	return res, nil
+}
+
+// checksumString renders a digest the way every bench cell does, so
+// service responses diff directly against BENCH_*.json checksums.
+func checksumString(sum uint64) string { return fmt.Sprintf("fnv64:%016x", sum) }

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"dexpander/internal/gen"
+)
+
+// Client is the thin Go binding of the dexpanderd HTTP API. The zero
+// http.Client is used unless HTTP is set.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8437".
+	Base string
+	// HTTP overrides the transport (nil means http.DefaultClient).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the server at base.
+func NewClient(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx response decoded from the error envelope.
+type APIError struct {
+	Status int
+	Msg    string
+	// Retryable marks backpressure rejections (queue full): retry the
+	// identical request after a backoff.
+	Retryable bool
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// do issues one request and decodes the JSON response into out.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var er errorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			return &APIError{Status: resp.StatusCode, Msg: er.Error, Retryable: er.Retryable}
+		}
+		return &APIError{Status: resp.StatusCode, Msg: string(data)}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+func jsonBody(v any) (io.Reader, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(data), nil
+}
+
+// RegisterSpec registers a generated graph by spec.
+func (c *Client) RegisterSpec(ctx context.Context, spec gen.Spec) (*Snapshot, error) {
+	body, err := jsonBody(registerRequest{Spec: spec})
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := c.do(ctx, http.MethodPost, "/v1/graphs", "application/json", body, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// RegisterEdgeList uploads an edge list (any format graph.ReadEdgeList
+// accepts: "n m" header or SNAP comments, plain or gzipped).
+func (c *Client) RegisterEdgeList(ctx context.Context, r io.Reader) (*Snapshot, error) {
+	var snap Snapshot
+	if err := c.do(ctx, http.MethodPost, "/v1/graphs", "text/plain", r, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// Snapshots lists the registry.
+func (c *Client) Snapshots(ctx context.Context) ([]*Snapshot, error) {
+	var out []*Snapshot
+	if err := c.do(ctx, http.MethodGet, "/v1/graphs", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Release drops one reference to the snapshot; at zero it is evicted.
+func (c *Client) Release(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/graphs/"+id, "", nil, nil)
+}
+
+func (c *Client) query(ctx context.Context, id, endpoint string, p QueryParams) (*Result, error) {
+	body, err := jsonBody(p)
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := c.do(ctx, http.MethodPost, "/v1/graphs/"+id+endpoint, "application/json", body, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Decompose runs (or fetches the cached) expander decomposition.
+func (c *Client) Decompose(ctx context.Context, id string, p QueryParams) (*Result, error) {
+	return c.query(ctx, id, "/decompose", p)
+}
+
+// TriangleCount runs (or fetches) the triangle count.
+func (c *Client) TriangleCount(ctx context.Context, id string, p QueryParams) (*Result, error) {
+	return c.query(ctx, id, "/triangles/count", p)
+}
+
+// Enumerate runs (or fetches) the CONGEST triangle enumeration.
+func (c *Client) Enumerate(ctx context.Context, id string, p QueryParams) (*Result, error) {
+	return c.query(ctx, id, "/triangles/enumerate", p)
+}
+
+// ServerStats fetches the service counters.
+func (c *Client) ServerStats(ctx context.Context) (*Stats, error) {
+	var st Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", "", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -1,0 +1,278 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/triangle"
+)
+
+// TestSingleFlightIdenticalRequests is the acceptance pin for the
+// single-flight cache: N >= 32 concurrent identical requests trigger
+// exactly one enumeration, and every caller receives a byte-identical
+// response whose checksum equals the direct library call's. Run under
+// -race in CI.
+func TestSingleFlightIdenticalRequests(t *testing.T) {
+	const callers = 48
+	s := New(Config{Workers: 4, Queue: 8})
+	defer s.Close()
+
+	spec := gen.Spec{Family: "gnp", Params: map[string]float64{"n": 48, "p": 0.2}, Seed: 3}
+	snap, err := s.RegisterSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	responses := make([][]byte, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Query(snap.ID, "enumerate", QueryParams{Seed: 9}, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			responses[i], errs[i] = json.Marshal(res)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	for i := 1; i < callers; i++ {
+		if !bytes.Equal(responses[i], responses[0]) {
+			t.Fatalf("caller %d response differs:\n%s\nvs\n%s", i, responses[i], responses[0])
+		}
+	}
+
+	st := s.Stats()
+	if st.Computations != 1 {
+		t.Fatalf("%d identical requests ran %d computations, want exactly 1", callers, st.Computations)
+	}
+	if st.Busy != 0 {
+		t.Fatalf("identical requests must join the flight, not exhaust the queue (busy=%d)", st.Busy)
+	}
+
+	// Repetitions after completion are cache hits with the same bytes.
+	res, err := s.Query(snap.ID, "enumerate", QueryParams{Seed: 9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rep, responses[0]) {
+		t.Fatal("cache hit response differs from the in-flight responses")
+	}
+	if st := s.Stats(); st.Computations != 1 || st.Hits == 0 {
+		t.Fatalf("post-completion stats: %+v", st)
+	}
+
+	// The served checksum equals the direct library call's.
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _, err := triangle.Enumerate(graph.WholeGraph(g), triangle.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Result
+	if err := json.Unmarshal(responses[0], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Checksum != checksumString(set.Checksum()) || got.Triangles != set.Len() {
+		t.Fatalf("served %s/%d, library %s/%d",
+			got.Checksum, got.Triangles, checksumString(set.Checksum()), set.Len())
+	}
+}
+
+// TestSingleFlightDistinctKeys: concurrent requests across distinct
+// (algorithm, params) keys compute once per key, never more.
+func TestSingleFlightDistinctKeys(t *testing.T) {
+	const keys = 6
+	const callersPerKey = 8
+	s := New(Config{Workers: 4, Queue: keys})
+	defer s.Close()
+
+	snap, err := s.RegisterSpec(gen.Spec{
+		Family: "gnp", Params: map[string]float64{"n": 32, "p": 0.25}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	responses := make([][][]byte, keys)
+	for k := 0; k < keys; k++ {
+		responses[k] = make([][]byte, callersPerKey)
+		for i := 0; i < callersPerKey; i++ {
+			wg.Add(1)
+			go func(k, i int) {
+				defer wg.Done()
+				res, err := s.Query(snap.ID, "enumerate", QueryParams{Seed: uint64(k + 1)}, nil)
+				if err != nil {
+					t.Logf("key %d caller %d: %v", k, i, err)
+					failures.Add(1)
+					return
+				}
+				responses[k][i], _ = json.Marshal(res)
+			}(k, i)
+		}
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d callers failed", failures.Load())
+	}
+	for k := 0; k < keys; k++ {
+		for i := 1; i < callersPerKey; i++ {
+			if !bytes.Equal(responses[k][i], responses[k][0]) {
+				t.Fatalf("key %d: caller %d response differs", k, i)
+			}
+		}
+		for other := k + 1; other < keys; other++ {
+			if bytes.Equal(responses[k][0], responses[other][0]) {
+				t.Fatalf("keys %d and %d produced identical responses (seeds differ)", k, other)
+			}
+		}
+	}
+	if st := s.Stats(); st.Computations != keys {
+		t.Fatalf("%d keys ran %d computations", keys, st.Computations)
+	}
+}
+
+// Test-only blocking algorithm for deterministic backpressure tests: it
+// parks on gate until the test opens it, reporting each start.
+var (
+	slowGate    chan struct{}
+	slowStarted chan struct{}
+)
+
+func init() {
+	algorithms["test-slow"] = algorithm{
+		defaults: func(p QueryParams) QueryParams { return p },
+		canon:    func(p QueryParams) string { return fmt.Sprintf("seed=%d", p.Seed) },
+		run: func(view *graph.Sub, name string, p QueryParams) (*Result, error) {
+			slowStarted <- struct{}{}
+			<-slowGate
+			return &Result{Algorithm: name, Checksum: checksumString(p.Seed)}, nil
+		},
+	}
+}
+
+// TestBackpressureBoundsInFlightWork proves the pool admits at most
+// Workers+Queue computations and fails fast with ErrBusy beyond that —
+// no unbounded goroutine pileup behind a slow kernel.
+func TestBackpressureBoundsInFlightWork(t *testing.T) {
+	slowGate = make(chan struct{})
+	slowStarted = make(chan struct{}, 16)
+	s := New(Config{Workers: 2, Queue: 1})
+	defer s.Close()
+
+	snap, err := s.RegisterSpec(ringSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results := make(chan error, 8)
+	query := func(seed uint64) {
+		_, err := s.Query(snap.ID, "test-slow", QueryParams{Seed: seed}, nil)
+		results <- err
+	}
+
+	// Two computations occupy both workers...
+	go query(1)
+	go query(2)
+	<-slowStarted
+	<-slowStarted
+	// ...a third parks in the queue (admitted, not yet started)...
+	go query(3)
+	for s.Stats().InFlight != 3 {
+		runtime.Gosched()
+	}
+	// ...and a fourth distinct key is rejected with the retryable error.
+	if _, err := s.Query(snap.ID, "test-slow", QueryParams{Seed: 4}, nil); !errors.Is(err, ErrBusy) {
+		t.Fatalf("over-admission: %v", err)
+	}
+	// Joining an in-flight key is NOT an admission and must still work.
+	joined := make(chan error, 1)
+	go func() {
+		_, err := s.Query(snap.ID, "test-slow", QueryParams{Seed: 1}, nil)
+		joined <- err
+	}()
+	for s.Stats().Joins == 0 {
+		runtime.Gosched()
+	}
+
+	close(slowGate)
+	for i := 0; i < 3; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("admitted query %d failed: %v", i, err)
+		}
+	}
+	if err := <-joined; err != nil {
+		t.Fatalf("joiner failed: %v", err)
+	}
+	st := s.Stats()
+	if st.Computations != 3 || st.Busy != 1 || st.Joins == 0 {
+		t.Fatalf("stats after backpressure test: %+v", st)
+	}
+	// The rejected key was never cached: retrying it now computes.
+	if _, err := s.Query(snap.ID, "test-slow", QueryParams{Seed: 4}, nil); err != nil {
+		t.Fatalf("retry after busy: %v", err)
+	}
+	if st := s.Stats(); st.Computations != 4 {
+		t.Fatalf("retry did not compute: %+v", st)
+	}
+}
+
+// TestCanceledWaiterStillCaches: a caller abandoning the wait does not
+// abort the computation; the result lands in the cache for the next one.
+func TestCanceledWaiterStillCaches(t *testing.T) {
+	slowGate = make(chan struct{})
+	slowStarted = make(chan struct{}, 1)
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	snap, err := s.RegisterSpec(ringSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Query(snap.ID, "test-slow", QueryParams{Seed: 7}, cancel)
+		errc <- err
+	}()
+	<-slowStarted
+	close(cancel)
+	if err := <-errc; err == nil {
+		t.Fatal("canceled waiter returned a result")
+	}
+	close(slowGate)
+	res, err := s.Query(snap.ID, "test-slow", QueryParams{Seed: 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != checksumString(7) {
+		t.Fatalf("cached result checksum %s", res.Checksum)
+	}
+	if st := s.Stats(); st.Computations != 1 {
+		t.Fatalf("cancellation re-ran the computation: %+v", st)
+	}
+}

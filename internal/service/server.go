@@ -1,0 +1,186 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+)
+
+// Upload bounds: maxUploadBytes caps the request body on the wire, and
+// uploadLimits bounds the decompressed stream — vertices, edge lines,
+// and bytes — so a gzip bomb or a lying header cannot balloon a tiny
+// body into unbounded allocation.
+const maxUploadBytes = 256 << 20
+
+var uploadLimits = graph.ReadLimits{
+	MaxVertices: 1 << 24,
+	MaxEdges:    1 << 26,
+	MaxBytes:    1 << 31,
+}
+
+// registerRequest is the JSON body of POST /v1/graphs when registering
+// by generator spec.
+type registerRequest struct {
+	Spec gen.Spec `json:"spec"`
+}
+
+// errorResponse is the uniform JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+	// Retryable marks backpressure rejections (HTTP 503): the identical
+	// request can simply be retried after a backoff.
+	Retryable bool `json:"retryable,omitempty"`
+}
+
+// Handler returns the dexpanderd HTTP API:
+//
+//	POST   /v1/graphs                        register (JSON spec or edge-list upload)
+//	GET    /v1/graphs                        list snapshots
+//	GET    /v1/graphs/{id}                   snapshot metadata
+//	DELETE /v1/graphs/{id}                   release one reference
+//	POST   /v1/graphs/{id}/decompose         expander decomposition (Theorem 1)
+//	POST   /v1/graphs/{id}/triangles/count   triangle count (parallel kernel)
+//	POST   /v1/graphs/{id}/triangles/enumerate  CONGEST enumeration (Theorem 2)
+//	GET    /v1/stats                         service counters
+//	GET    /healthz                          liveness
+//
+// Responses are deterministic in (snapshot, algorithm, params): the
+// checksums are the same FNV digests the bench matrix pins.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", s.handleRegister)
+	mux.HandleFunc("GET /v1/graphs", s.handleList)
+	mux.HandleFunc("GET /v1/graphs/{id}", s.handleSnapshot)
+	mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleRelease)
+	mux.HandleFunc("POST /v1/graphs/{id}/decompose", s.queryHandler("decompose"))
+	mux.HandleFunc("POST /v1/graphs/{id}/triangles/count", s.queryHandler("triangle-count"))
+	mux.HandleFunc("POST /v1/graphs/{id}/triangles/enumerate", s.queryHandler("enumerate"))
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error(), Retryable: true})
+	case errors.Is(err, ErrNotFound):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrRegistryFull):
+		writeJSON(w, http.StatusInsufficientStorage, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrCompute):
+		// The request was valid; the kernel failed. Server fault.
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrCanceled):
+		// The client went away mid-wait; the status is written into the
+		// void but keeps logs honest.
+		writeJSON(w, http.StatusRequestTimeout, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	}
+}
+
+// handleRegister accepts either a JSON {"spec": ...} body
+// (Content-Type application/json) or a raw edge-list upload in any
+// format ReadEdgeList accepts: "n m" header or SNAP-style comments,
+// plain or gzip-compressed.
+func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	var snap *Snapshot
+	var err error
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req registerRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeError(w, fmt.Errorf("parse register request: %w", err))
+			return
+		}
+		snap, err = s.RegisterSpec(req.Spec)
+	} else {
+		var g *graph.Graph
+		g, err = graph.ReadEdgeListLimited(body, uploadLimits)
+		if err == nil {
+			snap, err = s.RegisterGraph(g)
+		}
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, snap)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshots())
+}
+
+func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.Snapshot(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Service) handleRelease(w http.ResponseWriter, r *http.Request) {
+	refs, err := s.Release(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"refs": refs})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// queryHandler serves one algorithm endpoint. An empty body means
+// default params.
+func (s *Service) queryHandler(algorithm string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var p QueryParams
+		// MaxBytesReader (unlike a silent LimitReader truncation)
+		// surfaces an explicit "request body too large" error.
+		if err := decodeParams(http.MaxBytesReader(w, r.Body, 1<<20), &p); err != nil {
+			writeError(w, fmt.Errorf("parse query params: %w", err))
+			return
+		}
+		res, err := s.Query(r.PathValue("id"), algorithm, p, r.Context().Done())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+func decodeParams(r io.Reader, p *QueryParams) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	if len(strings.TrimSpace(string(data))) == 0 {
+		return nil
+	}
+	return json.Unmarshal(data, p)
+}

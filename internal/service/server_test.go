@@ -1,0 +1,236 @@
+package service
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/triangle"
+)
+
+func startServer(t *testing.T, cfg Config) (*Service, *Client) {
+	t.Helper()
+	s := New(cfg)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
+	return s, NewClient(srv.URL)
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	_, c := startServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	spec := gen.Spec{Family: "ring", Params: map[string]float64{"blocks": 4, "size": 6}, Seed: 2}
+	snap, err := c.RegisterSpec(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.N != 24 || snap.Refs != 1 || snap.Spec == nil {
+		t.Fatalf("registered snapshot: %+v", snap)
+	}
+
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := graph.WholeGraph(g)
+	direct := triangle.BruteForce(view)
+
+	count, err := c.TriangleCount(ctx, snap.ID, QueryParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Triangles != direct.Len() || count.Checksum != checksumString(direct.Checksum()) {
+		t.Fatalf("count over HTTP: %d/%s, library %d/%s",
+			count.Triangles, count.Checksum, direct.Len(), checksumString(direct.Checksum()))
+	}
+
+	enum, err := c.Enumerate(ctx, snap.ID, QueryParams{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _, err := triangle.Enumerate(view, triangle.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enum.Checksum != checksumString(set.Checksum()) || enum.Rounds == 0 {
+		t.Fatalf("enumerate over HTTP: %+v", enum)
+	}
+
+	dec, err := c.Decompose(ctx, snap.ID, QueryParams{Eps: 0.6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := decomposeChecksum(view, QueryParams{Eps: 0.6, K: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Checksum != want {
+		t.Fatalf("decompose over HTTP: %s, library %s", dec.Checksum, want)
+	}
+
+	// Second identical query is served from cache: same body, a hit in
+	// the counters.
+	dec2, err := c.Decompose(ctx, snap.ID, QueryParams{Eps: 0.6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(dec)
+	b2, _ := json.Marshal(dec2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("repeated decompose responses differ")
+	}
+	st, err := c.ServerStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Computations != 3 || st.Hits != 1 || st.Snapshots != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// List, then release to zero: snapshot and cache evicted.
+	snaps, err := c.Snapshots(ctx)
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("list: %v %v", snaps, err)
+	}
+	if err := c.Release(ctx, snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TriangleCount(ctx, snap.ID, QueryParams{}); err == nil {
+		t.Fatal("query served after release to zero")
+	}
+	var apiErr *APIError
+	if err := c.Release(ctx, snap.ID); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("double release: %v", err)
+	}
+}
+
+func TestServerGzipUpload(t *testing.T) {
+	_, c := startServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	g := gen.RingOfCliques(3, 5, 1)
+	var plain bytes.Buffer
+	if err := graph.WriteEdgeList(&plain, g); err != nil {
+		t.Fatal(err)
+	}
+	var packed bytes.Buffer
+	zw := gzip.NewWriter(&packed)
+	if _, err := zw.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := c.RegisterEdgeList(ctx, &packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.N != g.N() || snap.M != g.M() || snap.Spec != nil {
+		t.Fatalf("uploaded snapshot: %+v", snap)
+	}
+	if snap.ID != snapshotID(g.Fingerprint()) {
+		t.Fatalf("upload id %s, want %s", snap.ID, snapshotID(g.Fingerprint()))
+	}
+
+	res, err := c.TriangleCount(ctx, snap.ID, QueryParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := triangle.Count(graph.WholeGraph(g)); res.Triangles != want {
+		t.Fatalf("triangles on uploaded graph: %d, want %d", res.Triangles, want)
+	}
+}
+
+func TestServerErrorMapping(t *testing.T) {
+	_, c := startServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	var apiErr *APIError
+	if _, err := c.TriangleCount(ctx, "fnv64:0000000000000000", QueryParams{}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown snapshot: %v", err)
+	}
+	if _, err := c.RegisterSpec(ctx, gen.Spec{Family: "nope"}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("bad spec: %v", err)
+	}
+	if _, err := c.RegisterEdgeList(ctx, bytes.NewReader([]byte("not a graph"))); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("bad upload: %v", err)
+	}
+
+	// Out-of-range decomposition params are rejected up front as 400 —
+	// never run, never cached, never misreported as a server fault.
+	snap, err := c.RegisterSpec(ctx, gen.Spec{Family: "ring", Params: map[string]float64{"blocks": 3, "size": 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decompose(ctx, snap.ID, QueryParams{Eps: 3}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("eps out of range: %v", err)
+	}
+	if _, err := c.Decompose(ctx, snap.ID, QueryParams{K: -2}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("negative k: %v", err)
+	}
+
+	resp, err := http.Get(c.Base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}
+
+// TestServerBusyMapsTo503 pins the backpressure contract through the
+// HTTP layer: queue-full rejections surface as 503 + Retry-After with
+// the retryable flag, and the client decodes them into APIError.
+func TestServerBusyMapsTo503(t *testing.T) {
+	slowGate = make(chan struct{})
+	slowStarted = make(chan struct{}, 4)
+	s, c := startServer(t, Config{Workers: 1, Queue: 1})
+	ctx := context.Background()
+
+	snap, err := c.RegisterSpec(ctx, gen.Spec{Family: "ring", Params: map[string]float64{"blocks": 3, "size": 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the worker and the queue slot via the service directly.
+	done := make(chan struct{}, 2)
+	for seed := uint64(1); seed <= 2; seed++ {
+		go func(seed uint64) {
+			s.Query(snap.ID, "test-slow", QueryParams{Seed: seed}, nil) //nolint:errcheck
+			done <- struct{}{}
+		}(seed)
+	}
+	<-slowStarted
+	for s.Stats().InFlight != 2 {
+		runtime.Gosched()
+	}
+
+	// Any fresh computation over HTTP now gets the retryable 503.
+	_, err = c.TriangleCount(ctx, snap.ID, QueryParams{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable || !apiErr.Retryable {
+		t.Fatalf("busy over HTTP: %v", err)
+	}
+
+	close(slowGate)
+	<-done
+	<-done
+	// After the backlog drains, the same request succeeds.
+	if _, err := c.TriangleCount(ctx, snap.ID, QueryParams{}); err != nil {
+		t.Fatalf("retry after drain: %v", err)
+	}
+}

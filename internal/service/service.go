@@ -1,0 +1,421 @@
+// Package service is the long-running graph analytics layer on top of
+// the library's kernels: a snapshot registry of immutable, fingerprinted
+// graphs, and a single-flight result cache that runs the expensive
+// computations (expander decomposition, triangle counting/enumeration)
+// exactly once per (snapshot, algorithm, params) key on a bounded worker
+// pool. cmd/dexpanderd exposes it over HTTP/JSON; see README.md for the
+// architecture and endpoint schema.
+//
+// The design follows the paper's own cost structure: the decomposition
+// is an expensive, reusable preprocessing artifact that many cheap
+// queries amortize against, which is exactly a cache-plus-server shape.
+//
+// Concurrency contract: N concurrent identical requests trigger exactly
+// one computation; everyone (the computing request and all joiners)
+// receives the same cached Result, so responses are byte-identical
+// across repetitions. Work is admitted onto a fixed pool of Workers
+// goroutines behind a bounded queue — when the queue is full, Query
+// fails fast with ErrBusy (retryable) instead of spawning unbounded
+// goroutines.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/par"
+)
+
+// Errors the API maps to distinct HTTP statuses.
+var (
+	// ErrBusy means the compute queue is full; the request was not
+	// admitted and can be retried later.
+	ErrBusy = errors.New("service: compute queue full, retry later")
+	// ErrNotFound means the snapshot id is not registered.
+	ErrNotFound = errors.New("service: snapshot not found")
+	// ErrRegistryFull means the snapshot registry is at capacity and
+	// every resident snapshot is still referenced.
+	ErrRegistryFull = errors.New("service: snapshot registry full")
+	// ErrClosed means the service has been shut down.
+	ErrClosed = errors.New("service: closed")
+	// ErrCanceled means the caller abandoned the wait; the computation
+	// itself continues and lands in the cache.
+	ErrCanceled = errors.New("service: request canceled")
+	// ErrCompute wraps a failed computation — a server-side fault, not a
+	// request problem (the HTTP layer maps it to 500).
+	ErrCompute = errors.New("service: computation failed")
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the compute pool size; 0 means GOMAXPROCS.
+	Workers int
+	// Queue is the pending-computation queue capacity; 0 means
+	// 4*Workers. A full queue makes Query return ErrBusy.
+	Queue int
+	// MaxSnapshots caps the registry; 0 means 64. Eviction is purely
+	// ref-counted (Release to zero evicts), so registering into a full
+	// registry fails with ErrRegistryFull until something is released.
+	MaxSnapshots int
+	// MaxGenParam caps every generator-spec parameter, bounding the size
+	// of instances untrusted specs can demand; 0 means 1<<20.
+	MaxGenParam float64
+	// AlgoWorkers bounds the host parallelism of one computation
+	// (forwarded to core/triangle Options.Workers); 0 means GOMAXPROCS.
+	// Outputs are bit-identical for every value.
+	AlgoWorkers int
+}
+
+// withDefaults also clamps negative values to the defaults (an operator
+// typo like -queue -1 must not panic make(chan, -1) or dead-end every
+// registration).
+func (c Config) withDefaults() Config {
+	c.Workers = par.Workers(c.Workers)
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.Workers
+	}
+	if c.MaxSnapshots <= 0 {
+		c.MaxSnapshots = 64
+	}
+	if c.MaxGenParam <= 0 {
+		c.MaxGenParam = 1 << 20
+	}
+	return c
+}
+
+// Snapshot is one immutable registered graph. The fingerprint (an FNV-1a
+// digest of the canonical edge list, see graph.Fingerprint) is the
+// identity: registering the same graph again — whether uploaded or
+// generated — dedups onto the existing snapshot and bumps its refcount.
+type Snapshot struct {
+	// ID is the stable handle, "fnv64:" + 16 hex digits of the
+	// fingerprint.
+	ID string `json:"id"`
+	// N and M describe the graph.
+	N int `json:"n"`
+	M int `json:"m"`
+	// Refs is the current reference count; Release decrements it and the
+	// snapshot (plus its cached results) is evicted at zero.
+	Refs int `json:"refs"`
+	// Spec is the generator spec when registered that way (nil for
+	// uploads).
+	Spec *gen.Spec `json:"spec,omitempty"`
+
+	fingerprint uint64
+	seq         uint64 // registration order; Snapshots() lists in it
+	view        *graph.Sub
+}
+
+// cacheKey identifies one cached computation.
+type cacheKey struct {
+	fingerprint uint64
+	algorithm   string
+	params      string // canonical, defaults applied
+}
+
+// entry is one single-flight cache slot. done is closed when result/err
+// are final; every waiter (including the computing request itself) reads
+// them only after done.
+type entry struct {
+	key  cacheKey
+	snap *Snapshot
+	run  func(*graph.Sub) (*Result, error)
+
+	done   chan struct{}
+	result *Result
+	err    error
+}
+
+// Stats is the service's observable state, served by /v1/stats.
+type Stats struct {
+	Snapshots    int    `json:"snapshots"`
+	CacheEntries int    `json:"cache_entries"`
+	InFlight     int    `json:"in_flight"`
+	Workers      int    `json:"workers"`
+	QueueCap     int    `json:"queue_cap"`
+	Computations uint64 `json:"computations"`
+	Hits         uint64 `json:"hits"`
+	Joins        uint64 `json:"joins"`
+	Busy         uint64 `json:"busy"`
+	Evictions    uint64 `json:"evictions"`
+}
+
+// Service is the concurrency-safe registry + cache + pool.
+type Service struct {
+	cfg Config
+
+	mu      sync.Mutex
+	closed  bool
+	nextSeq uint64
+	snaps   map[string]*Snapshot
+	cache   map[cacheKey]*entry
+	stats   Stats
+
+	work chan *entry
+	wg   sync.WaitGroup
+}
+
+// New starts a service with cfg's pool and queue.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		snaps: make(map[string]*Snapshot),
+		cache: make(map[cacheKey]*entry),
+		work:  make(chan *entry, cfg.Queue),
+	}
+	s.stats.Workers = cfg.Workers
+	s.stats.QueueCap = cfg.Queue
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close drains the pool and rejects further work. In-flight computations
+// finish; their waiters are served normally.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.work)
+	s.wg.Wait()
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for e := range s.work {
+		res, err := e.run(e.snap.view)
+		s.mu.Lock()
+		e.result, e.err = res, err
+		s.stats.Computations++
+		s.stats.InFlight--
+		if err != nil {
+			// Failed computations are not cached: the next identical
+			// request retries instead of replaying the error forever.
+			// Only unlink OUR entry — after an eviction plus
+			// re-registration, the key may already hold a newer flight.
+			if cur, ok := s.cache[e.key]; ok && cur == e {
+				delete(s.cache, e.key)
+			}
+		}
+		s.mu.Unlock()
+		close(e.done)
+	}
+}
+
+// snapshotID renders a fingerprint as the stable snapshot handle.
+func snapshotID(fp uint64) string { return fmt.Sprintf("fnv64:%016x", fp) }
+
+// register adds g to the registry (or dedups onto the resident snapshot
+// with the same fingerprint) and bumps the refcount.
+func (s *Service) register(g *graph.Graph, spec *gen.Spec) (*Snapshot, error) {
+	fp := g.Fingerprint()
+	id := snapshotID(fp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if snap, ok := s.snaps[id]; ok {
+		snap.Refs++
+		cp := *snap
+		return &cp, nil
+	}
+	if len(s.snaps) >= s.cfg.MaxSnapshots {
+		return nil, ErrRegistryFull
+	}
+	snap := &Snapshot{
+		ID:          id,
+		N:           g.N(),
+		M:           g.M(),
+		Refs:        1,
+		Spec:        spec,
+		fingerprint: fp,
+		seq:         s.nextSeq,
+		view:        graph.WholeGraph(g),
+	}
+	s.nextSeq++
+	s.snaps[id] = snap
+	cp := *snap
+	return &cp, nil
+}
+
+// evictLocked removes the snapshot and every cached result keyed to its
+// fingerprint. In-flight entries stay reachable by their waiters but are
+// unlinked from the cache.
+func (s *Service) evictLocked(snap *Snapshot) {
+	delete(s.snaps, snap.ID)
+	for k := range s.cache {
+		if k.fingerprint == snap.fingerprint {
+			delete(s.cache, k)
+		}
+	}
+	s.stats.Evictions++
+}
+
+// RegisterGraph registers an uploaded graph.
+func (s *Service) RegisterGraph(g *graph.Graph) (*Snapshot, error) {
+	return s.register(g, nil)
+}
+
+// RegisterSpec validates the spec against the registry and the MaxGenParam
+// bound, builds the instance, and registers it.
+func (s *Service) RegisterSpec(spec gen.Spec) (*Snapshot, error) {
+	if err := spec.Validate(s.cfg.MaxGenParam); err != nil {
+		return nil, err
+	}
+	g, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	return s.register(g, &spec)
+}
+
+// Release decrements the snapshot's refcount; at zero the snapshot and
+// all of its cached results are evicted. It returns the remaining count.
+func (s *Service) Release(id string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, ok := s.snaps[id]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	if snap.Refs > 0 {
+		snap.Refs--
+	}
+	if snap.Refs == 0 {
+		s.evictLocked(snap)
+		return 0, nil
+	}
+	return snap.Refs, nil
+}
+
+// Snapshot returns a copy of the snapshot's metadata.
+func (s *Service) Snapshot(id string) (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, ok := s.snaps[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	cp := *snap
+	return &cp, nil
+}
+
+// Snapshots lists the registry, sorted by registration order.
+func (s *Service) Snapshots() []*Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Snapshot, 0, len(s.snaps))
+	for _, snap := range s.snaps {
+		cp := *snap
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Snapshots = len(s.snaps)
+	st.CacheEntries = len(s.cache)
+	return st
+}
+
+// Query resolves (id, algorithm, params) through the single-flight
+// cache: a cached result returns immediately, an in-flight identical
+// request is joined, and a fresh key is admitted onto the worker pool —
+// or rejected with ErrBusy when the queue is full. cancel, when non-nil,
+// abandons the wait (the computation itself continues and lands in the
+// cache for the next caller).
+func (s *Service) Query(id, algorithm string, p QueryParams, cancel <-chan struct{}) (*Result, error) {
+	algo, ok := algorithms[algorithm]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown algorithm %q", algorithm)
+	}
+	p = algo.defaults(p)
+	if algo.validate != nil {
+		if err := algo.validate(p); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	snap, ok := s.snaps[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	canon := algo.canon(p)
+	p.algoWorkers = s.cfg.AlgoWorkers
+	key := cacheKey{fingerprint: snap.fingerprint, algorithm: algorithm, params: canon}
+	if e, ok := s.cache[key]; ok {
+		select {
+		case <-e.done:
+			s.stats.Hits++
+		default:
+			s.stats.Joins++
+		}
+		s.mu.Unlock()
+		return waitEntry(e, cancel)
+	}
+	e := &entry{
+		key:  key,
+		snap: snap,
+		run: func(view *graph.Sub) (*Result, error) {
+			res, err := algo.run(view, algorithm, p)
+			if err != nil {
+				// Params were validated up front, so a run failure is a
+				// server-side fault; tag it so the HTTP layer reports
+				// 500, not 400.
+				return nil, fmt.Errorf("%w: %v", ErrCompute, err)
+			}
+			res.Params = canon
+			return res, nil
+		},
+		done: make(chan struct{}),
+	}
+	// Admission control under the lock: either the queue has room now and
+	// the entry becomes the key's single flight, or the caller gets
+	// ErrBusy and nothing is recorded.
+	select {
+	case s.work <- e:
+		s.cache[key] = e
+		s.stats.InFlight++
+	default:
+		s.stats.Busy++
+		s.mu.Unlock()
+		return nil, ErrBusy
+	}
+	s.mu.Unlock()
+	return waitEntry(e, cancel)
+}
+
+func waitEntry(e *entry, cancel <-chan struct{}) (*Result, error) {
+	if cancel == nil {
+		<-e.done
+		return e.result, e.err
+	}
+	select {
+	case <-e.done:
+		return e.result, e.err
+	case <-cancel:
+		return nil, ErrCanceled
+	}
+}

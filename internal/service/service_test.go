@@ -1,0 +1,289 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dexpander/internal/core"
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/nibble"
+	"dexpander/internal/triangle"
+)
+
+func ringSpec(seed uint64) gen.Spec {
+	return gen.Spec{
+		Family: "ring",
+		Params: map[string]float64{"blocks": 4, "size": 6},
+		Seed:   seed,
+	}
+}
+
+func TestRegisterDedupsByFingerprint(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+
+	a, err := s.RegisterSpec(ringSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Refs != 1 {
+		t.Fatalf("first registration refs = %d", a.Refs)
+	}
+
+	// Same spec again: same snapshot, bumped refcount.
+	b, err := s.RegisterSpec(ringSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != a.ID || b.Refs != 2 {
+		t.Fatalf("re-registration: id %s refs %d, want %s refs 2", b.ID, b.Refs, a.ID)
+	}
+
+	// The same graph uploaded as an edge list dedups too: fingerprints
+	// are insertion-order independent.
+	g, err := ringSpec(7).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := graph.ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.RegisterGraph(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != a.ID || c.Refs != 3 {
+		t.Fatalf("upload dedup: id %s refs %d, want %s refs 3", c.ID, c.Refs, a.ID)
+	}
+
+	if len(s.Snapshots()) != 1 {
+		t.Fatalf("registry holds %d snapshots, want 1", len(s.Snapshots()))
+	}
+}
+
+func TestReleaseEvictsAtZeroRefs(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+
+	snap, err := s.RegisterSpec(ringSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterSpec(ringSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Populate the cache so eviction has something to clear.
+	if _, err := s.Query(snap.ID, "triangle-count", QueryParams{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.CacheEntries != 1 {
+		t.Fatalf("cache entries = %d, want 1", st.CacheEntries)
+	}
+
+	refs, err := s.Release(snap.ID)
+	if err != nil || refs != 1 {
+		t.Fatalf("first release: refs %d err %v", refs, err)
+	}
+	refs, err = s.Release(snap.ID)
+	if err != nil || refs != 0 {
+		t.Fatalf("second release: refs %d err %v", refs, err)
+	}
+	if _, err := s.Snapshot(snap.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("snapshot survived release to zero: %v", err)
+	}
+	st := s.Stats()
+	if st.CacheEntries != 0 || st.Evictions != 1 {
+		t.Fatalf("after eviction: cache=%d evictions=%d", st.CacheEntries, st.Evictions)
+	}
+	if _, err := s.Query(snap.ID, "triangle-count", QueryParams{}, nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("query on evicted snapshot: %v", err)
+	}
+}
+
+func TestRegistryCapacity(t *testing.T) {
+	s := New(Config{Workers: 1, MaxSnapshots: 2})
+	defer s.Close()
+
+	// Distinct structures (gnp varies with the seed; ring does not).
+	gnp := func(seed uint64) gen.Spec {
+		return gen.Spec{Family: "gnp", Params: map[string]float64{"n": 16, "p": 0.3}, Seed: seed}
+	}
+	if _, err := s.RegisterSpec(gnp(1)); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := s.RegisterSpec(gnp(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterSpec(gnp(3)); !errors.Is(err, ErrRegistryFull) {
+		t.Fatalf("over-capacity registration: %v", err)
+	}
+	if _, err := s.Release(snap2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterSpec(gnp(3)); err != nil {
+		t.Fatalf("registration after release: %v", err)
+	}
+}
+
+func TestSpecSizeCap(t *testing.T) {
+	s := New(Config{Workers: 1, MaxGenParam: 100})
+	defer s.Close()
+	_, err := s.RegisterSpec(gen.Spec{Family: "gnp", Params: map[string]float64{"n": 5000}})
+	if err == nil {
+		t.Fatal("oversized spec accepted")
+	}
+}
+
+// TestQueryChecksumsMatchLibrary pins the service's determinism contract:
+// served checksums equal the direct library calls' digests.
+func TestQueryChecksumsMatchLibrary(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+
+	spec := ringSpec(5)
+	snap, err := s.RegisterSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := graph.WholeGraph(g)
+
+	res, err := s.Query(snap.ID, "triangle-count", QueryParams{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := triangle.BruteForce(view)
+	if res.Triangles != direct.Len() || res.Checksum != checksumString(direct.Checksum()) {
+		t.Fatalf("triangle-count: served %d/%s, library %d/%s",
+			res.Triangles, res.Checksum, direct.Len(), checksumString(direct.Checksum()))
+	}
+
+	enum, err := s.Query(snap.ID, "enumerate", QueryParams{Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _, err := triangle.Enumerate(view, triangle.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enum.Checksum != checksumString(set.Checksum()) || enum.Triangles != set.Len() {
+		t.Fatalf("enumerate: served %s, library %s", enum.Checksum, checksumString(set.Checksum()))
+	}
+	if enum.Truncated || len(enum.List) != set.Len() {
+		t.Fatalf("enumerate list: %d triangles, truncated=%v", len(enum.List), enum.Truncated)
+	}
+
+	dec, err := s.Query(snap.ID, "decompose", QueryParams{Eps: 0.6, K: 2, Seed: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := decomposeChecksum(view, QueryParams{Eps: 0.6, K: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Checksum != want {
+		t.Fatalf("decompose: served %s, library %s", dec.Checksum, want)
+	}
+	if dec.Components < 1 || dec.Params != "eps=0.6 k=2 seed=5" {
+		t.Fatalf("decompose result: %+v", dec)
+	}
+}
+
+// decomposeChecksum reproduces the service's decompose digest with a
+// direct library call (same formula as the bench matrix cells).
+func decomposeChecksum(view *graph.Sub, p QueryParams) (string, error) {
+	dec, err := core.Decompose(view, core.Options{
+		Eps: p.Eps, K: p.K, Preset: nibble.Practical, Seed: p.Seed,
+	}, core.SeqSubroutines{Preset: nibble.Practical})
+	if err != nil {
+		return "", err
+	}
+	words := make([]uint64, 0, len(dec.Labels)+2)
+	words = append(words, uint64(dec.Count), uint64(dec.CutEdges))
+	for _, l := range dec.Labels {
+		words = append(words, uint64(int64(l)))
+	}
+	return checksumString(triangle.HashWords(words...)), nil
+}
+
+func TestEnumerateLimitTruncates(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	snap, err := s.RegisterSpec(ringSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(snap.ID, "enumerate", QueryParams{Limit: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || len(res.List) != 3 {
+		t.Fatalf("limit 3: got %d triangles, truncated=%v", len(res.List), res.Truncated)
+	}
+	if res.Triangles <= 3 {
+		t.Fatalf("full count lost under truncation: %d", res.Triangles)
+	}
+}
+
+// TestNegativeParamsAndConfigClamped: hostile or typo'd inputs must not
+// panic a pool worker (negative enumerate limit) or the daemon at
+// startup (negative queue/registry sizes).
+func TestNegativeParamsAndConfigClamped(t *testing.T) {
+	s := New(Config{Workers: 1, Queue: -1, MaxSnapshots: -1, MaxGenParam: -1})
+	defer s.Close()
+	if st := s.Stats(); st.QueueCap <= 0 {
+		t.Fatalf("negative queue not clamped: %+v", st)
+	}
+	snap, err := s.RegisterSpec(ringSpec(1))
+	if err != nil {
+		t.Fatalf("register under clamped config: %v", err)
+	}
+	res, err := s.Query(snap.ID, "enumerate", QueryParams{Limit: -1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -1 clamps to the default limit, same cache line as the default.
+	if res.Params != "seed=1 limit=1000" {
+		t.Fatalf("negative limit canon: %q", res.Params)
+	}
+}
+
+func TestQueryUnknownAlgorithm(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	snap, err := s.RegisterSpec(ringSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(snap.ID, "nope", QueryParams{}, nil); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestClosedServiceRejects(t *testing.T) {
+	s := New(Config{Workers: 1})
+	snap, err := s.RegisterSpec(ringSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Query(snap.ID, "triangle-count", QueryParams{}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("query after close: %v", err)
+	}
+	if _, err := s.RegisterSpec(ringSpec(2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("register after close: %v", err)
+	}
+}
