@@ -61,6 +61,12 @@ func run() error {
 	// checksums — the gate thereby re-verifies the parallel pipelines'
 	// bit-identity to serial on every CI run.
 	rep.Merge(bench.Run(bench.DecompositionScenarios(), bench.DecompositionAlgorithms(), opt))
+	// Skewed cells pit the triangle kernels against heavy-tail degree
+	// distributions: the enumerate-merge and enumerate-rank columns of a
+	// scenario must carry identical checksums, so the baseline gate pins
+	// the rank kernel's bit-identity on every CI run, and count-2d must
+	// report the same triangle count.
+	rep.Merge(bench.Run(bench.SkewedScenarios(), bench.SkewedAlgorithms(), opt))
 	// Serving cells drive a live dexpanderd service over loopback HTTP:
 	// serve-cold measures the first-query path, serve-hot the cached
 	// steady state, and the two cells of one scenario must carry the

@@ -20,6 +20,23 @@
 // several times faster than the sequential oracle on thousands of
 // vertices.
 //
+// On power-law inputs the triangle hot path switches to the skew-proof
+// rank kernel (the default behind CountParallel/TrianglesParallel):
+// vertices are reordered by descending degree and each keeps only its
+// higher-rank neighbors, so forward lists are O(sqrt(m)) long and a
+// hub's O(deg^2) wedge term disappears; per-pair intersections pick
+// between a two-pointer merge, an epoch-stamped mark array probed with
+// no clearing, and galloping binary search by length ratio (tuned via
+// BenchmarkIntersectionStrategies). A 2D edge-partitioned counting
+// path (triangle.CountParallel2D, after Tom & Karypis) tiles the rank
+// space into forward-volume-balanced blocks whose (i, j, k) triples
+// run as independent internal/par tasks — the seam for multi-node
+// counting. All kernels are bit-identical for every worker count, a
+// contract the bench baseline's merge-vs-rank checksum equality
+// re-proves on every CI run; kernels are selectable per request via
+// the service's "kernel" query parameter and trianglebench's -kernel
+// flag.
+//
 // The decomposition stack runs on a sparse local walk engine
 // (internal/spectral's WalkState): the truncated lazy walk at the heart
 // of Nibble keeps an explicit support list over pooled, epoch-stamped

@@ -99,6 +99,54 @@ func LargeLocalScenarios() []Scenario {
 	}
 }
 
+func baScenario(n, m0 int) Scenario {
+	return Scenario{
+		Family: "barabasi-albert",
+		Params: fmt.Sprintf("n=%d m0=%d", n, m0),
+		Build:  func(seed uint64) *graph.Graph { return gen.BarabasiAlbert(n, m0, seed) },
+	}
+}
+
+// SkewedScenarios is the heavy-tail slice of the matrix: preferential
+// attachment and heavy-tail Chung-Lu (gamma just above 2, the regime
+// where hubs dominate) at two sizes each — the inputs the id-ordered
+// merge kernel degrades on and the rank/2D kernels are built for.
+func SkewedScenarios() []Scenario {
+	return []Scenario{
+		baScenario(512, 8),
+		baScenario(2048, 8),
+		chungLuScenario(512, 2.1, 12),
+		chungLuScenario(2048, 2.1, 16),
+	}
+}
+
+// SkewedAlgorithms are the kernel columns run on SkewedScenarios: the
+// merge and rank enumeration kernels (whose checksums digest the full
+// triangle set, so the baseline gate pins the rank kernel bit-identical
+// to merge on every CI run) plus the 2D edge-partitioned counting path
+// (whose triangle count must match both).
+func SkewedAlgorithms() []Algorithm {
+	return []Algorithm{
+		{Name: "enumerate-merge", Run: kernelCell(triangle.KernelMerge)},
+		{Name: "enumerate-rank", Run: kernelCell(triangle.KernelRank)},
+		{Name: "count-2d", Run: runCount2D},
+	}
+}
+
+// kernelCell runs the selected triangle kernel over the whole view with
+// the default worker pool and digests the full triangle set.
+func kernelCell(k triangle.Kernel) func(view *graph.Sub, seed uint64) (Result, error) {
+	return func(view *graph.Sub, seed uint64) (Result, error) {
+		set := triangle.SetKernel(view, 0, k)
+		return Result{Triangles: set.Len(), Checksum: set.Checksum()}, nil
+	}
+}
+
+func runCount2D(view *graph.Sub, seed uint64) (Result, error) {
+	n := triangle.CountParallel2D(view, 0)
+	return Result{Triangles: n, Checksum: triangle.HashWords(uint64(n))}, nil
+}
+
 // engineProbeRounds is the fixed round count of the engine throughput
 // probe: enough rounds to amortize engine setup, few enough to keep every
 // scenario cell cheap.

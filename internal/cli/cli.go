@@ -40,7 +40,8 @@ type GraphFlags struct {
 	Bridges int
 	// Small is the small side (unbalanced dumbbell).
 	Small int
-	// D is the expander matching count / hypercube dimension.
+	// D is the expander matching count / hypercube dimension /
+	// barabasi-albert edges-per-vertex m0.
 	D int
 	// P is the edge probability (gnp, sbm intra; <= 0 selects the
 	// family's fallback: 4/n for gnp, the registry default otherwise).
@@ -57,7 +58,7 @@ func (f *GraphFlags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&f.Size, "size", f.Size, "primary size parameter (block size, torus/grid side, or n)")
 	fs.IntVar(&f.Bridges, "bridges", f.Bridges, "bridge count (dumbbell)")
 	fs.IntVar(&f.Small, "small", f.Small, "small side size (unbalanced)")
-	fs.IntVar(&f.D, "d", f.D, "degree parameter (expander, expander-of-cliques, hypercube)")
+	fs.IntVar(&f.D, "d", f.D, "degree parameter (expander, expander-of-cliques, hypercube, barabasi-albert m0)")
 	fs.Float64Var(&f.P, "p", f.P, "edge probability (gnp) / intra probability (sbm); <= 0 means the family fallback")
 	fs.Uint64Var(&f.Seed, "seed", f.Seed, "random seed")
 }
@@ -112,6 +113,11 @@ func (f *GraphFlags) Spec() (gen.Spec, error) {
 		}
 	case "chung-lu", "path", "cycle", "star", "complete":
 		s.Params["n"] = float64(f.Size)
+	case "barabasi-albert":
+		s.Params["n"] = float64(f.Size)
+		if f.D > 0 {
+			s.Params["m0"] = float64(f.D)
+		}
 	case "hypercube":
 		s.Params["d"] = float64(f.D)
 	default:

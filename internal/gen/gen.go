@@ -16,6 +16,10 @@
 //     Phase 1.
 //   - ChungLu: heavy-tailed degrees, stressing the volume-based balance
 //     definitions.
+//   - BarabasiAlbert: preferential attachment — the canonical power-law
+//     skew workload for the rank-ordered triangle kernels (old vertices
+//     become hubs whose low ids are exactly the merge kernel's worst
+//     case).
 //   - ExpanderOfCliques: clusters whose quotient graph is an expander,
 //     separating decomposition quality from diameter effects.
 //   - BipartiteGNP: triangle-free by construction, the zero-output
@@ -458,6 +462,55 @@ func ChungLu(n int, gamma, avgDeg float64, seed uint64) *graph.Graph {
 			if r.Bernoulli(p) {
 				b.AddEdge(u, v)
 			}
+		}
+	}
+	return b.Graph()
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: m0 initial
+// vertices, then each new vertex attaches to m0 distinct existing
+// vertices chosen with probability proportional to their current degree
+// (the first arrival links to all m0 initial vertices, seeding the
+// degree distribution). Exactly m0*(n-m0) edges, connected and simple by
+// construction, with the power-law degree tail and old-id hubs that make
+// it the canonical skewed-kernel workload. Needs 1 <= m0 < n.
+func BarabasiAlbert(n, m0 int, seed uint64) *graph.Graph {
+	if m0 < 1 || m0 >= n {
+		panic("gen: BarabasiAlbert needs 1 <= m0 < n")
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	// repeated holds every edge endpoint once per incidence; uniform
+	// sampling from it IS degree-proportional sampling. Rejection keeps
+	// the m0 targets distinct; a slice (not a map) keeps the edge
+	// insertion order — and therefore the whole instance — deterministic
+	// in the seed.
+	repeated := make([]int, 0, 2*m0*(n-m0))
+	targets := make([]int, 0, m0)
+	for v := m0; v < n; v++ {
+		targets = targets[:0]
+		if v == m0 {
+			for u := 0; u < m0; u++ {
+				targets = append(targets, u)
+			}
+		} else {
+			for len(targets) < m0 {
+				u := repeated[r.Intn(len(repeated))]
+				fresh := true
+				for _, t := range targets {
+					if t == u {
+						fresh = false
+						break
+					}
+				}
+				if fresh {
+					targets = append(targets, u)
+				}
+			}
+		}
+		for _, u := range targets {
+			b.AddEdge(u, v)
+			repeated = append(repeated, u, v)
 		}
 	}
 	return b.Graph()

@@ -57,6 +57,12 @@ func generatorCases() []genCase {
 			24, -1, 24, 48, true, false},
 		{"chung-lu", func(s uint64) *graph.Graph { return ChungLu(60, 2.5, 5, s) },
 			60, -1, 30, 600, true, false},
+		{"chung-lu-heavy", func(s uint64) *graph.Graph { return ChungLu(80, 2.1, 8, s) },
+			80, -1, 80, 1200, true, false},
+		{"barabasi-albert", func(s uint64) *graph.Graph { return BarabasiAlbert(50, 3, s) },
+			50, 3 * 47, 0, 0, true, true},
+		{"barabasi-albert-m01", func(s uint64) *graph.Graph { return BarabasiAlbert(40, 1, s) },
+			40, 39, 0, 0, true, true},
 		{"bipartite-gnp", func(s uint64) *graph.Graph { return BipartiteGNP(15, 20, 0.2, s) },
 			35, -1, 15, 300, true, false},
 		{"expander-of-cliques", func(s uint64) *graph.Graph { return ExpanderOfCliques(6, 4, 3, s) },

@@ -143,6 +143,18 @@ var families = map[string]familySpec{
 			return ChungLu(iv(v, "n"), v["gamma"], v["avg"], seed)
 		},
 	},
+	"barabasi-albert": {
+		params: []param{{"n", 128, 2}, {"m0", 4, 1}},
+		check: func(v map[string]float64) error {
+			if iv(v, "m0") >= iv(v, "n") {
+				return fmt.Errorf("gen: barabasi-albert needs m0 < n")
+			}
+			return nil
+		},
+		build: func(v map[string]float64, seed uint64) *graph.Graph {
+			return BarabasiAlbert(iv(v, "n"), iv(v, "m0"), seed)
+		},
+	},
 	"path": {
 		params: []param{{"n", 32, 1}},
 		build: func(v map[string]float64, seed uint64) *graph.Graph {

@@ -26,6 +26,11 @@ type QueryParams struct {
 	// Limit caps the triangle list an enumerate response carries
 	// (default 1000; the count and checksum always cover the full set).
 	Limit int `json:"limit,omitempty"`
+	// Kernel selects the triangle-count kernel: "merge", "rank", "2d",
+	// or "auto" (the default; currently the rank kernel). merge, rank,
+	// and auto produce bit-identical checksums; 2d runs the counting-only
+	// edge-partitioned path, whose checksum digests the count alone.
+	Kernel string `json:"kernel,omitempty"`
 
 	// algoWorkers is the service's per-computation parallelism bound
 	// (Config.AlgoWorkers), injected by Query after defaulting. It never
@@ -109,9 +114,18 @@ var algorithms = map[string]algorithm{
 		run: runDecompose,
 	},
 	"triangle-count": {
-		defaults: func(p QueryParams) QueryParams { return p },
-		canon:    func(QueryParams) string { return "" },
-		run:      runTriangleCount,
+		defaults: func(p QueryParams) QueryParams {
+			if p.Kernel == "" {
+				p.Kernel = "auto"
+			}
+			return p
+		},
+		validate: func(p QueryParams) error {
+			_, err := triangle.ParseKernel(p.Kernel)
+			return err
+		},
+		canon: func(p QueryParams) string { return fmt.Sprintf("kernel=%s", p.Kernel) },
+		run:   runTriangleCount,
 	},
 	"enumerate": {
 		defaults: func(p QueryParams) QueryParams {
@@ -172,11 +186,28 @@ func runDecompose(view *graph.Sub, name string, p QueryParams) (*Result, error) 
 	}, nil
 }
 
-// runTriangleCount runs the sharded parallel kernel; checksum and count
-// match the bench matrix's brute/brute-par cells.
+// runTriangleCount runs the selected shared-memory kernel. For merge,
+// rank, and auto the checksum digests the full triangle set — identical
+// across the three and matching the bench matrix's brute/brute-par and
+// enumerate-merge/enumerate-rank cells. The 2d kernel counts without
+// materializing a set, so its checksum digests the count alone, exactly
+// like the matrix's count-2d cells.
 func runTriangleCount(view *graph.Sub, name string, p QueryParams) (*Result, error) {
+	k, err := triangle.ParseKernel(p.Kernel)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	set := triangle.BruteForceParallel(view, p.algoWorkers)
+	if k == triangle.Kernel2D {
+		n := triangle.CountParallel2D(view, p.algoWorkers)
+		return &Result{
+			Algorithm: name,
+			Checksum:  checksumString(triangle.HashWords(uint64(n))),
+			ComputeNS: time.Since(start).Nanoseconds(),
+			Triangles: n,
+		}, nil
+	}
+	set := triangle.SetKernel(view, p.algoWorkers, k)
 	return &Result{
 		Algorithm: name,
 		Checksum:  checksumString(set.Checksum()),

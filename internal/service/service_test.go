@@ -201,6 +201,55 @@ func TestQueryChecksumsMatchLibrary(t *testing.T) {
 	}
 }
 
+// TestTriangleCountKernels pins the kernel query parameter: merge, rank,
+// and auto must serve the identical full-set checksum (distinct cache
+// keys, same bytes — the serving layer's replay of the kernels'
+// bit-identity contract), 2d must report the same count under its
+// count-only digest, and an unknown kernel is a caller error.
+func TestTriangleCountKernels(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+
+	snap, err := s.RegisterSpec(gen.Spec{
+		Family: "barabasi-albert",
+		Params: map[string]float64{"n": 96, "m0": 5},
+		Seed:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := s.Query(snap.ID, "triangle-count", QueryParams{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Params != "kernel=auto" {
+		t.Fatalf("default params = %q, want kernel=auto", auto.Params)
+	}
+	for _, kernel := range []string{"merge", "rank", "auto"} {
+		res, err := s.Query(snap.ID, "triangle-count", QueryParams{Kernel: kernel}, nil)
+		if err != nil {
+			t.Fatalf("kernel %s: %v", kernel, err)
+		}
+		if res.Checksum != auto.Checksum || res.Triangles != auto.Triangles {
+			t.Fatalf("kernel %s: served %d/%s, auto %d/%s",
+				kernel, res.Triangles, res.Checksum, auto.Triangles, auto.Checksum)
+		}
+	}
+	twod, err := s.Query(snap.ID, "triangle-count", QueryParams{Kernel: "2d"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twod.Triangles != auto.Triangles {
+		t.Fatalf("2d counted %d, auto %d", twod.Triangles, auto.Triangles)
+	}
+	if twod.Checksum != checksumString(triangle.HashWords(uint64(twod.Triangles))) {
+		t.Fatalf("2d checksum %s does not digest the count", twod.Checksum)
+	}
+	if _, err := s.Query(snap.ID, "triangle-count", QueryParams{Kernel: "quantum"}, nil); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
 // decomposeChecksum reproduces the service's decompose digest with a
 // direct library call (same formula as the bench matrix cells).
 func decomposeChecksum(view *graph.Sub, p QueryParams) (string, error) {

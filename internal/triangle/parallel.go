@@ -2,22 +2,36 @@ package triangle
 
 import (
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"dexpander/internal/graph"
 )
 
-// This file implements the shared-memory parallel triangle kernel: the
-// same ground truth as BruteForce, but over a sorted compressed adjacency
+// This file implements the original shared-memory merge kernel — the
+// same ground truth as BruteForce over a sorted compressed adjacency
 // with two-pointer merge intersections, sharded by vertex range across
-// workers. The sharding mirrors internal/congest's delivery fan-out:
-// contiguous shards sized by a per-vertex work estimate, each worker
-// writing only its own output slice, results concatenated in shard order
-// so the output is bit-identical for every worker count.
+// workers — plus the public entry points, which now dispatch through the
+// kernel selector (KernelAuto resolves to the rank kernel in rank.go;
+// the merge kernel stays as the cross-check oracle and the
+// KernelMerge-selected path). Outputs are bit-identical across kernels
+// and worker counts: contiguous shards, each worker writing only its own
+// output slice, results concatenated (and, for the rank kernel,
+// canonically re-sorted) so the slice the caller sees never depends on
+// the kernel or the parallelism.
 //
-// Every triangle {a < b < c} is discovered exactly once, at its smallest
-// vertex a, by intersecting the above-b suffixes of adj(a) and adj(b).
+// In the merge kernel every triangle {a < b < c} is discovered exactly
+// once, at its smallest vertex a, by intersecting the above-b suffixes
+// of adj(a) and adj(b).
+
+// resolveWorkers maps the public workers convention (<= 0 means
+// GOMAXPROCS) onto a concrete count.
+func resolveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
 
 // csrAdj is a read-only sorted adjacency over the base-graph vertex ids,
 // restricted to the view's usable non-loop edges, with parallel edges
@@ -30,7 +44,9 @@ type csrAdj struct {
 
 // buildCSR materializes the view's usable simple adjacency in O(n + m log
 // deg). Only one pass over the edge list plus per-vertex sorts; the three
-// slices are the only allocations.
+// slices are the only allocations (counts is zeroed after the prefix sum
+// and reused as the fill cursor — the serve-cold path builds a CSR per
+// request, so the fourth array was measurable).
 func buildCSR(view *graph.Sub) csrAdj {
 	g := view.Base()
 	n := g.N()
@@ -48,7 +64,10 @@ func buildCSR(view *graph.Sub) csrAdj {
 		off[v+1] = off[v] + counts[v]
 	}
 	nbr := make([]int32, off[n])
-	fill := make([]int32, n)
+	fill := counts
+	for v := range fill {
+		fill[v] = 0
+	}
 	for e := 0; e < g.M(); e++ {
 		if !view.Usable(e) || g.IsLoop(e) {
 			continue
@@ -62,7 +81,7 @@ func buildCSR(view *graph.Sub) csrAdj {
 	end := make([]int32, n)
 	for v := 0; v < n; v++ {
 		seg := nbr[off[v] : off[v]+fill[v]]
-		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		slices.Sort(seg)
 		// Collapse parallel edges in place; end[v] marks the deduped
 		// segment's limit (gaps between end[v] and off[v+1] are unused).
 		w := int32(0)
@@ -141,9 +160,7 @@ func shardVertices(members []int, adj csrAdj, workers int) [][]int {
 // ascending vertex ranges, so the concatenation is globally sorted and
 // independent of the worker count.
 func forEachTriangleParallel(view *graph.Sub, workers int) [][]Triangle {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = resolveWorkers(workers)
 	adj := buildCSR(view)
 	shards := shardVertices(view.Members().Members(), adj, workers)
 	out := make([][]Triangle, len(shards))
@@ -187,30 +204,28 @@ func forEachTriangleParallel(view *graph.Sub, workers int) [][]Triangle {
 }
 
 // TrianglesParallel returns every triangle of the view in lexicographic
-// order, computed by the sharded merge kernel. The result is identical
-// (element for element) for every worker count.
+// order, computed by the auto-selected kernel (currently rank). The
+// result is identical (element for element) for every worker count and
+// to the merge kernel's output.
 func TrianglesParallel(view *graph.Sub, workers int) []Triangle {
-	shards := forEachTriangleParallel(view, workers)
-	total := 0
-	for _, s := range shards {
-		total += len(s)
-	}
-	out := make([]Triangle, 0, total)
-	for _, s := range shards {
-		out = append(out, s...)
-	}
-	return out
+	return TrianglesKernel(view, workers, KernelAuto)
 }
 
 // BruteForceParallel is the parallel drop-in for BruteForce: the same
-// triangle set, computed by the sharded merge kernel.
+// triangle set, computed by the auto-selected kernel.
 func BruteForceParallel(view *graph.Sub, workers int) *Set {
-	shards := forEachTriangleParallel(view, workers)
-	total := 0
-	for _, s := range shards {
-		total += len(s)
+	return SetKernel(view, workers, KernelAuto)
+}
+
+// SetKernel collects the selected kernel's triangles into a Set.
+func SetKernel(view *graph.Sub, workers int, k Kernel) *Set {
+	var shards [][]Triangle
+	if k == KernelMerge {
+		shards = forEachTriangleParallel(view, workers)
+	} else {
+		shards = forEachTriangleRank(view, workers)
 	}
-	out := newSetSized(total)
+	out := newSetSized(countShards(shards))
 	for _, shard := range shards {
 		for _, t := range shard {
 			out.Add(t)
@@ -219,11 +234,8 @@ func BruteForceParallel(view *graph.Sub, workers int) *Set {
 	return out
 }
 
-// CountParallel counts the view's triangles without materializing a set.
+// CountParallel counts the view's triangles with the auto-selected
+// kernel.
 func CountParallel(view *graph.Sub, workers int) int {
-	total := 0
-	for _, shard := range forEachTriangleParallel(view, workers) {
-		total += len(shard)
-	}
-	return total
+	return CountKernel(view, workers, KernelAuto)
 }

@@ -1,0 +1,337 @@
+package triangle
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"dexpander/internal/graph"
+)
+
+// This file implements the skew-proof rank kernel: a degree-descending
+// rank ordering with forward-only adjacency (SNIPPETS snippet 2's
+// compute_rank / forward_adjacency_lists idiom over our CSR). Every
+// vertex keeps only its higher-rank neighbors, strictly sorted by rank,
+// so each wedge is examined exactly once from its lowest-rank endpoint
+// and a hub's adjacency is split across the vertices ranked below it:
+// forward lists are O(sqrt(m)) long on any graph, which kills the
+// O(deg^2) per-hub term the id-ordered merge kernel pays on power-law
+// inputs. Intersections go through the adaptive strategies in
+// intersect.go, with the per-worker stamp array marked once per vertex.
+//
+// Output contract: the kernel discovers each triangle at its lowest-RANK
+// vertex but emits it as the vertex-sorted (A < B < C by original id)
+// triple, and the public entry points canonicalize the concatenated
+// per-shard slices, so every result is bit-identical to the merge
+// kernel's for any worker count.
+
+// Kernel selects a triangle-kernel implementation. The zero value is
+// KernelAuto, which currently resolves to the rank kernel for
+// enumeration/counting — the fastest choice on both uniform and skewed
+// degree distributions (see BenchmarkTriangleSkewed).
+type Kernel int
+
+const (
+	// KernelAuto lets the library pick (currently: rank; 2D when asked
+	// to count with a grid explicitly).
+	KernelAuto Kernel = iota
+	// KernelMerge is the original id-ordered sorted-CSR merge kernel.
+	KernelMerge
+	// KernelRank is the degree-rank forward-adjacency kernel.
+	KernelRank
+	// Kernel2D is the 2D edge-partitioned counting path (counting only;
+	// enumeration entry points treat it as KernelRank).
+	Kernel2D
+)
+
+// String renders the kernel the way the CLI flags spell it.
+func (k Kernel) String() string {
+	switch k {
+	case KernelMerge:
+		return "merge"
+	case KernelRank:
+		return "rank"
+	case Kernel2D:
+		return "2d"
+	default:
+		return "auto"
+	}
+}
+
+// ParseKernel parses the CLI/service spelling of a kernel name.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "", "auto":
+		return KernelAuto, nil
+	case "merge":
+		return KernelMerge, nil
+	case "rank":
+		return KernelRank, nil
+	case "2d":
+		return Kernel2D, nil
+	}
+	return KernelAuto, fmt.Errorf("triangle: unknown kernel %q (want merge, rank, 2d, or auto)", s)
+}
+
+// rankCSR is the rank-permuted forward adjacency: order maps rank ->
+// base vertex id (usable-degree descending, ties by ascending id, so
+// the permutation is deterministic), and nbr[off[r]:end[r]] is the
+// strictly-ascending deduped list of forward neighbor RANKS of the
+// vertex with rank r. Non-member vertices carry degree 0 and sink to
+// the bottom of the order with empty lists.
+//
+// The degree-descending permutation is a performance heuristic, not a
+// correctness requirement: the public entry points canonicalize the
+// output, so ANY deterministic permutation yields identical results —
+// which is why the raw (parallel-edge-counting) usable degree is good
+// enough and no deduped CSR has to exist first.
+type rankCSR struct {
+	order []int32
+	off   []int32
+	end   []int32
+	nbr   []int32
+}
+
+// fwd returns the forward list of the vertex with rank r.
+func (rc rankCSR) fwd(r int) []int32 { return rc.nbr[rc.off[r]:rc.end[r]] }
+
+// ranks returns the size of the rank space.
+func (rc rankCSR) ranks() int { return len(rc.order) }
+
+// buildRankCSR derives the rank permutation and forward CSR straight
+// from the view's edge list in O(n + m + sort(forward lists)): a
+// counting sort over degrees replaces a comparator sort of the vertex
+// set, forward edges scatter directly from the edge list (no full
+// symmetric CSR is ever built), and only the short forward lists — max
+// length O(sqrt(m)) — get sorted and deduped.
+func buildRankCSR(view *graph.Sub) rankCSR {
+	g := view.Base()
+	n := g.N()
+	deg := make([]int32, n)
+	maxDeg := int32(0)
+	for e := 0; e < g.M(); e++ {
+		if !view.Usable(e) || g.IsLoop(e) {
+			continue
+		}
+		u, v := g.EdgeEndpoints(e)
+		deg[u]++
+		deg[v]++
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Counting sort into degree-descending rank order; scanning vertex
+	// ids ascending makes ties break by id deterministically.
+	bucket := make([]int32, maxDeg+1)
+	for v := 0; v < n; v++ {
+		bucket[deg[v]]++
+	}
+	var acc int32
+	for d := maxDeg; d >= 0; d-- {
+		c := bucket[d]
+		bucket[d] = acc
+		acc += c
+	}
+	order := make([]int32, n)
+	rank := make([]int32, n)
+	for v := 0; v < n; v++ {
+		r := bucket[deg[v]]
+		bucket[deg[v]]++
+		order[r] = int32(v)
+		rank[v] = r
+	}
+	// Forward counts and scatter: each usable edge lands once, in its
+	// lower-rank endpoint's list.
+	counts := make([]int32, n)
+	for e := 0; e < g.M(); e++ {
+		if !view.Usable(e) || g.IsLoop(e) {
+			continue
+		}
+		u, v := g.EdgeEndpoints(e)
+		lo := rank[u]
+		if rank[v] < lo {
+			lo = rank[v]
+		}
+		counts[lo]++
+	}
+	off := make([]int32, n+1)
+	for r := 0; r < n; r++ {
+		off[r+1] = off[r] + counts[r]
+	}
+	nbr := make([]int32, off[n])
+	fill := counts
+	for i := range fill {
+		fill[i] = 0
+	}
+	for e := 0; e < g.M(); e++ {
+		if !view.Usable(e) || g.IsLoop(e) {
+			continue
+		}
+		u, v := g.EdgeEndpoints(e)
+		lo, hi := rank[u], rank[v]
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		nbr[off[lo]+fill[lo]] = hi
+		fill[lo]++
+	}
+	end := make([]int32, n)
+	for r := 0; r < n; r++ {
+		seg := nbr[off[r] : off[r]+fill[r]]
+		slices.Sort(seg)
+		// Collapse parallel edges in place, exactly like buildCSR.
+		w := int32(0)
+		for i := range seg {
+			if i > 0 && seg[i] == seg[i-1] {
+				continue
+			}
+			seg[w] = seg[i]
+			w++
+		}
+		end[r] = off[r] + w
+	}
+	return rankCSR{order: order, off: off, end: end, nbr: nbr}
+}
+
+// shardRanks splits the rank space [0, R) into at most `workers`
+// contiguous ranges balanced by the rank kernel's actual work estimate:
+// marking v's forward list plus probing every forward neighbor's list.
+// Forward lists are O(sqrt(m)) long, so unlike raw degrees this estimate
+// cannot be dominated by one hub.
+func shardRanks(rc rankCSR, workers int) [][2]int {
+	r := rc.ranks()
+	if r == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > r {
+		workers = r
+	}
+	cost := make([]int64, r)
+	var total int64
+	for v := 0; v < r; v++ {
+		fv := rc.fwd(v)
+		c := int64(len(fv)) + 1
+		for _, u := range fv {
+			c += int64(len(rc.fwd(int(u)))) + 1
+		}
+		cost[v] = c
+		total += c
+	}
+	shards := make([][2]int, 0, workers)
+	per := total/int64(workers) + 1
+	var acc int64
+	start := 0
+	for v := 0; v < r; v++ {
+		acc += cost[v]
+		if acc >= per && len(shards) < workers-1 {
+			shards = append(shards, [2]int{start, v + 1})
+			start = v + 1
+			acc = 0
+		}
+	}
+	if start < r {
+		shards = append(shards, [2]int{start, r})
+	}
+	return shards
+}
+
+// forEachTriangleRank enumerates every triangle once from its
+// lowest-rank vertex, sharded by rank range across workers. Shard
+// contents are deterministic (the rank permutation and shard boundaries
+// depend only on the view and worker count), but unlike the merge
+// kernel the concatenation is NOT globally sorted by vertex id — the
+// public entry points canonicalize.
+func forEachTriangleRank(view *graph.Sub, workers int) [][]Triangle {
+	rc := buildRankCSR(view)
+	shards := shardRanks(rc, resolveWorkers(workers))
+	out := make([][]Triangle, len(shards))
+	var wg sync.WaitGroup
+	for si, shard := range shards {
+		wg.Add(1)
+		go func(si int, lo, hi int) {
+			defer wg.Done()
+			sc := newIntersectScratch(rc.ranks())
+			var buf []int32
+			var local []Triangle
+			for r := lo; r < hi; r++ {
+				fv := rc.fwd(r)
+				if len(fv) < 2 {
+					continue
+				}
+				// One markAll serves every pair (r, u): the probes see the
+				// full fv, which intersects each fwd(u) exactly like the
+				// above-u suffix does (every common rank exceeds u's).
+				sc.markAll(fv)
+				a := int(rc.order[r])
+				for i := 0; i+1 < len(fv); i++ {
+					ru := fv[i]
+					buf = intersectAdaptive(fv[i+1:], rc.fwd(int(ru)), sc, true, buf[:0])
+					b := int(rc.order[ru])
+					for _, rw := range buf {
+						local = append(local, MakeTriangle(a, b, int(rc.order[rw])))
+					}
+				}
+			}
+			out[si] = local
+		}(si, shard[0], shard[1])
+	}
+	wg.Wait()
+	return out
+}
+
+// TrianglesKernel returns every triangle of the view in lexicographic
+// order, computed by the selected kernel; results are bit-identical
+// across kernels and worker counts. Kernel2D has no enumeration path and
+// resolves to the rank kernel here.
+func TrianglesKernel(view *graph.Sub, workers int, k Kernel) []Triangle {
+	if k == KernelMerge {
+		return concatShards(forEachTriangleParallel(view, workers))
+	}
+	out := concatShards(forEachTriangleRank(view, workers))
+	// Rank shards cover rank ranges, not id ranges: restore the global
+	// lexicographic order the merge kernel produces natively.
+	slices.SortFunc(out, func(a, b Triangle) int {
+		switch {
+		case a.Key() < b.Key():
+			return -1
+		case a.Key() > b.Key():
+			return 1
+		}
+		return 0
+	})
+	return out
+}
+
+// CountKernel counts the view's triangles with the selected kernel.
+func CountKernel(view *graph.Sub, workers int, k Kernel) int {
+	switch k {
+	case KernelMerge:
+		return countShards(forEachTriangleParallel(view, workers))
+	case Kernel2D:
+		return CountParallel2D(view, workers)
+	default:
+		return countShards(forEachTriangleRank(view, workers))
+	}
+}
+
+func concatShards(shards [][]Triangle) []Triangle {
+	out := make([]Triangle, 0, countShards(shards))
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	return out
+}
+
+func countShards(shards [][]Triangle) int {
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	return total
+}

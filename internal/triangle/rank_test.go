@@ -1,0 +1,223 @@
+package triangle
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+)
+
+// kernelFamilies spans the degree-distribution regimes the kernels must
+// agree on: uniform random, heavy-tail Chung-Lu, preferential
+// attachment, clustered, triangle-free bipartite, star (one hub, zero
+// triangles), complete (every wedge closes), and flat grid.
+func kernelFamilies() map[string]func(seed uint64) *graph.Graph {
+	return map[string]func(seed uint64) *graph.Graph{
+		"gnp":             func(s uint64) *graph.Graph { return gen.GNP(70, 0.2, s) },
+		"chung-lu-heavy":  func(s uint64) *graph.Graph { return gen.ChungLu(90, 2.1, 8, s) },
+		"barabasi-albert": func(s uint64) *graph.Graph { return gen.BarabasiAlbert(90, 4, s) },
+		"ring":            func(s uint64) *graph.Graph { return gen.RingOfCliques(4, 8, s) },
+		"bipartite":       func(s uint64) *graph.Graph { return gen.BipartiteGNP(30, 30, 0.2, s) },
+		"star":            func(s uint64) *graph.Graph { return gen.Star(40) },
+		"complete":        func(s uint64) *graph.Graph { return gen.Complete(18) },
+		"grid":            func(s uint64) *graph.Graph { return gen.Grid(7, 9) },
+	}
+}
+
+// TestRankKernelBitIdenticalAllFamilies pins the tentpole contract: for
+// every family, seed, and worker count, the rank kernel's triangle slice
+// is element-for-element identical to the merge kernel's (which the
+// existing tests pin against BruteForce), and the 2D counting path
+// returns the same count.
+func TestRankKernelBitIdenticalAllFamilies(t *testing.T) {
+	workerCounts := []int{1, 2, 3, 13, runtime.GOMAXPROCS(0)}
+	for name, build := range kernelFamilies() {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 6; seed++ {
+				view := graph.WholeGraph(build(seed))
+				want := BruteForce(view)
+				ref := TrianglesKernel(view, 1, KernelMerge)
+				if len(ref) != want.Len() {
+					t.Fatalf("seed %d: merge %d triangles, brute %d", seed, len(ref), want.Len())
+				}
+				for _, workers := range workerCounts {
+					got := TrianglesKernel(view, workers, KernelRank)
+					if len(got) != len(ref) {
+						t.Fatalf("seed %d workers %d: rank %d triangles, merge %d",
+							seed, workers, len(got), len(ref))
+					}
+					for i := range got {
+						if got[i] != ref[i] {
+							t.Fatalf("seed %d workers %d: triangle %d is %v, want %v",
+								seed, workers, i, got[i], ref[i])
+						}
+					}
+					if c := CountKernel(view, workers, Kernel2D); c != len(ref) {
+						t.Fatalf("seed %d workers %d: 2D count %d, want %d", seed, workers, c, len(ref))
+					}
+					if set := SetKernel(view, workers, KernelRank); !set.Equal(want) {
+						t.Fatalf("seed %d workers %d: rank set differs from brute", seed, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRankKernelRestrictedViews pins the kernels on graph.Sub views with
+// member restrictions and edge masks — the shape the decomposition
+// pipeline feeds them.
+func TestRankKernelRestrictedViews(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		g := gen.BarabasiAlbert(60, 5, seed)
+		members := graph.NewVSet(g.N())
+		for v := 0; v < g.N(); v++ {
+			if v%3 != 0 {
+				members.Add(v)
+			}
+		}
+		mask := make([]bool, g.M())
+		for e := 0; e < g.M(); e++ {
+			mask[e] = e%7 != 0
+		}
+		view := graph.NewSub(g, members, mask)
+		want := BruteForce(view)
+		ref := TrianglesKernel(view, 3, KernelMerge)
+		got := TrianglesKernel(view, 3, KernelRank)
+		if len(got) != len(ref) || len(got) != want.Len() {
+			t.Fatalf("seed %d: rank %d, merge %d, brute %d", seed, len(got), len(ref), want.Len())
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("seed %d: triangle %d is %v, want %v", seed, i, got[i], ref[i])
+			}
+		}
+		if c := CountParallel2D(view, 0); c != want.Len() {
+			t.Fatalf("seed %d: 2D count %d, want %d", seed, c, want.Len())
+		}
+	}
+}
+
+// TestRankKernelGOMAXPROCSSweep varies GOMAXPROCS itself (the workers=0
+// default path) and demands identical output, mirroring the parallel
+// pipelines' GOMAXPROCS sweeps.
+func TestRankKernelGOMAXPROCSSweep(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 6, 3)
+	view := graph.WholeGraph(g)
+	ref := TrianglesKernel(view, 1, KernelRank)
+	ref2d := CountKernel(view, 1, Kernel2D)
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, procs := range []int{1, 2, 3, 7} {
+		runtime.GOMAXPROCS(procs)
+		got := TrianglesKernel(view, 0, KernelRank)
+		if len(got) != len(ref) {
+			t.Fatalf("GOMAXPROCS %d: %d triangles, want %d", procs, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("GOMAXPROCS %d: triangle %d is %v, want %v", procs, i, got[i], ref[i])
+			}
+		}
+		if c := CountKernel(view, 0, Kernel2D); c != ref2d {
+			t.Fatalf("GOMAXPROCS %d: 2D count %d, want %d", procs, c, ref2d)
+		}
+	}
+}
+
+// Test2DGridSweep pins the tiling-independence of the 2D path: any p
+// must give the same count, including p=1 (one task) and p larger than
+// the balanced tiling would pick.
+func Test2DGridSweep(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		g := gen.ChungLu(100, 2.1, 10, seed)
+		view := graph.WholeGraph(g)
+		want := CountKernel(view, 2, KernelMerge)
+		for _, p := range []int{1, 2, 3, 5, 8, 31} {
+			if c := CountParallel2DGrid(view, 3, p); c != want {
+				t.Fatalf("seed %d p=%d: count %d, want %d", seed, p, c, want)
+			}
+		}
+	}
+}
+
+// TestRankKernelMultigraph checks parallel edges and loops collapse
+// exactly as in the oracle, through the rank and 2D paths.
+func TestRankKernelMultigraph(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1) // parallel
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 2) // loop
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	view := graph.WholeGraph(b.Graph())
+	if got := TrianglesKernel(view, 2, KernelRank); len(got) != 2 {
+		t.Fatalf("multigraph: rank found %d triangles, want 2", len(got))
+	}
+	if c := CountParallel2D(view, 2); c != 2 {
+		t.Fatalf("multigraph: 2D count %d, want 2", c)
+	}
+}
+
+func TestKernelParse(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Kernel
+	}{{"", KernelAuto}, {"auto", KernelAuto}, {"merge", KernelMerge}, {"rank", KernelRank}, {"2d", Kernel2D}} {
+		k, err := ParseKernel(c.in)
+		if err != nil || k != c.want {
+			t.Fatalf("ParseKernel(%q) = %v, %v", c.in, k, err)
+		}
+	}
+	if _, err := ParseKernel("quantum"); err == nil {
+		t.Fatal("ParseKernel accepted an unknown kernel")
+	}
+	for _, k := range []Kernel{KernelAuto, KernelMerge, KernelRank, Kernel2D} {
+		if k == KernelAuto {
+			continue
+		}
+		back, err := ParseKernel(k.String())
+		if err != nil || back != k {
+			t.Fatalf("round trip %v -> %q -> %v, %v", k, k.String(), back, err)
+		}
+	}
+}
+
+// TestRankSkewedSpeedup is the acceptance check behind
+// BenchmarkTriangleSkewed at test scale: on a preferential-attachment
+// graph the rank kernel must beat the merge kernel single-threaded by
+// 2x. Skipped in -short and under the race detector like every timing
+// assertion.
+func TestRankSkewedSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing comparison skipped under the race detector")
+	}
+	g := gen.BarabasiAlbert(1<<16, 8, 7)
+	view := graph.WholeGraph(g)
+
+	start := time.Now()
+	ref := TrianglesKernel(view, 1, KernelMerge)
+	merge := time.Since(start)
+
+	start = time.Now()
+	got := TrianglesKernel(view, 1, KernelRank)
+	rank := time.Since(start)
+
+	if len(got) != len(ref) {
+		t.Fatalf("rank %d triangles, merge %d", len(got), len(ref))
+	}
+	speedup := float64(merge) / float64(rank)
+	t.Logf("BA n=%d m=%d triangles=%d merge=%v rank=%v speedup=%.1fx",
+		g.N(), g.M(), len(ref), merge, rank, speedup)
+	if speedup < 2 {
+		t.Errorf("speedup %.2fx below the 2x acceptance bar (merge=%v rank=%v)", speedup, merge, rank)
+	}
+}

@@ -1,0 +1,169 @@
+package triangle
+
+import (
+	"sync"
+
+	"dexpander/internal/graph"
+	"dexpander/internal/par"
+)
+
+// This file implements the 2D edge-partitioned counting path (after Tom
+// & Karypis, arXiv 1907.09575): the rank space is tiled into p
+// contiguous ranges balanced by forward volume, and each ordered block
+// triple (i <= j <= k) becomes one independent task counting the
+// triangles whose lowest-rank vertex falls in range i, middle vertex in
+// range j, and apex in range k. Because every triangle has strictly
+// increasing ranks along (lowest, middle, apex), each is counted by
+// exactly one task. Tasks carry private accumulators and reduce in task
+// order, so the total is deterministic for any worker count — and since
+// each task only touches two rank ranges of the forward CSR, the same
+// tiling is the seam for fanning counting out across dexpanderd
+// replicas, where a block pair is a shippable unit of work.
+
+// twoDScratchPool recycles the per-task stamp arrays; tasks are coarse,
+// so pool churn is negligible next to the intersection work.
+var twoDScratchPool sync.Pool
+
+func getTwoDScratch(universe int) *intersectScratch {
+	if sc, ok := twoDScratchPool.Get().(*intersectScratch); ok && len(sc.mark) >= universe {
+		return sc
+	}
+	return newIntersectScratch(universe)
+}
+
+// twoDGrid picks the tiling dimension for a worker count: the smallest p
+// whose C(p+2, 3) ordered block triples give every worker a few tasks to
+// balance across, capped so tiny graphs are not shredded into empty
+// blocks. Deterministic in (workers, ranks) only — and the OUTPUT is a
+// sum of per-task counts, so it is identical for every p anyway.
+func twoDGrid(workers, ranks int) int {
+	if ranks == 0 {
+		return 1
+	}
+	target := 4 * workers
+	p := 1
+	for p*(p+1)*(p+2)/6 < target && p < ranks {
+		p++
+	}
+	return p
+}
+
+// CountParallel2D counts the view's triangles on the 2D edge-partitioned
+// path with an automatically sized block grid; workers <= 0 means
+// GOMAXPROCS. The count always equals CountParallel's.
+func CountParallel2D(view *graph.Sub, workers int) int {
+	w := resolveWorkers(workers)
+	rc := buildRankCSR(view)
+	return countTwoD(rc, w, twoDGrid(w, rc.ranks()))
+}
+
+// CountParallel2DGrid is CountParallel2D with an explicit p x p tiling,
+// for tests and benchmarks that sweep the grid dimension.
+func CountParallel2DGrid(view *graph.Sub, workers, p int) int {
+	rc := buildRankCSR(view)
+	if p < 1 {
+		p = 1
+	}
+	if p > rc.ranks() && rc.ranks() > 0 {
+		p = rc.ranks()
+	}
+	return countTwoD(rc, resolveWorkers(workers), p)
+}
+
+// rankCuts splits [0, ranks) into p contiguous ranges balanced by
+// forward-list volume (the quantity intersections actually touch), not
+// vertex count: rank 0 is the heaviest hub, and volume balancing keeps
+// its block from dominating a row of the grid.
+func rankCuts(rc rankCSR, p int) []int32 {
+	cuts := make([]int32, p+1)
+	total := int64(len(rc.nbr)) + int64(rc.ranks())
+	var acc int64
+	b := 1
+	for r := 0; r < rc.ranks() && b < p; r++ {
+		acc += int64(len(rc.fwd(r))) + 1
+		if acc >= total*int64(b)/int64(p) {
+			cuts[b] = int32(r + 1)
+			b++
+		}
+	}
+	for ; b < p; b++ {
+		cuts[b] = int32(rc.ranks())
+	}
+	cuts[p] = int32(rc.ranks())
+	return cuts
+}
+
+// rangeOf returns the [lo, hi) index window of the ranks in s falling
+// inside [from, to). s is strictly ascending.
+func rangeOf(s []int32, from, to int32) (int, int) {
+	return lowerBound(s, from), lowerBound(s, to)
+}
+
+// lowerBound returns the index of the first element of s >= x.
+func lowerBound(s []int32, x int32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// countTwoD runs the block-triple tasks on the internal/par pool and
+// reduces the private accumulators in task order.
+func countTwoD(rc rankCSR, workers, p int) int {
+	if rc.ranks() == 0 {
+		return 0
+	}
+	cuts := rankCuts(rc, p)
+	type task struct{ i, j, k int }
+	tasks := make([]task, 0, p*(p+1)*(p+2)/6)
+	for i := 0; i < p; i++ {
+		for j := i; j < p; j++ {
+			for k := j; k < p; k++ {
+				tasks = append(tasks, task{i, j, k})
+			}
+		}
+	}
+	counts := make([]int, len(tasks))
+	par.ForEach(workers, len(tasks), func(ti int) {
+		t := tasks[ti]
+		sc := getTwoDScratch(rc.ranks())
+		defer twoDScratchPool.Put(sc)
+		jLo, jHi := cuts[t.j], cuts[t.j+1]
+		kLo, kHi := cuts[t.k], cuts[t.k+1]
+		n := 0
+		for r := int(cuts[t.i]); r < int(cuts[t.i+1]); r++ {
+			fv := rc.fwd(r)
+			// Middle vertices: forward neighbors of r inside block j.
+			mLo, mHi := rangeOf(fv, jLo, jHi)
+			if mLo == mHi {
+				continue
+			}
+			// Apexes live in block k; slice v's forward list down to it
+			// once — per-u suffixes are then cheap re-slices.
+			aLo, aHi := rangeOf(fv, kLo, kHi)
+			for m := mLo; m < mHi; m++ {
+				ru := fv[m]
+				va := fv[aLo:aHi]
+				if t.j == t.k {
+					// Apex must also be above the middle vertex.
+					va = fv[max(m+1, aLo):aHi]
+				}
+				fu := rc.fwd(int(ru))
+				uLo, uHi := rangeOf(fu, kLo, kHi)
+				n += intersectCount(va, fu[uLo:uHi], sc)
+			}
+		}
+		counts[ti] = n
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
