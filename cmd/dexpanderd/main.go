@@ -19,12 +19,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,12 +43,18 @@ func main() { cli.Main("dexpanderd", run) }
 
 func run() error {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8437", "listen address")
-		workers  = flag.Int("workers", 0, "compute pool size (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 0, "pending-computation queue capacity (0 = 4*workers)")
-		maxSnaps = flag.Int("max-snapshots", 64, "snapshot registry capacity")
-		maxParam = flag.Float64("max-gen-param", 1<<20, "cap on generator-spec parameters")
-		smoke    = flag.String("smoke", "", "run the end-to-end smoke check against this server URL and exit")
+		addr       = flag.String("addr", "127.0.0.1:8437", "listen address")
+		workers    = flag.Int("workers", 0, "compute pool size (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "pending-computation queue capacity (0 = 4*workers)")
+		maxSnaps   = flag.Int("max-snapshots", 64, "snapshot registry capacity")
+		maxParam   = flag.Float64("max-gen-param", 1<<20, "cap on generator-spec parameters")
+		maxResults = flag.Int("max-results", 0, "result cache capacity (0 = 256); cost-aware eviction beyond it")
+		maxTenants = flag.Int("max-tenants", 0, "distinct-tenant cap (0 = 64)")
+		tenSnaps   = flag.Int("tenant-snapshots", 0, "per-tenant snapshot-reference quota (0 = unlimited)")
+		tenFlight  = flag.Int("tenant-inflight", 0, "per-tenant admitted-computation quota (0 = unlimited)")
+		rate       = flag.Float64("rate", 0, "per-tenant request rate limit in req/s (0 = off)")
+		burst      = flag.Float64("burst", 0, "rate-limit burst depth (0 = max(2*rate, 1))")
+		smoke      = flag.String("smoke", "", "run the end-to-end smoke check against this server URL and exit")
 	)
 	flag.Parse()
 
@@ -55,10 +63,16 @@ func run() error {
 	}
 
 	svc := service.New(service.Config{
-		Workers:      *workers,
-		Queue:        *queue,
-		MaxSnapshots: *maxSnaps,
-		MaxGenParam:  *maxParam,
+		Workers:            *workers,
+		Queue:              *queue,
+		MaxSnapshots:       *maxSnaps,
+		MaxGenParam:        *maxParam,
+		MaxResults:         *maxResults,
+		MaxTenants:         *maxTenants,
+		TenantMaxSnapshots: *tenSnaps,
+		TenantMaxInFlight:  *tenFlight,
+		RatePerSec:         *rate,
+		RateBurst:          *burst,
 	})
 	defer svc.Close()
 
@@ -114,7 +128,7 @@ func runSmoke(base string) error {
 	}
 	view := graph.WholeGraph(g)
 
-	count, err := c.TriangleCount(ctx, snap.ID, service.QueryParams{})
+	count, err := c.TriangleCount(ctx, snap.ID, service.CountParams{})
 	if err != nil {
 		return fmt.Errorf("triangle-count: %w", err)
 	}
@@ -123,7 +137,7 @@ func runSmoke(base string) error {
 		return err
 	}
 
-	enum, err := c.Enumerate(ctx, snap.ID, service.QueryParams{Seed: 3})
+	enum, err := c.Enumerate(ctx, snap.ID, service.EnumerateParams{Seed: 3})
 	if err != nil {
 		return fmt.Errorf("enumerate: %w", err)
 	}
@@ -135,7 +149,7 @@ func runSmoke(base string) error {
 		return err
 	}
 
-	decQ := service.QueryParams{Eps: 0.4, K: 2, Seed: 1}
+	decQ := service.DecomposeParams{Eps: 0.4, K: 2, Seed: 1}
 	dec, err := c.Decompose(ctx, snap.ID, decQ)
 	if err != nil {
 		return fmt.Errorf("decompose: %w", err)
@@ -155,9 +169,19 @@ func runSmoke(base string) error {
 		return err
 	}
 
+	// A request whose budget is already spent must be refused with the
+	// "deadline" envelope code — the deadline is enforced server-side and
+	// the doomed computation never occupies a worker.
+	if err := smokeDeadline(ctx, base, snap.ID); err != nil {
+		return err
+	}
+
 	st, err := c.ServerStats(ctx)
 	if err != nil {
 		return fmt.Errorf("stats: %w", err)
+	}
+	if st.SchemaVersion != 2 {
+		return fmt.Errorf("smoke: stats schema version %d, want 2", st.SchemaVersion)
 	}
 	if st.Computations < 3 {
 		return fmt.Errorf("smoke: server reports %d computations, want >= 3", st.Computations)
@@ -166,6 +190,40 @@ func runSmoke(base string) error {
 		return fmt.Errorf("release: %w", err)
 	}
 	fmt.Println("smoke: PASS — all served checksums equal the library's")
+	return nil
+}
+
+// smokeDeadline issues a decompose under a zero-millisecond budget (a
+// fresh params key, so the cache cannot answer it) and asserts the
+// uniform error envelope: HTTP 504, code "deadline", retryable, with a
+// Retry-After hint.
+func smokeDeadline(ctx context.Context, base, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		base+"/v1/graphs/"+id+"/decompose", strings.NewReader(`{"seed": 999}`))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.TimeoutHeader, "0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("deadline probe: %w", err)
+	}
+	defer resp.Body.Close()
+	var envelope struct {
+		Error service.ErrorInfo `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		return fmt.Errorf("deadline probe: decode envelope: %w", err)
+	}
+	if resp.StatusCode != http.StatusGatewayTimeout || envelope.Error.Code != service.CodeDeadline {
+		return fmt.Errorf("smoke: expired budget answered %d %q, want 504 %q",
+			resp.StatusCode, envelope.Error.Code, service.CodeDeadline)
+	}
+	if !envelope.Error.Retryable || resp.Header.Get("Retry-After") == "" {
+		return fmt.Errorf("smoke: deadline envelope not marked retryable: %+v", envelope.Error)
+	}
+	fmt.Println("smoke: deadline       expired budget -> 504 deadline (retryable)")
 	return nil
 }
 

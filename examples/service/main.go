@@ -1,8 +1,10 @@
 // Service quickstart: run the graph analytics service in-process on a
 // loopback listener, then drive it with the thin Go client — register a
-// graph by generator spec, watch the single-flight cache turn a cold
-// decomposition into a fast hot query, upload the same graph as a
-// gzipped edge list to see fingerprint dedup, and read the counters.
+// graph by generator spec under a named tenant, watch the single-flight
+// cache turn a cold decomposition into a fast hot query, see a
+// deadline-bounded request refused with a typed error, upload the same
+// graph as a gzipped edge list to see fingerprint dedup, and read the
+// per-tenant counters (stats schema v2).
 //
 // The same API is served standalone by cmd/dexpanderd.
 package main
@@ -11,6 +13,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -36,6 +39,9 @@ func main() {
 
 	ctx := context.Background()
 	c := service.NewClient("http://" + ln.Addr().String())
+	// Every request this client makes is attributed (and quota'd) as
+	// tenant "quickstart"; an empty Tenant means the server default.
+	c.Tenant = "quickstart"
 
 	// Register a generated graph: six cliques of 12 vertices in a ring.
 	spec := gen.Spec{
@@ -51,7 +57,7 @@ func main() {
 
 	// Cold query: the decomposition actually runs (once).
 	start := time.Now()
-	dec, err := c.Decompose(ctx, snap.ID, service.QueryParams{Eps: 0.6})
+	dec, err := c.Decompose(ctx, snap.ID, service.DecomposeParams{Eps: 0.6})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,17 +68,41 @@ func main() {
 	// Hot query: identical params are served from the single-flight
 	// cache — same bytes, no recomputation.
 	start = time.Now()
-	if _, err := c.Decompose(ctx, snap.ID, service.QueryParams{Eps: 0.6}); err != nil {
+	if _, err := c.Decompose(ctx, snap.ID, service.DecomposeParams{Eps: 0.6}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("cold %v -> hot %v\n", cold.Round(time.Microsecond), time.Since(start).Round(time.Microsecond))
 
 	// Triangle queries amortize against the same snapshot.
-	tri, err := c.TriangleCount(ctx, snap.ID, service.QueryParams{})
+	tri, err := c.TriangleCount(ctx, snap.ID, service.CountParams{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("triangles: %d (checksum %s)\n", tri.Triangles, tri.Checksum)
+
+	// A context deadline rides the X-Timeout-Ms header, so the SERVER
+	// enforces it: a fresh query under an already-spent budget is refused
+	// with the "deadline" envelope code, which the client surfaces as a
+	// typed error — errors.Is works across the HTTP boundary.
+	// budget. (Whether the refusal arrives from the server or the
+	// transport gives up first is a race; both are typed.)
+	expired, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
+	_, err = c.Decompose(expired, snap.ID, service.DecomposeParams{Eps: 0.6, Seed: 99})
+	cancel()
+	switch {
+	case errors.Is(err, service.ErrDeadline):
+		var apiErr *service.APIError
+		errors.As(err, &apiErr)
+		fmt.Printf("expired budget refused: HTTP %d code=%q retryable=%v\n",
+			apiErr.Status, apiErr.Code, apiErr.Retryable)
+	case errors.Is(err, context.DeadlineExceeded):
+		// The transport can also give up before the request is sent.
+		fmt.Println("expired budget refused client-side before reaching the server")
+	case err == nil:
+		log.Fatal("expired budget was served")
+	default:
+		log.Fatal(err)
+	}
 
 	// Uploading the same graph as a gzipped edge list dedups onto the
 	// registered snapshot: the fingerprint is the identity.
@@ -104,4 +134,9 @@ func main() {
 	}
 	fmt.Printf("server: %d snapshot(s), %d cached result(s), %d computation(s), %d hit(s)\n",
 		st.Snapshots, st.CacheEntries, st.Computations, st.Hits)
+	// Stats schema v2 attributes work per tenant.
+	if ts, ok := st.Tenants["quickstart"]; ok {
+		fmt.Printf("tenant quickstart: %d computation(s), %d hit(s), %d snapshot ref(s)\n",
+			ts.Computations, ts.Hits, ts.SnapshotRefs)
+	}
 }

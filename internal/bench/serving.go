@@ -3,11 +3,13 @@ package bench
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"dexpander/internal/graph"
 	"dexpander/internal/service"
@@ -40,21 +42,30 @@ const servingHotQueries = 64
 //   - serve-hot: the same prefix, then servingHotQueries identical
 //     triples served from the single-flight cache — the steady-state
 //     path a warm replica serves traffic on.
+//   - serve-cancel: the same prefix, but first a decompose with a ~1ms
+//     deadline is fired and abandoned. Whether it lands before or after
+//     expiry is a race the cell does NOT try to win: the contract is
+//     that the following full-budget triple carries serve-cold's exact
+//     checksum either way — cancellation never corrupts or poisons the
+//     cache.
 //
 // Cell checksums digest the three response checksums (which themselves
 // equal the direct library calls' digests), so the CI baseline pins the
-// served bytes' determinism, and the hot/cold cells of one scenario must
-// carry the SAME checksum — re-proving cache transparency on every run.
+// served bytes' determinism, and the hot/cold/cancel cells of one
+// scenario must carry the SAME checksum — re-proving cache (and
+// cancellation) transparency on every run.
 func ServingAlgorithms() []Algorithm {
 	return []Algorithm{
-		{Name: "serve-cold", Run: servingCell(0)},
-		{Name: "serve-hot", Run: servingCell(servingHotQueries)},
+		{Name: "serve-cold", Run: servingCell(0, false)},
+		{Name: "serve-hot", Run: servingCell(servingHotQueries, false)},
+		{Name: "serve-cancel", Run: servingCell(0, true)},
 	}
 }
 
 // servingCell boots a service over loopback HTTP, registers the view's
-// base graph, runs one cold query triple, then hotReps cached triples.
-func servingCell(hotReps int) func(view *graph.Sub, seed uint64) (Result, error) {
+// base graph, optionally fires one deadline-doomed decompose, then runs
+// one cold query triple and hotReps cached triples.
+func servingCell(hotReps int, cancelFirst bool) func(view *graph.Sub, seed uint64) (Result, error) {
 	return func(view *graph.Sub, seed uint64) (Result, error) {
 		svc := service.New(service.Config{Workers: 2})
 		defer svc.Close()
@@ -78,17 +89,31 @@ func servingCell(hotReps int) func(view *graph.Sub, seed uint64) (Result, error)
 			return Result{}, err
 		}
 
+		if cancelFirst {
+			// Same key as the triple below. Success, ErrDeadline, and
+			// client-side expiry are all legitimate outcomes of the race;
+			// anything else is a real fault.
+			tctx, tcancel := context.WithTimeout(ctx, time.Millisecond)
+			_, err := c.Decompose(tctx, snap.ID, service.DecomposeParams{Seed: seed})
+			tcancel()
+			if err != nil && !errors.Is(err, service.ErrDeadline) &&
+				!errors.Is(err, service.ErrCanceled) &&
+				!errors.Is(err, context.DeadlineExceeded) {
+				return Result{}, fmt.Errorf("canceled decompose: %w", err)
+			}
+		}
+
 		var res Result
 		for rep := 0; rep <= hotReps; rep++ {
-			dec, err := c.Decompose(ctx, snap.ID, service.QueryParams{Seed: seed})
+			dec, err := c.Decompose(ctx, snap.ID, service.DecomposeParams{Seed: seed})
 			if err != nil {
 				return Result{}, err
 			}
-			count, err := c.TriangleCount(ctx, snap.ID, service.QueryParams{})
+			count, err := c.TriangleCount(ctx, snap.ID, service.CountParams{})
 			if err != nil {
 				return Result{}, err
 			}
-			enum, err := c.Enumerate(ctx, snap.ID, service.QueryParams{Seed: seed})
+			enum, err := c.Enumerate(ctx, snap.ID, service.EnumerateParams{Seed: seed})
 			if err != nil {
 				return Result{}, err
 			}

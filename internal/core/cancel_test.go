@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/nibble"
+	"dexpander/internal/par"
+)
+
+// TestDecomposeCheckpointIsTransparent pins the cancellation hook's
+// no-op contract: a probe that never fires must leave the decomposition
+// bit-identical to a run without one — same labels, same stats, same
+// removal accounting — while actually being consulted.
+func TestDecomposeCheckpointIsTransparent(t *testing.T) {
+	g := gen.RingOfCliques(6, 12, 3)
+	view := graph.WholeGraph(g)
+	opt := Options{Eps: 0.6, K: 2, Preset: nibble.Practical, Seed: 3}
+	plain, err := Decompose(view, opt, SeqSubroutines{Preset: nibble.Practical})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var probes atomic.Int64
+	opt.Check = func() error { probes.Add(1); return nil }
+	checked, err := Decompose(view, opt, SeqSubroutines{Preset: nibble.Practical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probes.Load() == 0 {
+		t.Fatal("checkpoint was never consulted")
+	}
+	if !reflect.DeepEqual(plain, checked) {
+		t.Fatalf("uncanceled checkpointed run diverged:\nplain   %+v\nchecked %+v", plain, checked)
+	}
+}
+
+// TestDecomposePreCanceled: a context canceled before the call returns
+// its error without running any subroutine.
+func TestDecomposePreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := gen.Dumbbell(16, 1, 1)
+	opt := Options{Eps: 0.4, K: 2, Preset: nibble.Practical, Seed: 1,
+		Check: par.CheckpointFromContext(ctx)}
+	_, err := Decompose(graph.WholeGraph(g), opt, SeqSubroutines{Preset: nibble.Practical})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled decompose: %v", err)
+	}
+}
+
+// TestDecomposeCancelsMidRun: firing the probe after a few consultations
+// aborts the pipeline with the probe's error instead of finishing —
+// under both the inline and the fanned-out task schedulers.
+func TestDecomposeCancelsMidRun(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var probes atomic.Int64
+		check := func() error {
+			if probes.Add(1) > 3 {
+				return boom
+			}
+			return nil
+		}
+		g := gen.RingOfCliques(6, 12, 3)
+		opt := Options{Eps: 0.6, K: 2, Preset: nibble.Practical, Seed: 3,
+			Workers: workers, Check: check}
+		_, err := Decompose(graph.WholeGraph(g), opt, SeqSubroutines{Preset: nibble.Practical, Workers: workers})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: canceled decompose returned %v", workers, err)
+		}
+	}
+}

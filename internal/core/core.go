@@ -72,6 +72,14 @@ type Options struct {
 	// 0 means GOMAXPROCS; 1 forces inline serial execution. The output is
 	// bit-identical for every value.
 	Workers int
+	// Check is the cooperative-cancellation probe (nil = never
+	// canceled). It is consulted at every recursion level, before each
+	// vertex-disjoint phase task is dispatched, and at each Phase 2
+	// iteration, so a canceled run returns Check's error within one
+	// subroutine call. It must be cheap and concurrency-safe
+	// (par.CheckpointFromContext qualifies); it never alters the output
+	// of a run it does not cancel.
+	Check par.Checkpoint
 }
 
 func (o Options) validate() error {
@@ -139,6 +147,11 @@ func Decompose(view *graph.Sub, opt Options, subs Subroutines) (*Decomposition, 
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	if opt.Check != nil {
+		if err := opt.Check(); err != nil {
+			return nil, err
+		}
+	}
 	g := view.Base()
 	n := g.N()
 	m := float64(view.UsableEdgeCount())
@@ -180,6 +193,7 @@ func Decompose(view *graph.Sub, opt Options, subs Subroutines) (*Decomposition, 
 		mask:    aliveMask(view),
 		root:    rng.New(opt.Seed),
 		workers: par.Workers(opt.Workers),
+		check:   opt.Check,
 	}
 	dec := &Decomposition{PhiTarget: ladder[opt.K], PhiLadder: ladder}
 
@@ -188,6 +202,9 @@ func Decompose(view *graph.Sub, opt Options, subs Subroutines) (*Decomposition, 
 	depth := 0
 	var phase2 []*graph.VSet
 	for len(tasks) > 0 && depth < d {
+		if err := st.checkpoint(); err != nil {
+			return nil, err
+		}
 		depth++
 		dec.Phase1Depth = depth
 		next, entered, err := st.phase1Level(tasks, dec)
@@ -211,9 +228,11 @@ func Decompose(view *graph.Sub, opt Options, subs Subroutines) (*Decomposition, 
 		bases[i] = st.reserveSeeds(budgets[i])
 	}
 	outs := make([]phase2Out, len(phase2))
-	par.ForEach(st.workers, len(phase2), func(i int) {
+	if err := par.ForEachCheck(st.workers, len(phase2), st.check, func(i int) {
 		outs[i] = st.phase2(phase2[i], budgets[i], bases[i])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	var p2Par congest.Stats
 	for i := range outs {
 		o := &outs[i]
@@ -257,6 +276,16 @@ type state struct {
 	stats   congest.Stats
 	seqNo   uint64
 	workers int
+	check   par.Checkpoint
+}
+
+// checkpoint probes the cooperative-cancellation hook; nil means never
+// canceled. Safe to call from concurrent phase tasks.
+func (s *state) checkpoint() error {
+	if s.check == nil {
+		return nil
+	}
+	return s.check()
 }
 
 func (s *state) current() *graph.Sub {
@@ -301,7 +330,7 @@ func (s *state) phase1Level(tasks []*graph.VSet, dec *Decomposition) (next []*gr
 		lddSeeds[i] = s.nextSeed()
 	}
 	lddOuts := make([]lddOut, len(tasks))
-	par.ForEach(s.workers, len(tasks), func(i int) {
+	if err := par.ForEachCheck(s.workers, len(tasks), s.check, func(i int) {
 		o := &lddOuts[i]
 		u := tasks[i]
 		priv := acquireMask(s.mask)
@@ -316,7 +345,9 @@ func (s *state) phase1Level(tasks []*graph.VSet, dec *Decomposition) (next []*gr
 		// Remove-1: inter-cluster edges.
 		o.removed = o.log.removeInterLabel(g, *priv, u, res.Labels)
 		o.comps = splitComponents(graph.NewSub(g, s.view.Members(), *priv), u)
-	})
+	}); err != nil {
+		return nil, nil, err
+	}
 	var lddPar congest.Stats
 	var afterLDD []*graph.VSet
 	for i := range lddOuts {
@@ -348,7 +379,7 @@ func (s *state) phase1Level(tasks []*graph.VSet, dec *Decomposition) (next []*gr
 		cutSeeds[i] = s.nextSeed()
 	}
 	cutOuts := make([]cutOut, len(afterLDD))
-	par.ForEach(s.workers, len(afterLDD), func(i int) {
+	if err := par.ForEachCheck(s.workers, len(afterLDD), s.check, func(i int) {
 		o := &cutOuts[i]
 		u := afterLDD[i]
 		priv := acquireMask(s.mask)
@@ -375,7 +406,9 @@ func (s *state) phase1Level(tasks []*graph.VSet, dec *Decomposition) (next []*gr
 			after := graph.NewSub(g, s.view.Members(), *priv)
 			o.comps = append(splitComponents(after, cut.C), splitComponents(after, rest)...)
 		}
-	})
+	}); err != nil {
+		return nil, nil, err
+	}
 	var cutPar congest.Stats
 	for i := range cutOuts {
 		o := &cutOuts[i]
@@ -440,6 +473,10 @@ func (s *state) phase2(u *graph.VSet, maxIters int, seedBase uint64) (out phase2
 	priv := acquireMask(s.mask)
 	defer releaseMask(priv)
 	for out.iters < maxIters {
+		if err := s.checkpoint(); err != nil {
+			out.err = err
+			return out
+		}
 		seed := s.root.Fork(seedBase + uint64(out.iters)).Uint64()
 		out.iters++
 		// The paper lets Phase 2 communicate over all of G*'s edges even

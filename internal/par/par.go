@@ -7,10 +7,43 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// Checkpoint is the cooperative-cancellation probe threaded through the
+// long-running kernels (core.Decompose's phase tasks and level loops,
+// triangle.Enumerate's component loop, the counting kernels' shard and
+// block-triple loops). A nil Checkpoint means "never canceled" and costs
+// nothing; a non-nil one is consulted at task boundaries and must be
+// cheap (the context-backed probe below is one non-blocking channel
+// receive). Once it returns a non-nil error the computation winds down
+// and surfaces that error — it never changes outputs of uncanceled runs.
+type Checkpoint func() error
+
+// CheckpointFromContext adapts a context into a Checkpoint: a
+// non-blocking probe of ctx.Done() returning ctx.Err() once the context
+// is canceled or past its deadline. A nil or never-canceled context
+// yields a nil Checkpoint, keeping the hot path free of even the probe.
+func CheckpointFromContext(ctx context.Context) Checkpoint {
+	if ctx == nil {
+		return nil
+	}
+	done := ctx.Done()
+	if done == nil {
+		return nil
+	}
+	return func() error {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+			return nil
+		}
+	}
+}
 
 // Workers resolves a requested worker count: non-positive means
 // GOMAXPROCS. ForEach further clamps to the task count, so no idle
@@ -57,4 +90,62 @@ func ForEach(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForEachCheck is ForEach with a cooperative-cancellation probe: cp
+// (when non-nil) is consulted before each task starts, and once it
+// reports an error no further tasks begin — tasks already running finish
+// their current fn call, so a caller is released within one task (one
+// "checkpoint interval") of the cancellation. The first checkpoint error
+// is returned; an uncanceled run returns nil having executed exactly the
+// calls ForEach would, in a schedule drawn from the same shared counter,
+// so outputs stay bit-identical. With a nil cp it is exactly ForEach.
+func ForEachCheck(workers, n int, cp Checkpoint, fn func(i int)) error {
+	if cp == nil {
+		ForEach(workers, n, fn)
+		return nil
+	}
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := cp(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if err := cp(); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+				if firstErr.Load() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }

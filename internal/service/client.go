@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"dexpander/internal/gen"
 )
@@ -16,6 +18,9 @@ import (
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8437".
 	Base string
+	// Tenant is sent as the X-Tenant header on every request; empty
+	// means the server's DefaultTenant.
+	Tenant string
 	// HTTP overrides the transport (nil means http.DefaultClient).
 	HTTP *http.Client
 }
@@ -30,20 +35,55 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// APIError is a non-2xx response decoded from the error envelope.
+// APIError is a non-2xx response decoded from the error envelope. It
+// unwraps to the service sentinel matching its Code, so callers test
+// outcomes transport-agnostically:
+//
+//	if errors.Is(err, service.ErrBusy) { backoff and retry }
 type APIError struct {
 	Status int
-	Msg    string
-	// Retryable marks backpressure rejections (queue full): retry the
-	// identical request after a backoff.
+	// Code is the stable envelope code ("busy", "quota", "deadline",
+	// "canceled", "not_found", "registry_full", "internal",
+	// "bad_request").
+	Code string
+	Msg  string
+	// Retryable marks errors (backpressure, quota, deadline) where the
+	// identical request can simply be retried after a backoff.
 	Retryable bool
 }
 
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("service: HTTP %d (%s): %s", e.Status, e.Code, e.Msg)
+	}
 	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Msg)
 }
 
-// do issues one request and decodes the JSON response into out.
+// Unwrap maps the envelope code back onto the service's sentinel errors.
+func (e *APIError) Unwrap() error {
+	switch e.Code {
+	case CodeBusy:
+		return ErrBusy
+	case CodeQuota:
+		return ErrQuota
+	case CodeDeadline:
+		return ErrDeadline
+	case CodeCanceled:
+		return ErrCanceled
+	case CodeNotFound:
+		return ErrNotFound
+	case CodeRegistryFull:
+		return ErrRegistryFull
+	case CodeInternal:
+		return ErrCompute
+	}
+	return nil
+}
+
+// do issues one request and decodes the JSON response into out. A ctx
+// deadline is forwarded as the X-Timeout-Ms header so the SERVER
+// enforces it and reports expiry with the "deadline" code, rather than
+// the client tearing the connection down mid-response.
 func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
 	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
 	if err != nil {
@@ -51,6 +91,16 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		ms := time.Until(deadline).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set(TimeoutHeader, strconv.FormatInt(ms, 10))
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -63,8 +113,13 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 	}
 	if resp.StatusCode/100 != 2 {
 		var er errorResponse
-		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			return &APIError{Status: resp.StatusCode, Msg: er.Error, Retryable: er.Retryable}
+		if json.Unmarshal(data, &er) == nil && er.Error.Message != "" {
+			return &APIError{
+				Status:    resp.StatusCode,
+				Code:      er.Error.Code,
+				Msg:       er.Error.Message,
+				Retryable: er.Error.Retryable,
+			}
 		}
 		return &APIError{Status: resp.StatusCode, Msg: string(data)}
 	}
@@ -114,12 +169,13 @@ func (c *Client) Snapshots(ctx context.Context) ([]*Snapshot, error) {
 	return out, nil
 }
 
-// Release drops one reference to the snapshot; at zero it is evicted.
+// Release drops one of the tenant's references to the snapshot; at zero
+// total references it is evicted.
 func (c *Client) Release(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/graphs/"+id, "", nil, nil)
 }
 
-func (c *Client) query(ctx context.Context, id, endpoint string, p QueryParams) (*Result, error) {
+func (c *Client) query(ctx context.Context, id, endpoint string, p any) (*Result, error) {
 	body, err := jsonBody(p)
 	if err != nil {
 		return nil, err
@@ -132,21 +188,21 @@ func (c *Client) query(ctx context.Context, id, endpoint string, p QueryParams) 
 }
 
 // Decompose runs (or fetches the cached) expander decomposition.
-func (c *Client) Decompose(ctx context.Context, id string, p QueryParams) (*Result, error) {
+func (c *Client) Decompose(ctx context.Context, id string, p DecomposeParams) (*Result, error) {
 	return c.query(ctx, id, "/decompose", p)
 }
 
 // TriangleCount runs (or fetches) the triangle count.
-func (c *Client) TriangleCount(ctx context.Context, id string, p QueryParams) (*Result, error) {
+func (c *Client) TriangleCount(ctx context.Context, id string, p CountParams) (*Result, error) {
 	return c.query(ctx, id, "/triangles/count", p)
 }
 
 // Enumerate runs (or fetches) the CONGEST triangle enumeration.
-func (c *Client) Enumerate(ctx context.Context, id string, p QueryParams) (*Result, error) {
+func (c *Client) Enumerate(ctx context.Context, id string, p EnumerateParams) (*Result, error) {
 	return c.query(ctx, id, "/triangles/enumerate", p)
 }
 
-// ServerStats fetches the service counters.
+// ServerStats fetches the service counters (stats schema v2).
 func (c *Client) ServerStats(ctx context.Context) (*Stats, error) {
 	var st Stats
 	if err := c.do(ctx, http.MethodGet, "/v1/stats", "", nil, &st); err != nil {

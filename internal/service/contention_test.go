@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,7 +27,7 @@ func TestSingleFlightIdenticalRequests(t *testing.T) {
 	defer s.Close()
 
 	spec := gen.Spec{Family: "gnp", Params: map[string]float64{"n": 48, "p": 0.2}, Seed: 3}
-	snap, err := s.RegisterSpec(spec)
+	snap, err := s.RegisterSpec("", spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestSingleFlightIdenticalRequests(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := s.Query(snap.ID, "enumerate", QueryParams{Seed: 9}, nil)
+			res, err := s.Query(bg, "", snap.ID, EnumerateParams{Seed: 9})
 			if err != nil {
 				errs[i] = err
 				return
@@ -67,7 +68,7 @@ func TestSingleFlightIdenticalRequests(t *testing.T) {
 	}
 
 	// Repetitions after completion are cache hits with the same bytes.
-	res, err := s.Query(snap.ID, "enumerate", QueryParams{Seed: 9}, nil)
+	res, err := s.Query(bg, "", snap.ID, EnumerateParams{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestSingleFlightDistinctKeys(t *testing.T) {
 	s := New(Config{Workers: 4, Queue: keys})
 	defer s.Close()
 
-	snap, err := s.RegisterSpec(gen.Spec{
+	snap, err := s.RegisterSpec("", gen.Spec{
 		Family: "gnp", Params: map[string]float64{"n": 32, "p": 0.25}, Seed: 1,
 	})
 	if err != nil {
@@ -125,7 +126,7 @@ func TestSingleFlightDistinctKeys(t *testing.T) {
 			wg.Add(1)
 			go func(k, i int) {
 				defer wg.Done()
-				res, err := s.Query(snap.ID, "enumerate", QueryParams{Seed: uint64(k + 1)}, nil)
+				res, err := s.Query(bg, "", snap.ID, EnumerateParams{Seed: uint64(k + 1)})
 				if err != nil {
 					t.Logf("key %d caller %d: %v", k, i, err)
 					failures.Add(1)
@@ -156,22 +157,31 @@ func TestSingleFlightDistinctKeys(t *testing.T) {
 	}
 }
 
-// Test-only blocking algorithm for deterministic backpressure tests: it
-// parks on gate until the test opens it, reporting each start.
+// Test-only blocking algorithm for deterministic backpressure and
+// cancellation tests: it parks until the gate opens OR the flight
+// context is canceled, reporting each start. Params implementations are
+// unexported interface methods, so only in-package tests can add
+// algorithms — exactly the closed-set contract.
 var (
 	slowGate    chan struct{}
 	slowStarted chan struct{}
 )
 
-func init() {
-	algorithms["test-slow"] = algorithm{
-		defaults: func(p QueryParams) QueryParams { return p },
-		canon:    func(p QueryParams) string { return fmt.Sprintf("seed=%d", p.Seed) },
-		run: func(view *graph.Sub, name string, p QueryParams) (*Result, error) {
-			slowStarted <- struct{}{}
-			<-slowGate
-			return &Result{Algorithm: name, Checksum: checksumString(p.Seed)}, nil
-		},
+type slowParams struct {
+	Seed uint64
+}
+
+func (p slowParams) Algorithm() string { return "test-slow" }
+func (p slowParams) normalize() Params { return p }
+func (p slowParams) validate() error   { return nil }
+func (p slowParams) canon() string     { return fmt.Sprintf("seed=%d", p.Seed) }
+func (p slowParams) run(ctx context.Context, view *graph.Sub, workers int) (*Result, error) {
+	slowStarted <- struct{}{}
+	select {
+	case <-slowGate:
+		return &Result{Checksum: checksumString(p.Seed)}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 }
 
@@ -184,14 +194,14 @@ func TestBackpressureBoundsInFlightWork(t *testing.T) {
 	s := New(Config{Workers: 2, Queue: 1})
 	defer s.Close()
 
-	snap, err := s.RegisterSpec(ringSpec(1))
+	snap, err := s.RegisterSpec("", ringSpec(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	results := make(chan error, 8)
 	query := func(seed uint64) {
-		_, err := s.Query(snap.ID, "test-slow", QueryParams{Seed: seed}, nil)
+		_, err := s.Query(bg, "", snap.ID, slowParams{Seed: seed})
 		results <- err
 	}
 
@@ -206,13 +216,13 @@ func TestBackpressureBoundsInFlightWork(t *testing.T) {
 		runtime.Gosched()
 	}
 	// ...and a fourth distinct key is rejected with the retryable error.
-	if _, err := s.Query(snap.ID, "test-slow", QueryParams{Seed: 4}, nil); !errors.Is(err, ErrBusy) {
+	if _, err := s.Query(bg, "", snap.ID, slowParams{Seed: 4}); !errors.Is(err, ErrBusy) {
 		t.Fatalf("over-admission: %v", err)
 	}
 	// Joining an in-flight key is NOT an admission and must still work.
 	joined := make(chan error, 1)
 	go func() {
-		_, err := s.Query(snap.ID, "test-slow", QueryParams{Seed: 1}, nil)
+		_, err := s.Query(bg, "", snap.ID, slowParams{Seed: 1})
 		joined <- err
 	}()
 	for s.Stats().Joins == 0 {
@@ -233,7 +243,7 @@ func TestBackpressureBoundsInFlightWork(t *testing.T) {
 		t.Fatalf("stats after backpressure test: %+v", st)
 	}
 	// The rejected key was never cached: retrying it now computes.
-	if _, err := s.Query(snap.ID, "test-slow", QueryParams{Seed: 4}, nil); err != nil {
+	if _, err := s.Query(bg, "", snap.ID, slowParams{Seed: 4}); err != nil {
 		t.Fatalf("retry after busy: %v", err)
 	}
 	if st := s.Stats(); st.Computations != 4 {
@@ -241,38 +251,164 @@ func TestBackpressureBoundsInFlightWork(t *testing.T) {
 	}
 }
 
-// TestCanceledWaiterStillCaches: a caller abandoning the wait does not
-// abort the computation; the result lands in the cache for the next one.
-func TestCanceledWaiterStillCaches(t *testing.T) {
+// TestAbandonedJoinerKeepsFlightAlive: a joiner abandoning the wait does
+// NOT cancel the flight while other waiters remain — the computation
+// finishes, the survivors get the result, and it lands in the cache.
+func TestAbandonedJoinerKeepsFlightAlive(t *testing.T) {
 	slowGate = make(chan struct{})
 	slowStarted = make(chan struct{}, 1)
 	s := New(Config{Workers: 1})
 	defer s.Close()
 
-	snap, err := s.RegisterSpec(ringSpec(1))
+	snap, err := s.RegisterSpec("", ringSpec(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cancel := make(chan struct{})
+	// First waiter stays.
+	stay := make(chan error, 1)
+	var stayed *Result
+	go func() {
+		res, err := s.Query(bg, "", snap.ID, slowParams{Seed: 7})
+		stayed = res
+		stay <- err
+	}()
+	<-slowStarted
+	// Second waiter joins, then abandons.
+	ctx, cancel := context.WithCancel(bg)
+	joined := make(chan error, 1)
+	go func() {
+		_, err := s.Query(ctx, "", snap.ID, slowParams{Seed: 7})
+		joined <- err
+	}()
+	for s.Stats().Joins == 0 {
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-joined; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("abandoning joiner: %v", err)
+	}
+	// Flight still alive (one waiter left): opening the gate completes it.
+	close(slowGate)
+	if err := <-stay; err != nil {
+		t.Fatalf("staying waiter: %v", err)
+	}
+	if stayed == nil || stayed.Checksum != checksumString(7) {
+		t.Fatalf("staying waiter result: %+v", stayed)
+	}
+	// And the result is cached.
+	if _, err := s.Query(bg, "", snap.ID, slowParams{Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Computations != 1 || st.Hits != 1 || st.Cancellations != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestLastWaiterCancelsFlight is the redesign's cancellation acceptance
+// pin: when the LAST waiter abandons a flight, the flight context is
+// canceled, the worker is freed within one checkpoint interval (here:
+// the slow algorithm's ctx select), the failure is NOT cached, and a
+// retry recomputes.
+func TestLastWaiterCancelsFlight(t *testing.T) {
+	slowGate = make(chan struct{})
+	slowStarted = make(chan struct{}, 1)
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	snap, err := s.RegisterSpec("", ringSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(bg)
 	errc := make(chan error, 1)
 	go func() {
-		_, err := s.Query(snap.ID, "test-slow", QueryParams{Seed: 7}, cancel)
+		_, err := s.Query(ctx, "", snap.ID, slowParams{Seed: 7})
 		errc <- err
 	}()
 	<-slowStarted
-	close(cancel)
-	if err := <-errc; err == nil {
-		t.Fatal("canceled waiter returned a result")
+	cancel()
+	if err := <-errc; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled waiter: %v", err)
 	}
+	// The worker frees itself without the gate ever opening: the next
+	// (distinct) computation proves the pool is live again.
+	if _, err := s.Query(bg, "", snap.ID, CountParams{}); err != nil {
+		t.Fatalf("pool wedged after cancellation: %v", err)
+	}
+	st := s.Stats()
+	if st.Cancellations != 1 {
+		t.Fatalf("cancellations = %d, want 1", st.Cancellations)
+	}
+	if ts := st.Tenants[DefaultTenant]; ts.Cancellations != 1 {
+		t.Fatalf("tenant cancellations: %+v", ts)
+	}
+
+	// The canceled flight was unlinked, not cached: retrying the same key
+	// starts a fresh computation that can now succeed.
+	slowStarted = make(chan struct{}, 1)
+	retry := make(chan error, 1)
+	var res *Result
+	go func() {
+		r, err := s.Query(bg, "", snap.ID, slowParams{Seed: 7})
+		res = r
+		retry <- err
+	}()
+	<-slowStarted
 	close(slowGate)
-	res, err := s.Query(snap.ID, "test-slow", QueryParams{Seed: 7}, nil)
+	if err := <-retry; err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	if res.Checksum != checksumString(7) {
+		t.Fatalf("retry result: %+v", res)
+	}
+}
+
+// TestCanceledWhileQueuedNeverRuns: cancellation of a flight that is
+// still parked in the queue frees the slot without the computation ever
+// starting.
+func TestCanceledWhileQueuedNeverRuns(t *testing.T) {
+	slowGate = make(chan struct{})
+	slowStarted = make(chan struct{}, 4)
+	s := New(Config{Workers: 1, Queue: 2})
+	defer s.Close()
+
+	snap, err := s.RegisterSpec("", ringSpec(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Checksum != checksumString(7) {
-		t.Fatalf("cached result checksum %s", res.Checksum)
+	// Occupy the only worker.
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.Query(bg, "", snap.ID, slowParams{Seed: 1})
+		first <- err
+	}()
+	<-slowStarted
+	// Queue a second flight, then cancel it before it ever starts.
+	ctx, cancel := context.WithCancel(bg)
+	queued := make(chan error, 1)
+	go func() {
+		_, err := s.Query(ctx, "", snap.ID, slowParams{Seed: 2})
+		queued <- err
+	}()
+	for s.Stats().InFlight != 2 {
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-queued; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled queued flight: %v", err)
+	}
+	close(slowGate)
+	if err := <-first; err != nil {
+		t.Fatalf("running flight: %v", err)
+	}
+	// Drain: the canceled queued entry is discarded by a worker without
+	// running (slowStarted would block forever if it ran — channel cap
+	// covers it, so assert via Computations instead).
+	for s.Stats().InFlight != 0 {
+		runtime.Gosched()
 	}
 	if st := s.Stats(); st.Computations != 1 {
-		t.Fatalf("cancellation re-ran the computation: %+v", st)
+		t.Fatalf("canceled queued flight ran: %+v", st)
 	}
 }

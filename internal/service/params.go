@@ -1,0 +1,282 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dexpander/internal/core"
+	"dexpander/internal/graph"
+	"dexpander/internal/nibble"
+	"dexpander/internal/par"
+	"dexpander/internal/triangle"
+)
+
+// Params is one algorithm's typed request parameters. Each algorithm
+// has its own concrete type (DecomposeParams, CountParams,
+// EnumerateParams) instead of the old flat grab-bag, so a caller cannot
+// pass a kernel to decompose or an eps to enumerate — the field simply
+// does not exist. The methods are unexported: the set of algorithms is
+// closed (the server's route table and the cache-key canon depend on
+// it), but tests in this package can register extra ones.
+//
+// Cache-key contract: normalize applies the algorithm's defaults BEFORE
+// canon renders the key, so "defaults spelled out" and "defaults
+// omitted" hit the same cache line — and canon's format strings are
+// pinned by tests because changing them silently invalidates every
+// cached result (and every checksum cross-reference in the bench
+// matrix).
+type Params interface {
+	// Algorithm names the endpoint ("decompose", "triangle-count",
+	// "enumerate").
+	Algorithm() string
+	// normalize returns a copy with the algorithm's defaults applied.
+	normalize() Params
+	// validate rejects bad defaults-applied params up front, so run
+	// failures can be treated as server faults rather than caller errors.
+	validate() error
+	// canon renders the defaults-applied params canonically; it is the
+	// params component of the cache key and must mention every field the
+	// computation reads.
+	canon() string
+	// run executes the computation. ctx is the flight's cancelable
+	// context: implementations forward par.CheckpointFromContext(ctx)
+	// into the kernels so a canceled flight frees its worker within one
+	// checkpoint interval. workers bounds host parallelism; outputs are
+	// bit-identical for every value.
+	run(ctx context.Context, view *graph.Sub, workers int) (*Result, error)
+}
+
+// Result is one computed (and cached) analytics answer. All fields are
+// deterministic in (snapshot, algorithm, params): the checksums are the
+// same FNV digests the bench matrix pins, so a served answer can be
+// diffed against a direct library call or a checked-in baseline.
+type Result struct {
+	Algorithm string `json:"algorithm"`
+	Params    string `json:"params"`
+	// Checksum digests the full structural output, "fnv64:" + 16 hex.
+	Checksum string `json:"checksum"`
+	// ComputeNS is the wall time of the single computation that
+	// populated this cache entry (identical for every caller); it also
+	// backs the cache's cost-aware eviction score.
+	ComputeNS int64 `json:"compute_ns"`
+
+	// Decomposition fields.
+	Components  int     `json:"components,omitempty"`
+	CutEdges    int64   `json:"cut_edges,omitempty"`
+	EpsAchieved float64 `json:"eps_achieved,omitempty"`
+	PhiTarget   float64 `json:"phi_target,omitempty"`
+
+	// Triangle fields.
+	Triangles int `json:"triangles,omitempty"`
+	// List holds the lexicographically first Limit triangles (enumerate
+	// only); Truncated reports whether the full set was larger.
+	List      [][3]int `json:"list,omitempty"`
+	Truncated bool     `json:"truncated,omitempty"`
+
+	// Simulated CONGEST costs (enumerate only).
+	Rounds   int   `json:"rounds,omitempty"`
+	Messages int64 `json:"messages,omitempty"`
+}
+
+// AlgorithmNames lists the query endpoints (for docs and errors).
+func AlgorithmNames() []string {
+	return []string{"decompose", "enumerate", "triangle-count"}
+}
+
+// DecomposeParams configures the Theorem 1 expander decomposition.
+type DecomposeParams struct {
+	// Eps is the decomposition's target inter-cluster edge fraction
+	// (default 0.4, matching the bench matrix cells).
+	Eps float64 `json:"eps,omitempty"`
+	// K is Theorem 1's trade-off parameter (default 2).
+	K int `json:"k,omitempty"`
+	// Seed drives the computation's randomness (default 1, the bench
+	// matrix seed).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Algorithm returns "decompose".
+func (p DecomposeParams) Algorithm() string { return "decompose" }
+
+func (p DecomposeParams) normalize() Params {
+	if p.Eps == 0 {
+		p.Eps = 0.4
+	}
+	if p.K == 0 {
+		p.K = 2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+func (p DecomposeParams) validate() error {
+	if !(p.Eps > 0 && p.Eps < 1) {
+		return fmt.Errorf("service: eps = %v out of (0,1)", p.Eps)
+	}
+	if p.K < 1 {
+		return fmt.Errorf("service: k = %d must be positive", p.K)
+	}
+	return nil
+}
+
+func (p DecomposeParams) canon() string {
+	return fmt.Sprintf("eps=%v k=%d seed=%d", p.Eps, p.K, p.Seed)
+}
+
+// run executes the Theorem 1 pipeline. The checksum digests the full
+// structural output exactly like the bench matrix's decompose cells:
+// HashWords(count, cutEdges, labels...).
+func (p DecomposeParams) run(ctx context.Context, view *graph.Sub, workers int) (*Result, error) {
+	cp := par.CheckpointFromContext(ctx)
+	start := time.Now()
+	dec, err := core.Decompose(view, core.Options{
+		Eps: p.Eps, K: p.K, Preset: nibble.Practical, Seed: p.Seed,
+		Workers: workers, Check: cp,
+	}, core.SeqSubroutines{Preset: nibble.Practical, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	words := make([]uint64, 0, len(dec.Labels)+2)
+	words = append(words, uint64(dec.Count), uint64(dec.CutEdges))
+	for _, l := range dec.Labels {
+		words = append(words, uint64(int64(l)))
+	}
+	return &Result{
+		Checksum:    checksumString(triangle.HashWords(words...)),
+		ComputeNS:   time.Since(start).Nanoseconds(),
+		Components:  dec.Count,
+		CutEdges:    dec.CutEdges,
+		EpsAchieved: dec.EpsAchieved,
+		PhiTarget:   dec.PhiTarget,
+	}, nil
+}
+
+// CountParams configures the shared-memory triangle count.
+type CountParams struct {
+	// Kernel selects the kernel: "merge", "rank", "2d", or "auto" (the
+	// default; currently the rank kernel). merge, rank, and auto produce
+	// bit-identical checksums; 2d runs the counting-only edge-partitioned
+	// path, whose checksum digests the count alone.
+	Kernel string `json:"kernel,omitempty"`
+}
+
+// Algorithm returns "triangle-count".
+func (p CountParams) Algorithm() string { return "triangle-count" }
+
+func (p CountParams) normalize() Params {
+	if p.Kernel == "" {
+		p.Kernel = "auto"
+	}
+	return p
+}
+
+func (p CountParams) validate() error {
+	_, err := triangle.ParseKernel(p.Kernel)
+	return err
+}
+
+func (p CountParams) canon() string { return fmt.Sprintf("kernel=%s", p.Kernel) }
+
+// run executes the selected shared-memory kernel. For merge, rank, and
+// auto the checksum digests the full triangle set — identical across the
+// three and matching the bench matrix's brute/brute-par and
+// enumerate-merge/enumerate-rank cells. The 2d kernel counts without
+// materializing a set, so its checksum digests the count alone, exactly
+// like the matrix's count-2d cells.
+func (p CountParams) run(ctx context.Context, view *graph.Sub, workers int) (*Result, error) {
+	k, err := triangle.ParseKernel(p.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	cp := par.CheckpointFromContext(ctx)
+	start := time.Now()
+	if k == triangle.Kernel2D {
+		n, err := triangle.CountParallel2DCheck(view, workers, cp)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Checksum:  checksumString(triangle.HashWords(uint64(n))),
+			ComputeNS: time.Since(start).Nanoseconds(),
+			Triangles: n,
+		}, nil
+	}
+	set, err := triangle.SetKernelCheck(view, workers, k, cp)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Checksum:  checksumString(set.Checksum()),
+		ComputeNS: time.Since(start).Nanoseconds(),
+		Triangles: set.Len(),
+	}, nil
+}
+
+// EnumerateParams configures the CONGEST triangle enumeration.
+type EnumerateParams struct {
+	// Seed drives the enumeration's randomness (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Limit caps the triangle list the response carries (default 1000;
+	// the count and checksum always cover the full set).
+	Limit int `json:"limit,omitempty"`
+}
+
+// Algorithm returns "enumerate".
+func (p EnumerateParams) Algorithm() string { return "enumerate" }
+
+func (p EnumerateParams) normalize() Params {
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Limit <= 0 {
+		// Also clamps negative limits: Limit reaches a slice bound in
+		// run, and a panic there would kill a pool worker, not just one
+		// request.
+		p.Limit = 1000
+	}
+	return p
+}
+
+func (p EnumerateParams) validate() error { return nil }
+
+func (p EnumerateParams) canon() string {
+	return fmt.Sprintf("seed=%d limit=%d", p.Seed, p.Limit)
+}
+
+// run executes the paper's CONGEST enumeration pipeline (Theorem 2) and
+// reports the simulated round/message costs alongside the result;
+// checksum, count, rounds, and messages match the bench matrix's
+// enumerate cells.
+func (p EnumerateParams) run(ctx context.Context, view *graph.Sub, workers int) (*Result, error) {
+	start := time.Now()
+	set, stats, err := triangle.Enumerate(view, triangle.Options{
+		Seed: p.Seed, Workers: workers, Check: par.CheckpointFromContext(ctx),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Checksum:  checksumString(set.Checksum()),
+		ComputeNS: time.Since(start).Nanoseconds(),
+		Triangles: set.Len(),
+		Rounds:    stats.Rounds,
+		Messages:  stats.Messages,
+	}
+	sorted := set.Sorted()
+	if len(sorted) > p.Limit {
+		sorted = sorted[:p.Limit]
+		res.Truncated = true
+	}
+	res.List = make([][3]int, len(sorted))
+	for i, t := range sorted {
+		res.List[i] = [3]int{t.A, t.B, t.C}
+	}
+	return res, nil
+}
+
+// checksumString renders a digest the way every bench cell does, so
+// service responses diff directly against BENCH_*.json checksums.
+func checksumString(sum uint64) string { return fmt.Sprintf("fnv64:%016x", sum) }

@@ -1,0 +1,314 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+)
+
+// TestTenantInFlightQuotaStarvation is the multi-tenant fairness pin: a
+// noisy tenant capped at one admitted computation cannot starve a quiet
+// tenant out of the remaining workers — the noisy tenant's overflow is
+// rejected with ErrQuota (not queued) while the quiet tenant's request
+// is admitted and completes.
+func TestTenantInFlightQuotaStarvation(t *testing.T) {
+	slowGate = make(chan struct{})
+	slowStarted = make(chan struct{}, 4)
+	s := New(Config{Workers: 2, Queue: 4, TenantMaxInFlight: 1})
+	defer s.Close()
+
+	snap, err := s.RegisterSpec("noisy", ringSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The noisy tenant occupies its one admitted slot...
+	noisy := make(chan error, 1)
+	go func() {
+		_, err := s.Query(bg, "noisy", snap.ID, slowParams{Seed: 1})
+		noisy <- err
+	}()
+	<-slowStarted
+
+	// ...and every further distinct key is rejected up front, even
+	// though the pool has a free worker and an empty queue.
+	if _, err := s.Query(bg, "noisy", snap.ID, slowParams{Seed: 2}); !errors.Is(err, ErrQuota) {
+		t.Fatalf("noisy tenant over quota: %v", err)
+	}
+
+	// The quiet tenant is admitted into the headroom the quota preserved.
+	quiet := make(chan error, 1)
+	go func() {
+		_, err := s.Query(bg, "quiet", snap.ID, slowParams{Seed: 3})
+		quiet <- err
+	}()
+	<-slowStarted
+
+	close(slowGate)
+	if err := <-noisy; err != nil {
+		t.Fatalf("noisy tenant's admitted flight: %v", err)
+	}
+	if err := <-quiet; err != nil {
+		t.Fatalf("quiet tenant starved: %v", err)
+	}
+
+	st := s.Stats()
+	if st.QuotaRejections != 1 {
+		t.Fatalf("quota rejections = %d, want 1", st.QuotaRejections)
+	}
+	if ts := st.Tenants["noisy"]; ts.QuotaRejections != 1 || ts.Computations != 1 {
+		t.Fatalf("noisy tenant stats: %+v", ts)
+	}
+	if ts := st.Tenants["quiet"]; ts.QuotaRejections != 0 || ts.Computations != 1 {
+		t.Fatalf("quiet tenant stats: %+v", ts)
+	}
+}
+
+// TestTenantSnapshotQuota: a tenant at its snapshot-reference cap cannot
+// register (or re-reference) further graphs, while other tenants still
+// can.
+func TestTenantSnapshotQuota(t *testing.T) {
+	s := New(Config{Workers: 1, TenantMaxSnapshots: 1})
+	defer s.Close()
+
+	if _, err := s.RegisterSpec("hoarder", ringSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterSpec("hoarder", ringSpec(2)); !errors.Is(err, ErrQuota) {
+		t.Fatalf("second registration under cap 1: %v", err)
+	}
+	// Even a dedup re-reference counts against the holder's cap.
+	if _, err := s.RegisterSpec("hoarder", ringSpec(1)); !errors.Is(err, ErrQuota) {
+		t.Fatalf("re-reference under cap 1: %v", err)
+	}
+	// Another tenant has its own budget.
+	snap, err := s.RegisterSpec("modest", ringSpec(2))
+	if err != nil {
+		t.Fatalf("other tenant blocked by hoarder's cap: %v", err)
+	}
+	if _, err := s.Release("modest", snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Releasing frees budget: the hoarder can swap graphs.
+	first, err := s.Snapshot(snapshotIDOf(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Release("hoarder", first.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterSpec("hoarder", ringSpec(2)); err != nil {
+		t.Fatalf("register after release: %v", err)
+	}
+}
+
+func snapshotIDOf(t *testing.T, seed uint64) string {
+	t.Helper()
+	g, err := ringSpec(seed).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snapshotID(g.Fingerprint())
+}
+
+// TestTenantRateLimit drives the per-tenant token bucket with an
+// injected clock: burst tokens are spent one per request, refill is
+// rate-proportional, rejections map to ErrQuota, and buckets are
+// per-tenant.
+func TestTenantRateLimit(t *testing.T) {
+	s := New(Config{Workers: 1, RatePerSec: 1, RateBurst: 2})
+	defer s.Close()
+	now := time.Unix(1_000_000, 0)
+	s.now = func() time.Time { return now }
+
+	// Registration spends the first of the two burst tokens.
+	snap, err := s.RegisterSpec("", ringSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second token covers one query; the third request is rejected.
+	if _, err := s.Query(bg, "", snap.ID, CountParams{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(bg, "", snap.ID, CountParams{}); !errors.Is(err, ErrQuota) {
+		t.Fatalf("rate limit not enforced: %v", err)
+	}
+	// A different tenant has its own full bucket.
+	if _, err := s.Query(bg, "patient", snap.ID, CountParams{}); err != nil {
+		t.Fatalf("rate limit leaked across tenants: %v", err)
+	}
+	// One second refills one token — exactly one more request passes.
+	now = now.Add(time.Second)
+	if _, err := s.Query(bg, "", snap.ID, CountParams{}); err != nil {
+		t.Fatalf("query after refill: %v", err)
+	}
+	if _, err := s.Query(bg, "", snap.ID, CountParams{}); !errors.Is(err, ErrQuota) {
+		t.Fatalf("second query after single refill: %v", err)
+	}
+	// Refill is capped at the burst, not accumulated without bound.
+	now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Query(bg, "", snap.ID, CountParams{}); err != nil {
+			t.Fatalf("burst query %d after long idle: %v", i, err)
+		}
+	}
+	if _, err := s.Query(bg, "", snap.ID, CountParams{}); !errors.Is(err, ErrQuota) {
+		t.Fatal("burst cap not enforced after long idle")
+	}
+	if ts := s.Stats().Tenants[DefaultTenant]; ts.QuotaRejections != 3 {
+		t.Fatalf("default tenant rate rejections: %+v", ts)
+	}
+}
+
+// Test-only algorithm with a declared compute cost: run reports
+// Result.ComputeNS = Cost, which the cache records as the entry's
+// eviction cost (measured wall time would be noise at test speed).
+type costParams struct {
+	Seed uint64
+	Cost int64
+}
+
+func (p costParams) Algorithm() string { return "test-cost" }
+func (p costParams) normalize() Params { return p }
+func (p costParams) validate() error   { return nil }
+func (p costParams) canon() string     { return fmt.Sprintf("seed=%d cost=%d", p.Seed, p.Cost) }
+func (p costParams) run(ctx context.Context, view *graph.Sub, workers int) (*Result, error) {
+	return &Result{Checksum: checksumString(p.Seed), ComputeNS: p.Cost}, nil
+}
+
+// TestCostAwareEvictionOrder pins the eviction policy: at MaxResults the
+// completed entry with the lowest cost/age score goes first, so a cheap
+// cold count is evicted while an expensive decomposition-like artifact
+// survives round after round.
+func TestCostAwareEvictionOrder(t *testing.T) {
+	s := New(Config{Workers: 1, MaxResults: 2})
+	defer s.Close()
+
+	snap, err := s.RegisterSpec("", ringSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expensive := costParams{Seed: 1, Cost: 1_000_000_000}
+	cheap := costParams{Seed: 2, Cost: 10}
+	next := costParams{Seed: 3, Cost: 500}
+
+	for _, p := range []costParams{expensive, cheap} {
+		if _, err := s.Query(bg, "", snap.ID, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The third insert evicts the cheap entry, not the expensive one.
+	if _, err := s.Query(bg, "", snap.ID, next); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.CacheEvictions != 1 || st.CacheEntries != 2 {
+		t.Fatalf("after first eviction: %+v", st)
+	}
+	// The expensive entry is still a hit...
+	if _, err := s.Query(bg, "", snap.ID, expensive); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Hits != 1 || st.Computations != 3 {
+		t.Fatalf("expensive entry was evicted: %+v", st)
+	}
+	// ...and re-querying the cheap one recomputes (it was the victim),
+	// evicting `next` (expensive is both costlier and fresher).
+	if _, err := s.Query(bg, "", snap.ID, cheap); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Computations != 4 || st.CacheEvictions != 2 {
+		t.Fatalf("cheap entry survived eviction: %+v", st)
+	}
+	if _, err := s.Query(bg, "", snap.ID, expensive); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Hits != 2 || st.Computations != 4 {
+		t.Fatalf("expensive entry did not survive both rounds: %+v", st)
+	}
+}
+
+// TestTenantContentionUnderRace hammers one service from several tenants
+// with mixed hits, joins, distinct keys, quota rejections, and canceled
+// deadlines at once. Run under -race in CI; the assertions are the
+// determinism and accounting invariants that must hold through the
+// chaos.
+func TestTenantContentionUnderRace(t *testing.T) {
+	s := New(Config{Workers: 4, Queue: 8, TenantMaxInFlight: 6, RatePerSec: 0})
+	defer s.Close()
+
+	snap, err := s.RegisterSpec("", gen.Spec{
+		Family: "gnp", Params: map[string]float64{"n": 40, "p": 0.2}, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const tenants = 4
+	const goroutinesPer = 6
+	const queriesEach = 5
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	// Checksums (not full response bytes): a flight canceled by every
+	// waiter is recomputed later with a fresh ComputeNS, but the
+	// structural output must never diverge.
+	byKey := map[uint64]string{}
+	for tn := 0; tn < tenants; tn++ {
+		for i := 0; i < goroutinesPer; i++ {
+			wg.Add(1)
+			go func(tn, i int) {
+				defer wg.Done()
+				name := fmt.Sprintf("tenant-%d", tn)
+				for q := 0; q < queriesEach; q++ {
+					seed := uint64(1 + (i+q)%3)
+					ctx := bg
+					cancel := context.CancelFunc(func() {})
+					if (i+q)%7 == 0 {
+						// A sliver of requests carries a tiny deadline.
+						ctx, cancel = context.WithTimeout(bg, time.Microsecond)
+					}
+					res, err := s.Query(ctx, name, snap.ID, EnumerateParams{Seed: seed})
+					cancel()
+					if err != nil {
+						if !errors.Is(err, ErrCanceled) && !errors.Is(err, ErrDeadline) &&
+							!errors.Is(err, ErrQuota) && !errors.Is(err, ErrBusy) {
+							t.Errorf("unexpected error class: %v", err)
+						}
+						continue
+					}
+					mu.Lock()
+					if prev, ok := byKey[seed]; !ok {
+						byKey[seed] = res.Checksum
+					} else if prev != res.Checksum {
+						t.Errorf("seed %d served divergent checksums: %s vs %s", seed, prev, res.Checksum)
+					}
+					mu.Unlock()
+				}
+			}(tn, i)
+		}
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight work left after drain: %+v", st)
+	}
+	var tenantComputations, tenantHits uint64
+	for _, ts := range st.Tenants {
+		tenantComputations += ts.Computations
+		tenantHits += ts.Hits
+	}
+	if tenantComputations != st.Computations || tenantHits != st.Hits {
+		t.Fatalf("per-tenant attribution does not sum to global: %+v", st)
+	}
+	if st.Computations == 0 || st.Hits == 0 {
+		t.Fatalf("contention test exercised nothing: %+v", st)
+	}
+}

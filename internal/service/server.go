@@ -1,12 +1,15 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"dexpander/internal/gen"
 	"dexpander/internal/graph"
@@ -24,18 +27,79 @@ var uploadLimits = graph.ReadLimits{
 	MaxBytes:    1 << 31,
 }
 
+// Request headers of the v1 API.
+const (
+	// TenantHeader names the calling tenant; absent means DefaultTenant.
+	TenantHeader = "X-Tenant"
+	// TimeoutHeader carries the caller's remaining budget in
+	// milliseconds; the server derives the request deadline from it, so
+	// deadline expiry is observed SERVER-side and reported with the
+	// "deadline" envelope code instead of a torn client-side connection.
+	TimeoutHeader = "X-Timeout-Ms"
+)
+
+// maxTenantName bounds the tenant header (it becomes a map key in the
+// stats schema).
+const maxTenantName = 64
+
 // registerRequest is the JSON body of POST /v1/graphs when registering
 // by generator spec.
 type registerRequest struct {
 	Spec gen.Spec `json:"spec"`
 }
 
-// errorResponse is the uniform JSON error envelope.
+// ErrorInfo is the payload of the uniform error envelope. Code is a
+// stable machine-readable discriminator (see codeOf); Message is
+// human-readable and NOT stable; Retryable marks errors where the
+// identical request can simply be retried after a backoff.
+type ErrorInfo struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+// errorResponse is the uniform JSON error envelope:
+// {"error":{"code":"...","message":"...","retryable":bool}}.
 type errorResponse struct {
-	Error string `json:"error"`
-	// Retryable marks backpressure rejections (HTTP 503): the identical
-	// request can simply be retried after a backoff.
-	Retryable bool `json:"retryable,omitempty"`
+	Error ErrorInfo `json:"error"`
+}
+
+// Envelope codes, with their HTTP statuses.
+const (
+	CodeBusy         = "busy"          // 503, retryable: queue full or shutting down
+	CodeQuota        = "quota"         // 429, retryable: tenant over a quota
+	CodeDeadline     = "deadline"      // 504, retryable: request deadline expired
+	CodeCanceled     = "canceled"      // 408: caller went away mid-wait
+	CodeNotFound     = "not_found"     // 404: unknown snapshot
+	CodeRegistryFull = "registry_full" // 507: snapshot registry at capacity
+	CodeInternal     = "internal"      // 500: computation failed server-side
+	CodeBadRequest   = "bad_request"   // 400: malformed params/spec/upload
+)
+
+// codeOf maps a service error onto (status, code, retryable). Order
+// matters: ErrDeadline and ErrCanceled both wrap context errors, and
+// ErrClosed rides the busy code (a restarting replica wants the LB to
+// retry elsewhere, exactly like backpressure).
+func codeOf(err error) (int, string, bool) {
+	switch {
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable, CodeBusy, true
+	case errors.Is(err, ErrQuota):
+		return http.StatusTooManyRequests, CodeQuota, true
+	case errors.Is(err, ErrDeadline):
+		return http.StatusGatewayTimeout, CodeDeadline, true
+	case errors.Is(err, ErrCanceled):
+		return http.StatusRequestTimeout, CodeCanceled, false
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound, CodeNotFound, false
+	case errors.Is(err, ErrRegistryFull):
+		return http.StatusInsufficientStorage, CodeRegistryFull, false
+	case errors.Is(err, ErrCompute):
+		// The request was valid; the kernel failed. Server fault.
+		return http.StatusInternalServerError, CodeInternal, false
+	default:
+		return http.StatusBadRequest, CodeBadRequest, false
+	}
 }
 
 // Handler returns the dexpanderd HTTP API:
@@ -47,20 +111,22 @@ type errorResponse struct {
 //	POST   /v1/graphs/{id}/decompose         expander decomposition (Theorem 1)
 //	POST   /v1/graphs/{id}/triangles/count   triangle count (parallel kernel)
 //	POST   /v1/graphs/{id}/triangles/enumerate  CONGEST enumeration (Theorem 2)
-//	GET    /v1/stats                         service counters
+//	GET    /v1/stats                         service counters (schema v2)
 //	GET    /healthz                          liveness
 //
-// Responses are deterministic in (snapshot, algorithm, params): the
-// checksums are the same FNV digests the bench matrix pins.
+// Every mutating/compute endpoint honors the X-Tenant and X-Timeout-Ms
+// headers; errors use the uniform envelope (errorResponse). Responses
+// are deterministic in (snapshot, algorithm, params): the checksums are
+// the same FNV digests the bench matrix pins.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleRegister)
 	mux.HandleFunc("GET /v1/graphs", s.handleList)
 	mux.HandleFunc("GET /v1/graphs/{id}", s.handleSnapshot)
 	mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleRelease)
-	mux.HandleFunc("POST /v1/graphs/{id}/decompose", s.queryHandler("decompose"))
-	mux.HandleFunc("POST /v1/graphs/{id}/triangles/count", s.queryHandler("triangle-count"))
-	mux.HandleFunc("POST /v1/graphs/{id}/triangles/enumerate", s.queryHandler("enumerate"))
+	mux.HandleFunc("POST /v1/graphs/{id}/decompose", queryHandler[DecomposeParams](s))
+	mux.HandleFunc("POST /v1/graphs/{id}/triangles/count", queryHandler[CountParams](s))
+	mux.HandleFunc("POST /v1/graphs/{id}/triangles/enumerate", queryHandler[EnumerateParams](s))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -77,26 +143,41 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, ErrBusy):
+	status, code, retryable := codeOf(err)
+	if retryable {
+		// Both 429 and 503 (and the retryable 504) carry a backoff hint.
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error(), Retryable: true})
-	case errors.Is(err, ErrNotFound):
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
-	case errors.Is(err, ErrRegistryFull):
-		writeJSON(w, http.StatusInsufficientStorage, errorResponse{Error: err.Error()})
-	case errors.Is(err, ErrClosed):
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
-	case errors.Is(err, ErrCompute):
-		// The request was valid; the kernel failed. Server fault.
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
-	case errors.Is(err, ErrCanceled):
-		// The client went away mid-wait; the status is written into the
-		// void but keeps logs honest.
-		writeJSON(w, http.StatusRequestTimeout, errorResponse{Error: err.Error()})
-	default:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 	}
+	writeJSON(w, status, errorResponse{Error: ErrorInfo{
+		Code:      code,
+		Message:   err.Error(),
+		Retryable: retryable,
+	}})
+}
+
+// tenantOf extracts and validates the caller's tenant.
+func tenantOf(r *http.Request) (string, error) {
+	tn := r.Header.Get(TenantHeader)
+	if len(tn) > maxTenantName {
+		return "", fmt.Errorf("service: tenant name longer than %d bytes", maxTenantName)
+	}
+	return tn, nil
+}
+
+// requestContext derives the request's context, shrunk by the
+// X-Timeout-Ms header when present. The returned cancel must be called.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := r.Context()
+	h := r.Header.Get(TimeoutHeader)
+	if h == "" {
+		return ctx, func() {}, nil
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms < 0 {
+		return nil, nil, fmt.Errorf("service: bad %s header %q", TimeoutHeader, h)
+	}
+	ctx, cancel := context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, nil
 }
 
 // handleRegister accepts either a JSON {"spec": ...} body
@@ -104,21 +185,25 @@ func writeError(w http.ResponseWriter, err error) {
 // format ReadEdgeList accepts: "n m" header or SNAP-style comments,
 // plain or gzip-compressed.
 func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
+	tn, err := tenantOf(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
 	var snap *Snapshot
-	var err error
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
 		var req registerRequest
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
 			writeError(w, fmt.Errorf("parse register request: %w", err))
 			return
 		}
-		snap, err = s.RegisterSpec(req.Spec)
+		snap, err = s.RegisterSpec(tn, req.Spec)
 	} else {
 		var g *graph.Graph
 		g, err = graph.ReadEdgeListLimited(body, uploadLimits)
 		if err == nil {
-			snap, err = s.RegisterGraph(g)
+			snap, err = s.RegisterGraph(tn, g)
 		}
 	}
 	if err != nil {
@@ -142,7 +227,12 @@ func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleRelease(w http.ResponseWriter, r *http.Request) {
-	refs, err := s.Release(r.PathValue("id"))
+	tn, err := tenantOf(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	refs, err := s.Release(tn, r.PathValue("id"))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -154,18 +244,34 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// queryHandler serves one algorithm endpoint. An empty body means
-// default params.
-func (s *Service) queryHandler(algorithm string) http.HandlerFunc {
+// queryHandler serves one algorithm endpoint with its typed params (an
+// empty body means defaults). Instantiated per concrete params type so
+// the JSON decoder rejects fields the algorithm does not have, instead
+// of silently dropping them into a shared grab-bag.
+func queryHandler[P any, PP interface {
+	*P
+	Params
+}](s *Service) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		var p QueryParams
+		var p P
 		// MaxBytesReader (unlike a silent LimitReader truncation)
 		// surfaces an explicit "request body too large" error.
-		if err := decodeParams(http.MaxBytesReader(w, r.Body, 1<<20), &p); err != nil {
+		if err := decodeParams(http.MaxBytesReader(w, r.Body, 1<<20), PP(&p)); err != nil {
 			writeError(w, fmt.Errorf("parse query params: %w", err))
 			return
 		}
-		res, err := s.Query(r.PathValue("id"), algorithm, p, r.Context().Done())
+		tn, err := tenantOf(r)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		ctx, cancel, err := requestContext(r)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		defer cancel()
+		res, err := s.Query(ctx, tn, r.PathValue("id"), PP(&p))
 		if err != nil {
 			writeError(w, err)
 			return
@@ -174,7 +280,7 @@ func (s *Service) queryHandler(algorithm string) http.HandlerFunc {
 	}
 }
 
-func decodeParams(r io.Reader, p *QueryParams) error {
+func decodeParams(r io.Reader, p any) error {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return err
@@ -182,5 +288,7 @@ func decodeParams(r io.Reader, p *QueryParams) error {
 	if len(strings.TrimSpace(string(data))) == 0 {
 		return nil
 	}
-	return json.Unmarshal(data, p)
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	return dec.Decode(p)
 }

@@ -6,10 +6,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"dexpander/internal/gen"
 	"dexpander/internal/graph"
@@ -47,7 +51,7 @@ func TestServerEndToEnd(t *testing.T) {
 	view := graph.WholeGraph(g)
 	direct := triangle.BruteForce(view)
 
-	count, err := c.TriangleCount(ctx, snap.ID, QueryParams{})
+	count, err := c.TriangleCount(ctx, snap.ID, CountParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +60,7 @@ func TestServerEndToEnd(t *testing.T) {
 			count.Triangles, count.Checksum, direct.Len(), checksumString(direct.Checksum()))
 	}
 
-	enum, err := c.Enumerate(ctx, snap.ID, QueryParams{Seed: 4})
+	enum, err := c.Enumerate(ctx, snap.ID, EnumerateParams{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,11 +72,11 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Fatalf("enumerate over HTTP: %+v", enum)
 	}
 
-	dec, err := c.Decompose(ctx, snap.ID, QueryParams{Eps: 0.6, Seed: 2})
+	dec, err := c.Decompose(ctx, snap.ID, DecomposeParams{Eps: 0.6, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := decomposeChecksum(view, QueryParams{Eps: 0.6, K: 2, Seed: 2})
+	want, err := decomposeChecksum(view, DecomposeParams{Eps: 0.6, K: 2, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +86,7 @@ func TestServerEndToEnd(t *testing.T) {
 
 	// Second identical query is served from cache: same body, a hit in
 	// the counters.
-	dec2, err := c.Decompose(ctx, snap.ID, QueryParams{Eps: 0.6, Seed: 2})
+	dec2, err := c.Decompose(ctx, snap.ID, DecomposeParams{Eps: 0.6, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,6 +102,24 @@ func TestServerEndToEnd(t *testing.T) {
 	if st.Computations != 3 || st.Hits != 1 || st.Snapshots != 1 {
 		t.Fatalf("stats: %+v", st)
 	}
+	if st.SchemaVersion != 2 {
+		t.Fatalf("stats schema version = %d, want 2", st.SchemaVersion)
+	}
+	// The per-tenant section attributes all of it to the default tenant.
+	ts, ok := st.Tenants[DefaultTenant]
+	if !ok || ts.Computations != 3 || ts.Hits != 1 {
+		t.Fatalf("default tenant stats: %+v (tenants: %+v)", ts, st.Tenants)
+	}
+	if st.ComputeLatencyUS == nil || st.QueueDepthHist == nil {
+		t.Fatal("histograms missing from stats")
+	}
+	var lat uint64
+	for _, n := range st.ComputeLatencyUS.Counts {
+		lat += n
+	}
+	if lat != 3 {
+		t.Fatalf("latency histogram observed %d computations, want 3", lat)
+	}
 
 	// List, then release to zero: snapshot and cache evicted.
 	snaps, err := c.Snapshots(ctx)
@@ -107,11 +129,11 @@ func TestServerEndToEnd(t *testing.T) {
 	if err := c.Release(ctx, snap.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.TriangleCount(ctx, snap.ID, QueryParams{}); err == nil {
-		t.Fatal("query served after release to zero")
+	if _, err := c.TriangleCount(ctx, snap.ID, CountParams{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("query served after release to zero: %v", err)
 	}
 	var apiErr *APIError
-	if err := c.Release(ctx, snap.ID); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+	if err := c.Release(ctx, snap.ID); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound || apiErr.Code != CodeNotFound {
 		t.Fatalf("double release: %v", err)
 	}
 }
@@ -145,7 +167,7 @@ func TestServerGzipUpload(t *testing.T) {
 		t.Fatalf("upload id %s, want %s", snap.ID, snapshotID(g.Fingerprint()))
 	}
 
-	res, err := c.TriangleCount(ctx, snap.ID, QueryParams{})
+	res, err := c.TriangleCount(ctx, snap.ID, CountParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,18 +176,25 @@ func TestServerGzipUpload(t *testing.T) {
 	}
 }
 
-func TestServerErrorMapping(t *testing.T) {
+// TestServerErrorEnvelope pins the uniform error envelope: every error
+// arrives as {"error":{"code","message","retryable"}} with the right
+// status and code, and the client's APIError unwraps to the sentinel.
+func TestServerErrorEnvelope(t *testing.T) {
 	_, c := startServer(t, Config{Workers: 1})
 	ctx := context.Background()
 
 	var apiErr *APIError
-	if _, err := c.TriangleCount(ctx, "fnv64:0000000000000000", QueryParams{}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+	_, err := c.TriangleCount(ctx, "fnv64:0000000000000000", CountParams{})
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound || apiErr.Code != CodeNotFound {
 		t.Fatalf("unknown snapshot: %v", err)
 	}
-	if _, err := c.RegisterSpec(ctx, gen.Spec{Family: "nope"}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("APIError does not unwrap to ErrNotFound: %v", err)
+	}
+	if _, err := c.RegisterSpec(ctx, gen.Spec{Family: "nope"}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest || apiErr.Code != CodeBadRequest {
 		t.Fatalf("bad spec: %v", err)
 	}
-	if _, err := c.RegisterEdgeList(ctx, bytes.NewReader([]byte("not a graph"))); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+	if _, err := c.RegisterEdgeList(ctx, bytes.NewReader([]byte("not a graph"))); !errors.As(err, &apiErr) || apiErr.Code != CodeBadRequest {
 		t.Fatalf("bad upload: %v", err)
 	}
 
@@ -175,14 +204,30 @@ func TestServerErrorMapping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Decompose(ctx, snap.ID, QueryParams{Eps: 3}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+	if _, err := c.Decompose(ctx, snap.ID, DecomposeParams{Eps: 3}); !errors.As(err, &apiErr) || apiErr.Code != CodeBadRequest {
 		t.Fatalf("eps out of range: %v", err)
 	}
-	if _, err := c.Decompose(ctx, snap.ID, QueryParams{K: -2}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+	if _, err := c.Decompose(ctx, snap.ID, DecomposeParams{K: -2}); !errors.As(err, &apiErr) || apiErr.Code != CodeBadRequest {
 		t.Fatalf("negative k: %v", err)
 	}
 
-	resp, err := http.Get(c.Base + "/healthz")
+	// Typed params reject fields from other algorithms instead of
+	// silently dropping them.
+	resp, err := http.Post(c.Base+"/v1/graphs/"+snap.ID+"/decompose", "application/json",
+		strings.NewReader(`{"kernel":"rank"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envelope errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || envelope.Error.Code != CodeBadRequest {
+		t.Fatalf("cross-algorithm field: %d %+v", resp.StatusCode, envelope)
+	}
+
+	resp, err = http.Get(c.Base + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +239,8 @@ func TestServerErrorMapping(t *testing.T) {
 
 // TestServerBusyMapsTo503 pins the backpressure contract through the
 // HTTP layer: queue-full rejections surface as 503 + Retry-After with
-// the retryable flag, and the client decodes them into APIError.
+// code "busy" and the retryable flag, and the client decodes them into
+// an APIError satisfying errors.Is(err, ErrBusy).
 func TestServerBusyMapsTo503(t *testing.T) {
 	slowGate = make(chan struct{})
 	slowStarted = make(chan struct{}, 4)
@@ -210,7 +256,7 @@ func TestServerBusyMapsTo503(t *testing.T) {
 	done := make(chan struct{}, 2)
 	for seed := uint64(1); seed <= 2; seed++ {
 		go func(seed uint64) {
-			s.Query(snap.ID, "test-slow", QueryParams{Seed: seed}, nil) //nolint:errcheck
+			s.Query(bg, "", snap.ID, slowParams{Seed: seed}) //nolint:errcheck
 			done <- struct{}{}
 		}(seed)
 	}
@@ -220,17 +266,108 @@ func TestServerBusyMapsTo503(t *testing.T) {
 	}
 
 	// Any fresh computation over HTTP now gets the retryable 503.
-	_, err = c.TriangleCount(ctx, snap.ID, QueryParams{})
+	_, err = c.TriangleCount(ctx, snap.ID, CountParams{})
 	var apiErr *APIError
-	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable || !apiErr.Retryable {
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable ||
+		apiErr.Code != CodeBusy || !apiErr.Retryable {
 		t.Fatalf("busy over HTTP: %v", err)
+	}
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("busy does not unwrap to ErrBusy: %v", err)
 	}
 
 	close(slowGate)
 	<-done
 	<-done
 	// After the backlog drains, the same request succeeds.
-	if _, err := c.TriangleCount(ctx, snap.ID, QueryParams{}); err != nil {
+	if _, err := c.TriangleCount(ctx, snap.ID, CountParams{}); err != nil {
 		t.Fatalf("retry after drain: %v", err)
+	}
+}
+
+// TestServerDeadlineMapsTo504 pins the deadline path end to end.
+// Server side: a request carrying X-Timeout-Ms while the only worker is
+// parked behind the test gate deterministically expires — the compute
+// cannot finish because the gate never opens — and the last-waiter
+// cancellation frees the worker without the gate. Client side: a ctx
+// deadline is forwarded as the header and the decoded envelope unwraps
+// to ErrDeadline.
+func TestServerDeadlineMapsTo504(t *testing.T) {
+	slowGate = make(chan struct{})
+	slowStarted = make(chan struct{}, 1)
+	s, c := startServer(t, Config{Workers: 1, Queue: 2})
+	ctx := context.Background()
+
+	snap, err := c.RegisterSpec(ctx, gen.Spec{Family: "ring", Params: map[string]float64{"blocks": 3, "size": 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park the only worker behind the gate.
+	parked := make(chan error, 1)
+	go func() {
+		_, err := s.Query(bg, "", snap.ID, slowParams{Seed: 1})
+		parked <- err
+	}()
+	<-slowStarted
+
+	// Raw request with the timeout header and NO client-side deadline:
+	// the expiry is observed server-side, so the envelope (not a torn
+	// connection) carries the outcome. The query sits in the pool queue
+	// behind the parked worker, so the 1ms budget always expires first.
+	req, err := http.NewRequest(http.MethodPost, c.Base+"/v1/graphs/"+snap.ID+"/decompose",
+		strings.NewReader(`{"seed":99}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TimeoutHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var envelope errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusGatewayTimeout || envelope.Error.Code != CodeDeadline || !envelope.Error.Retryable {
+		t.Fatalf("deadline over HTTP: %d %+v", resp.StatusCode, envelope)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("deadline response missing Retry-After")
+	}
+	if st := s.Stats(); st.Cancellations != 1 {
+		t.Fatalf("expired request did not cancel its flight: %+v", st)
+	}
+
+	// Client side: a ctx deadline becomes the header automatically, and
+	// the typed error unwraps to ErrDeadline. A stub server answers with
+	// the envelope instantly, so the client transport never races its
+	// own deadline.
+	var gotTimeout atomic.Value
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotTimeout.Store(r.Header.Get(TimeoutHeader))
+		writeError(w, fmt.Errorf("%w: stub", ErrDeadline))
+	}))
+	defer stub.Close()
+	sc := NewClient(stub.URL)
+	dctx, cancel := context.WithTimeout(ctx, time.Minute)
+	defer cancel()
+	_, err = sc.Decompose(dctx, snap.ID, DecomposeParams{})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("stubbed deadline does not unwrap to ErrDeadline: %v", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusGatewayTimeout || !apiErr.Retryable {
+		t.Fatalf("stubbed deadline envelope: %v", err)
+	}
+	if hv, _ := gotTimeout.Load().(string); hv == "" {
+		t.Fatal("client did not forward its ctx deadline as " + TimeoutHeader)
+	}
+
+	close(slowGate)
+	if err := <-parked; err != nil {
+		t.Fatalf("parked flight: %v", err)
 	}
 }

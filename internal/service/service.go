@@ -17,24 +17,46 @@
 // goroutines behind a bounded queue — when the queue is full, Query
 // fails fast with ErrBusy (retryable) instead of spawning unbounded
 // goroutines.
+//
+// Multi-tenancy contract: every request carries a tenant (empty means
+// DefaultTenant). Tenants are isolated by per-tenant quotas — snapshot
+// references, concurrently admitted computations, and a request-rate
+// token bucket — so one hostile or buggy client saturates its own share
+// and gets ErrQuota, not the whole pool. Cancellation is cooperative
+// and flows from the caller's context through the flight into the
+// kernels' checkpoint probes: when the LAST waiter on a flight abandons
+// it, the flight's context is canceled, the worker is freed within one
+// checkpoint interval, and the canceled flight's error is never cached.
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"dexpander/internal/gen"
 	"dexpander/internal/graph"
 	"dexpander/internal/par"
 )
 
-// Errors the API maps to distinct HTTP statuses.
+// DefaultTenant is the tenant every request without an explicit tenant
+// (no X-Tenant header, empty string in the Go API) is accounted to.
+const DefaultTenant = "default"
+
+// Errors the API maps to distinct HTTP statuses; see codeOf in server.go
+// for the envelope codes.
 var (
 	// ErrBusy means the compute queue is full; the request was not
 	// admitted and can be retried later.
 	ErrBusy = errors.New("service: compute queue full, retry later")
+	// ErrQuota means the calling tenant exhausted one of its quotas
+	// (snapshot references, in-flight computations, or request rate);
+	// the request can be retried after a backoff, or after the tenant
+	// releases resources.
+	ErrQuota = errors.New("service: tenant quota exceeded")
 	// ErrNotFound means the snapshot id is not registered.
 	ErrNotFound = errors.New("service: snapshot not found")
 	// ErrRegistryFull means the snapshot registry is at capacity and
@@ -42,9 +64,13 @@ var (
 	ErrRegistryFull = errors.New("service: snapshot registry full")
 	// ErrClosed means the service has been shut down.
 	ErrClosed = errors.New("service: closed")
-	// ErrCanceled means the caller abandoned the wait; the computation
-	// itself continues and lands in the cache.
+	// ErrCanceled means the caller's context was canceled while waiting;
+	// if that caller was the flight's last waiter, the computation itself
+	// was also canceled and nothing was cached.
 	ErrCanceled = errors.New("service: request canceled")
+	// ErrDeadline is ErrCanceled's deadline flavor: the caller's context
+	// deadline expired while waiting.
+	ErrDeadline = errors.New("service: deadline exceeded")
 	// ErrCompute wraps a failed computation — a server-side fault, not a
 	// request problem (the HTTP layer maps it to 500).
 	ErrCompute = errors.New("service: computation failed")
@@ -68,6 +94,33 @@ type Config struct {
 	// (forwarded to core/triangle Options.Workers); 0 means GOMAXPROCS.
 	// Outputs are bit-identical for every value.
 	AlgoWorkers int
+
+	// MaxResults bounds the result cache; 0 means 256. When a fresh
+	// computation would exceed it, the completed entry with the lowest
+	// cost/age score is evicted (cheap-to-recompute and cold results go
+	// first; an expensive decomposition outlives many cheap counts).
+	MaxResults int
+	// MaxTenants caps the number of distinct tenants the service will
+	// track; 0 means 64. Requests from further tenants fail with
+	// ErrQuota (tenant state is never evicted, so the cap bounds the
+	// accounting memory an open endpoint can be made to allocate).
+	MaxTenants int
+	// TenantMaxSnapshots caps one tenant's concurrently held snapshot
+	// references; 0 disables the per-tenant cap (the shared MaxSnapshots
+	// registry bound alone governs).
+	TenantMaxSnapshots int
+	// TenantMaxInFlight caps one tenant's concurrently admitted
+	// computations (queued + running; joins of existing flights are
+	// free); 0 disables the per-tenant cap, so pool backpressure alone
+	// governs. A tenant over its cap gets ErrQuota even while the pool
+	// has room — that headroom is what the other tenants are owed.
+	TenantMaxInFlight int
+	// RatePerSec is the per-tenant request-rate token bucket's refill
+	// rate, in requests per second, applied to registrations and
+	// queries; 0 disables rate limiting.
+	RatePerSec float64
+	// RateBurst is the bucket depth; 0 means max(2*RatePerSec, 1).
+	RateBurst float64
 }
 
 // withDefaults also clamps negative values to the defaults (an operator
@@ -84,6 +137,24 @@ func (c Config) withDefaults() Config {
 	if c.MaxGenParam <= 0 {
 		c.MaxGenParam = 1 << 20
 	}
+	if c.MaxResults <= 0 {
+		c.MaxResults = 256
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 64
+	}
+	if c.TenantMaxSnapshots < 0 {
+		c.TenantMaxSnapshots = 0
+	}
+	if c.TenantMaxInFlight < 0 {
+		c.TenantMaxInFlight = 0
+	}
+	if c.RatePerSec < 0 {
+		c.RatePerSec = 0
+	}
+	if c.RateBurst <= 0 {
+		c.RateBurst = max(2*c.RatePerSec, 1)
+	}
 	return c
 }
 
@@ -98,15 +169,17 @@ type Snapshot struct {
 	// N and M describe the graph.
 	N int `json:"n"`
 	M int `json:"m"`
-	// Refs is the current reference count; Release decrements it and the
-	// snapshot (plus its cached results) is evicted at zero.
+	// Refs is the current total reference count across tenants; Release
+	// decrements the releasing tenant's share and the snapshot (plus its
+	// cached results) is evicted when the total reaches zero.
 	Refs int `json:"refs"`
 	// Spec is the generator spec when registered that way (nil for
 	// uploads).
 	Spec *gen.Spec `json:"spec,omitempty"`
 
 	fingerprint uint64
-	seq         uint64 // registration order; Snapshots() lists in it
+	seq         uint64         // registration order; Snapshots() lists in it
+	refsBy      map[string]int // per-tenant share of Refs
 	view        *graph.Sub
 }
 
@@ -119,19 +192,98 @@ type cacheKey struct {
 
 // entry is one single-flight cache slot. done is closed when result/err
 // are final; every waiter (including the computing request itself) reads
-// them only after done.
+// them only after done. ctx is the flight's own cancelable context —
+// derived from Background, not from any single waiter, because joiners
+// outlive the first caller; cancel fires only when the LAST waiter
+// abandons the flight.
 type entry struct {
-	key  cacheKey
-	snap *Snapshot
-	run  func(*graph.Sub) (*Result, error)
+	key    cacheKey
+	snap   *Snapshot
+	tenant string // admitting tenant, charged for the computation
+	run    func(ctx context.Context, view *graph.Sub) (*Result, error)
 
-	done   chan struct{}
-	result *Result
-	err    error
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	done      chan struct{}
+	completed bool
+	waiters   int // callers blocked on done while in flight
+	result    *Result
+	err       error
+
+	cost     int64  // compute cost (ns) backing the eviction score
+	lastUsed uint64 // logical tick of admission or last cache hit
+}
+
+// Hist is a self-describing power-of-two histogram: Counts[i] counts
+// observations v with v <= Le[i] (and > Le[i-1]); Counts[len(Le)] is the
+// overflow bucket. Le[i] = 2^(i+1)-1.
+type Hist struct {
+	Le     []uint64 `json:"le"`
+	Counts []uint64 `json:"counts"`
+}
+
+func newHist(buckets int) *Hist {
+	le := make([]uint64, buckets)
+	for i := range le {
+		le[i] = 1<<uint(i+1) - 1
+	}
+	return &Hist{Le: le, Counts: make([]uint64, buckets+1)}
+}
+
+func (h *Hist) observe(v uint64) {
+	for i, le := range h.Le {
+		if v <= le {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Le)]++
+}
+
+func (h *Hist) clone() *Hist {
+	if h == nil {
+		return nil
+	}
+	cp := &Hist{Le: make([]uint64, len(h.Le)), Counts: make([]uint64, len(h.Counts))}
+	copy(cp.Le, h.Le)
+	copy(cp.Counts, h.Counts)
+	return cp
+}
+
+// TenantStats is one tenant's section of the stats schema.
+type TenantStats struct {
+	// Queries counts every Query call attributed to the tenant,
+	// regardless of outcome.
+	Queries uint64 `json:"queries"`
+	// Computations counts flights this tenant admitted that actually ran.
+	Computations uint64 `json:"computations"`
+	Hits         uint64 `json:"hits"`
+	Joins        uint64 `json:"joins"`
+	Busy         uint64 `json:"busy"`
+	// QuotaRejections counts ErrQuota results (rate, in-flight, or
+	// snapshot quota).
+	QuotaRejections uint64 `json:"quota_rejections"`
+	// Cancellations counts flights canceled with this tenant as the last
+	// abandoning waiter.
+	Cancellations uint64 `json:"cancellations"`
+	// SnapshotRefs and InFlight are the live quota gauges.
+	SnapshotRefs int `json:"snapshot_refs"`
+	InFlight     int `json:"in_flight"`
 }
 
 // Stats is the service's observable state, served by /v1/stats.
+//
+// SchemaVersion 2 adds the multi-tenant section: per-tenant counters
+// under "tenants", queue/latency histograms, and the cancellation /
+// quota / cache-eviction counters. Every v1 field keeps its name and
+// meaning (legacy "evictions" remains the SNAPSHOT eviction count;
+// result-cache evictions are the new "cache_evictions") — v1 consumers
+// keep working for one release; see README.md for the v1 -> v2 mapping.
 type Stats struct {
+	SchemaVersion int `json:"schema_version"`
+
+	// v1 fields.
 	Snapshots    int    `json:"snapshots"`
 	CacheEntries int    `json:"cache_entries"`
 	InFlight     int    `json:"in_flight"`
@@ -141,18 +293,62 @@ type Stats struct {
 	Hits         uint64 `json:"hits"`
 	Joins        uint64 `json:"joins"`
 	Busy         uint64 `json:"busy"`
-	Evictions    uint64 `json:"evictions"`
+	Evictions    uint64 `json:"evictions"` // snapshot evictions (v1 name)
+
+	// v2 fields.
+	QueueDepth      int                    `json:"queue_depth"` // queued, not yet running
+	MaxResults      int                    `json:"max_results"`
+	CacheEvictions  uint64                 `json:"cache_evictions"`
+	Cancellations   uint64                 `json:"cancellations"`
+	QuotaRejections uint64                 `json:"quota_rejections"`
+	Tenants         map[string]TenantStats `json:"tenants"`
+	// ComputeLatencyUS observes each completed computation's wall time in
+	// microseconds; QueueDepthHist observes the queue depth at each
+	// admission.
+	ComputeLatencyUS *Hist `json:"compute_latency_us"`
+	QueueDepthHist   *Hist `json:"queue_depth_hist"`
+}
+
+// tenant is one tenant's quota and accounting state.
+type tenant struct {
+	inFlight int // admitted (queued+running) computations
+	snapRefs int // held snapshot references
+	tokens   float64
+	lastFill time.Time
+	stats    TenantStats
+}
+
+// allow is the token-bucket gate: refill from elapsed wall time, then
+// spend one token or reject. rate <= 0 disables the bucket.
+func (t *tenant) allow(now time.Time, rate, burst float64) bool {
+	if rate <= 0 {
+		return true
+	}
+	if t.lastFill.IsZero() {
+		t.tokens = burst
+	} else {
+		t.tokens = min(burst, t.tokens+now.Sub(t.lastFill).Seconds()*rate)
+	}
+	t.lastFill = now
+	if t.tokens < 1 {
+		return false
+	}
+	t.tokens--
+	return true
 }
 
 // Service is the concurrency-safe registry + cache + pool.
 type Service struct {
 	cfg Config
+	now func() time.Time // injectable clock for the token buckets
 
 	mu      sync.Mutex
 	closed  bool
 	nextSeq uint64
+	tick    uint64 // logical clock driving the eviction ages
 	snaps   map[string]*Snapshot
 	cache   map[cacheKey]*entry
+	tenants map[string]*tenant
 	stats   Stats
 
 	work chan *entry
@@ -163,13 +359,19 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:   cfg,
-		snaps: make(map[string]*Snapshot),
-		cache: make(map[cacheKey]*entry),
-		work:  make(chan *entry, cfg.Queue),
+		cfg:     cfg,
+		now:     time.Now,
+		snaps:   make(map[string]*Snapshot),
+		cache:   make(map[cacheKey]*entry),
+		tenants: make(map[string]*tenant),
+		work:    make(chan *entry, cfg.Queue),
 	}
+	s.stats.SchemaVersion = 2
 	s.stats.Workers = cfg.Workers
 	s.stats.QueueCap = cfg.Queue
+	s.stats.MaxResults = cfg.MaxResults
+	s.stats.ComputeLatencyUS = newHist(24) // up to ~16.8s, overflow beyond
+	s.stats.QueueDepthHist = newHist(12)
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -178,7 +380,8 @@ func New(cfg Config) *Service {
 }
 
 // Close drains the pool and rejects further work. In-flight computations
-// finish; their waiters are served normally.
+// finish (or notice their canceled flight context); their waiters are
+// served normally.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -191,24 +394,91 @@ func (s *Service) Close() {
 	s.wg.Wait()
 }
 
+// tenantOf resolves and (on first contact) creates the tenant's state.
+// Returns ErrQuota when a NEW tenant would exceed MaxTenants.
+func (s *Service) tenantOf(name string) (*tenant, error) {
+	if name == "" {
+		name = DefaultTenant
+	}
+	if t, ok := s.tenants[name]; ok {
+		return t, nil
+	}
+	if len(s.tenants) >= s.cfg.MaxTenants {
+		return nil, fmt.Errorf("%w: tenant table full (%d tenants)", ErrQuota, s.cfg.MaxTenants)
+	}
+	t := &tenant{}
+	s.tenants[name] = t
+	return t, nil
+}
+
+// admitTenant runs the shared per-request gates (tenant resolution +
+// rate limit) under s.mu. The returned name is the normalized tenant.
+func (s *Service) admitTenant(name string) (string, *tenant, error) {
+	if name == "" {
+		name = DefaultTenant
+	}
+	t, err := s.tenantOf(name)
+	if err != nil {
+		s.stats.QuotaRejections++
+		return name, nil, err
+	}
+	if !t.allow(s.now(), s.cfg.RatePerSec, s.cfg.RateBurst) {
+		s.stats.QuotaRejections++
+		t.stats.QuotaRejections++
+		return name, t, fmt.Errorf("%w: request rate", ErrQuota)
+	}
+	return name, t, nil
+}
+
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for e := range s.work {
-		res, err := e.run(e.snap.view)
+		var res *Result
+		var err error
+		var elapsed time.Duration
+		ran := false
+		if err = e.ctx.Err(); err != nil {
+			// Canceled while still queued: every waiter is gone and the
+			// entry is already unlinked; don't burn the worker on it.
+			err = fmt.Errorf("%w: %v", ErrCanceled, err)
+		} else {
+			ran = true
+			start := time.Now()
+			res, err = e.run(e.ctx, e.snap.view)
+			elapsed = time.Since(start)
+		}
 		s.mu.Lock()
+		e.completed = true
 		e.result, e.err = res, err
-		s.stats.Computations++
+		// The eviction score uses the result's own compute cost when it
+		// reports one (so cost is stable across re-serves), else the
+		// measured wall time.
+		e.cost = elapsed.Nanoseconds()
+		if res != nil && res.ComputeNS > 0 {
+			e.cost = res.ComputeNS
+		}
 		s.stats.InFlight--
+		if t := s.tenants[e.tenant]; t != nil {
+			t.inFlight--
+			if ran {
+				t.stats.Computations++
+			}
+		}
+		if ran {
+			s.stats.Computations++
+			s.stats.ComputeLatencyUS.observe(uint64(elapsed.Microseconds()))
+		}
 		if err != nil {
-			// Failed computations are not cached: the next identical
-			// request retries instead of replaying the error forever.
-			// Only unlink OUR entry — after an eviction plus
+			// Failed and canceled computations are not cached: the next
+			// identical request retries instead of replaying the error
+			// forever. Only unlink OUR entry — after an eviction plus
 			// re-registration, the key may already hold a newer flight.
 			if cur, ok := s.cache[e.key]; ok && cur == e {
 				delete(s.cache, e.key)
 			}
 		}
 		s.mu.Unlock()
+		e.cancel() // release the flight context's resources
 		close(e.done)
 	}
 }
@@ -217,8 +487,8 @@ func (s *Service) worker() {
 func snapshotID(fp uint64) string { return fmt.Sprintf("fnv64:%016x", fp) }
 
 // register adds g to the registry (or dedups onto the resident snapshot
-// with the same fingerprint) and bumps the refcount.
-func (s *Service) register(g *graph.Graph, spec *gen.Spec) (*Snapshot, error) {
+// with the same fingerprint) and bumps the tenant's refcount share.
+func (s *Service) register(tn string, g *graph.Graph, spec *gen.Spec) (*Snapshot, error) {
 	fp := g.Fingerprint()
 	id := snapshotID(fp)
 	s.mu.Lock()
@@ -226,8 +496,20 @@ func (s *Service) register(g *graph.Graph, spec *gen.Spec) (*Snapshot, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
+	tn, t, err := s.admitTenant(tn)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.TenantMaxSnapshots > 0 && t.snapRefs >= s.cfg.TenantMaxSnapshots {
+		s.stats.QuotaRejections++
+		t.stats.QuotaRejections++
+		return nil, fmt.Errorf("%w: snapshot references (%d held, max %d)",
+			ErrQuota, t.snapRefs, s.cfg.TenantMaxSnapshots)
+	}
 	if snap, ok := s.snaps[id]; ok {
 		snap.Refs++
+		snap.refsBy[tn]++
+		t.snapRefs++
 		cp := *snap
 		return &cp, nil
 	}
@@ -242,8 +524,10 @@ func (s *Service) register(g *graph.Graph, spec *gen.Spec) (*Snapshot, error) {
 		Spec:        spec,
 		fingerprint: fp,
 		seq:         s.nextSeq,
+		refsBy:      map[string]int{tn: 1},
 		view:        graph.WholeGraph(g),
 	}
+	t.snapRefs++
 	s.nextSeq++
 	s.snaps[id] = snap
 	cp := *snap
@@ -263,14 +547,15 @@ func (s *Service) evictLocked(snap *Snapshot) {
 	s.stats.Evictions++
 }
 
-// RegisterGraph registers an uploaded graph.
-func (s *Service) RegisterGraph(g *graph.Graph) (*Snapshot, error) {
-	return s.register(g, nil)
+// RegisterGraph registers an uploaded graph under the tenant ("" means
+// DefaultTenant).
+func (s *Service) RegisterGraph(tenant string, g *graph.Graph) (*Snapshot, error) {
+	return s.register(tenant, g, nil)
 }
 
 // RegisterSpec validates the spec against the registry and the MaxGenParam
-// bound, builds the instance, and registers it.
-func (s *Service) RegisterSpec(spec gen.Spec) (*Snapshot, error) {
+// bound, builds the instance, and registers it under the tenant.
+func (s *Service) RegisterSpec(tenant string, spec gen.Spec) (*Snapshot, error) {
 	if err := spec.Validate(s.cfg.MaxGenParam); err != nil {
 		return nil, err
 	}
@@ -278,20 +563,34 @@ func (s *Service) RegisterSpec(spec gen.Spec) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.register(g, &spec)
+	return s.register(tenant, g, &spec)
 }
 
-// Release decrements the snapshot's refcount; at zero the snapshot and
-// all of its cached results are evicted. It returns the remaining count.
-func (s *Service) Release(id string) (int, error) {
+// Release drops one of the tenant's references to the snapshot; when the
+// TOTAL refcount reaches zero the snapshot and all of its cached results
+// are evicted. Releasing a snapshot the tenant holds no reference to is
+// an error (a tenant cannot spend another tenant's quota). Returns the
+// remaining total count.
+func (s *Service) Release(tenant, id string) (int, error) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap, ok := s.snaps[id]
 	if !ok {
 		return 0, ErrNotFound
 	}
-	if snap.Refs > 0 {
-		snap.Refs--
+	if snap.refsBy[tenant] == 0 {
+		return 0, fmt.Errorf("service: tenant %q holds no reference to %s", tenant, id)
+	}
+	snap.refsBy[tenant]--
+	if snap.refsBy[tenant] == 0 {
+		delete(snap.refsBy, tenant)
+	}
+	snap.Refs--
+	if t := s.tenants[tenant]; t != nil && t.snapRefs > 0 {
+		t.snapRefs--
 	}
 	if snap.Refs == 0 {
 		s.evictLocked(snap)
@@ -325,97 +624,216 @@ func (s *Service) Snapshots() []*Snapshot {
 	return out
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a deep copy of the counters (histograms and tenant
+// sections included).
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
 	st.Snapshots = len(s.snaps)
 	st.CacheEntries = len(s.cache)
+	st.QueueDepth = len(s.work)
+	st.ComputeLatencyUS = s.stats.ComputeLatencyUS.clone()
+	st.QueueDepthHist = s.stats.QueueDepthHist.clone()
+	st.Tenants = make(map[string]TenantStats, len(s.tenants))
+	for name, t := range s.tenants {
+		ts := t.stats
+		ts.SnapshotRefs = t.snapRefs
+		ts.InFlight = t.inFlight
+		st.Tenants[name] = ts
+	}
 	return st
 }
 
-// Query resolves (id, algorithm, params) through the single-flight
-// cache: a cached result returns immediately, an in-flight identical
-// request is joined, and a fresh key is admitted onto the worker pool —
-// or rejected with ErrBusy when the queue is full. cancel, when non-nil,
-// abandons the wait (the computation itself continues and lands in the
-// cache for the next caller).
-func (s *Service) Query(id, algorithm string, p QueryParams, cancel <-chan struct{}) (*Result, error) {
-	algo, ok := algorithms[algorithm]
-	if !ok {
-		return nil, fmt.Errorf("service: unknown algorithm %q", algorithm)
+// evictResultLocked makes room for one fresh cache entry: when the cache
+// is at MaxResults, the completed entry with the lowest cost/age score
+// is dropped (age in logical Query ticks since last use — cheap, cold
+// results go first; expensive artifacts like decompositions survive).
+// In-flight entries are never evicted (their waiters hold them); if
+// every entry is in flight the insert transiently overshoots — in-flight
+// count is already bounded by Workers+Queue.
+func (s *Service) evictResultLocked() {
+	if len(s.cache) < s.cfg.MaxResults {
+		return
 	}
-	p = algo.defaults(p)
-	if algo.validate != nil {
-		if err := algo.validate(p); err != nil {
-			return nil, err
+	var victim *entry
+	var best float64
+	for _, e := range s.cache {
+		if !e.completed {
+			continue
+		}
+		age := s.tick - e.lastUsed + 1
+		score := float64(e.cost) / float64(age)
+		// Deterministic tie-breaks: older entry first, then key order —
+		// map iteration order must not pick the victim.
+		if victim == nil || score < best ||
+			(score == best && (e.lastUsed < victim.lastUsed ||
+				(e.lastUsed == victim.lastUsed && lessKey(e.key, victim.key)))) {
+			victim, best = e, score
 		}
 	}
+	if victim != nil {
+		delete(s.cache, victim.key)
+		s.stats.CacheEvictions++
+	}
+}
+
+func lessKey(a, b cacheKey) bool {
+	if a.fingerprint != b.fingerprint {
+		return a.fingerprint < b.fingerprint
+	}
+	if a.algorithm != b.algorithm {
+		return a.algorithm < b.algorithm
+	}
+	return a.params < b.params
+}
+
+// ctxError maps a done context onto the service's sentinel errors.
+func ctxError(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %v", ErrDeadline, ctx.Err())
+	}
+	return fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+}
+
+// Query resolves (tenant, id, params) through the single-flight cache: a
+// cached result returns immediately, an in-flight identical request is
+// joined, and a fresh key is admitted onto the worker pool — or rejected
+// with ErrBusy when the queue is full, or ErrQuota when the tenant is
+// over a quota. ctx cancels the WAIT always, and cancels the COMPUTATION
+// when this caller was the flight's last waiter: the flight context is
+// canceled, the kernel notices at its next checkpoint, the worker frees
+// within one checkpoint interval, and nothing is cached. Uncanceled
+// results are bit-identical to direct library calls for every worker
+// count and tenant.
+func (s *Service) Query(ctx context.Context, tn, id string, p Params) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p == nil {
+		return nil, errors.New("service: nil params")
+	}
+	p = p.normalize()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	algorithm := p.Algorithm()
+	canon := p.canon()
+	workers := s.cfg.AlgoWorkers
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
+	tn, t, err := s.admitTenant(tn)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	t.stats.Queries++
 	snap, ok := s.snaps[id]
 	if !ok {
 		s.mu.Unlock()
 		return nil, ErrNotFound
 	}
-	canon := algo.canon(p)
-	p.algoWorkers = s.cfg.AlgoWorkers
+	s.tick++
 	key := cacheKey{fingerprint: snap.fingerprint, algorithm: algorithm, params: canon}
 	if e, ok := s.cache[key]; ok {
-		select {
-		case <-e.done:
+		if e.completed {
 			s.stats.Hits++
-		default:
-			s.stats.Joins++
+			t.stats.Hits++
+			e.lastUsed = s.tick
+			res, err := e.result, e.err
+			s.mu.Unlock()
+			return res, err
 		}
+		s.stats.Joins++
+		t.stats.Joins++
+		e.waiters++
 		s.mu.Unlock()
-		return waitEntry(e, cancel)
+		return s.wait(ctx, tn, e)
 	}
+	if s.cfg.TenantMaxInFlight > 0 && t.inFlight >= s.cfg.TenantMaxInFlight {
+		s.stats.QuotaRejections++
+		t.stats.QuotaRejections++
+		held := t.inFlight
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: in-flight computations (%d admitted, max %d)",
+			ErrQuota, held, s.cfg.TenantMaxInFlight)
+	}
+	fctx, fcancel := context.WithCancel(context.Background())
 	e := &entry{
-		key:  key,
-		snap: snap,
-		run: func(view *graph.Sub) (*Result, error) {
-			res, err := algo.run(view, algorithm, p)
+		key:    key,
+		snap:   snap,
+		tenant: tn,
+		run: func(ctx context.Context, view *graph.Sub) (*Result, error) {
+			res, err := p.run(ctx, view, workers)
 			if err != nil {
+				if ctx.Err() != nil {
+					return nil, fmt.Errorf("%w: %v", ErrCanceled, err)
+				}
 				// Params were validated up front, so a run failure is a
 				// server-side fault; tag it so the HTTP layer reports
 				// 500, not 400.
 				return nil, fmt.Errorf("%w: %v", ErrCompute, err)
 			}
+			res.Algorithm = algorithm
 			res.Params = canon
 			return res, nil
 		},
-		done: make(chan struct{}),
+		ctx:      fctx,
+		cancel:   fcancel,
+		done:     make(chan struct{}),
+		waiters:  1,
+		lastUsed: s.tick,
 	}
 	// Admission control under the lock: either the queue has room now and
 	// the entry becomes the key's single flight, or the caller gets
 	// ErrBusy and nothing is recorded.
 	select {
 	case s.work <- e:
+		s.evictResultLocked()
 		s.cache[key] = e
 		s.stats.InFlight++
+		t.inFlight++
+		s.stats.QueueDepthHist.observe(uint64(len(s.work)))
 	default:
 		s.stats.Busy++
+		t.stats.Busy++
 		s.mu.Unlock()
+		fcancel()
 		return nil, ErrBusy
 	}
 	s.mu.Unlock()
-	return waitEntry(e, cancel)
+	return s.wait(ctx, tn, e)
 }
 
-func waitEntry(e *entry, cancel <-chan struct{}) (*Result, error) {
-	if cancel == nil {
-		<-e.done
-		return e.result, e.err
-	}
+// wait blocks on the flight until it completes or ctx is done. A caller
+// abandoning an in-flight entry decrements its waiter count; the LAST
+// abandoning waiter cancels the flight context and unlinks the entry
+// from the cache immediately, so a fresh identical request starts a new
+// flight instead of joining a dying one.
+func (s *Service) wait(ctx context.Context, tn string, e *entry) (*Result, error) {
 	select {
 	case <-e.done:
 		return e.result, e.err
-	case <-cancel:
-		return nil, ErrCanceled
+	case <-ctx.Done():
+		s.mu.Lock()
+		if !e.completed {
+			e.waiters--
+			if e.waiters == 0 {
+				e.cancel()
+				if cur, ok := s.cache[e.key]; ok && cur == e {
+					delete(s.cache, e.key)
+				}
+				s.stats.Cancellations++
+				if t := s.tenants[tn]; t != nil {
+					t.stats.Cancellations++
+				}
+			}
+		}
+		s.mu.Unlock()
+		return nil, ctxError(ctx)
 	}
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -20,11 +21,14 @@ func ringSpec(seed uint64) gen.Spec {
 	}
 }
 
+// bg is the no-deadline context every plain test query uses.
+var bg = context.Background()
+
 func TestRegisterDedupsByFingerprint(t *testing.T) {
 	s := New(Config{Workers: 2})
 	defer s.Close()
 
-	a, err := s.RegisterSpec(ringSpec(7))
+	a, err := s.RegisterSpec("", ringSpec(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +37,7 @@ func TestRegisterDedupsByFingerprint(t *testing.T) {
 	}
 
 	// Same spec again: same snapshot, bumped refcount.
-	b, err := s.RegisterSpec(ringSpec(7))
+	b, err := s.RegisterSpec("", ringSpec(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +59,7 @@ func TestRegisterDedupsByFingerprint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := s.RegisterGraph(back)
+	c, err := s.RegisterGraph("", back)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,27 +76,27 @@ func TestReleaseEvictsAtZeroRefs(t *testing.T) {
 	s := New(Config{Workers: 2})
 	defer s.Close()
 
-	snap, err := s.RegisterSpec(ringSpec(1))
+	snap, err := s.RegisterSpec("", ringSpec(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.RegisterSpec(ringSpec(1)); err != nil {
+	if _, err := s.RegisterSpec("", ringSpec(1)); err != nil {
 		t.Fatal(err)
 	}
 
 	// Populate the cache so eviction has something to clear.
-	if _, err := s.Query(snap.ID, "triangle-count", QueryParams{}, nil); err != nil {
+	if _, err := s.Query(bg, "", snap.ID, CountParams{}); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.CacheEntries != 1 {
 		t.Fatalf("cache entries = %d, want 1", st.CacheEntries)
 	}
 
-	refs, err := s.Release(snap.ID)
+	refs, err := s.Release("", snap.ID)
 	if err != nil || refs != 1 {
 		t.Fatalf("first release: refs %d err %v", refs, err)
 	}
-	refs, err = s.Release(snap.ID)
+	refs, err = s.Release("", snap.ID)
 	if err != nil || refs != 0 {
 		t.Fatalf("second release: refs %d err %v", refs, err)
 	}
@@ -103,8 +107,30 @@ func TestReleaseEvictsAtZeroRefs(t *testing.T) {
 	if st.CacheEntries != 0 || st.Evictions != 1 {
 		t.Fatalf("after eviction: cache=%d evictions=%d", st.CacheEntries, st.Evictions)
 	}
-	if _, err := s.Query(snap.ID, "triangle-count", QueryParams{}, nil); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Query(bg, "", snap.ID, CountParams{}); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("query on evicted snapshot: %v", err)
+	}
+}
+
+// TestReleaseIsPerTenant: a tenant cannot release a reference another
+// tenant holds.
+func TestReleaseIsPerTenant(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	snap, err := s.RegisterSpec("alice", ringSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Release("mallory", snap.ID); err == nil {
+		t.Fatal("foreign release accepted")
+	}
+	if _, err := s.Release("", snap.ID); err == nil {
+		t.Fatal("default-tenant release of alice's reference accepted")
+	}
+	refs, err := s.Release("alice", snap.ID)
+	if err != nil || refs != 0 {
+		t.Fatalf("owner release: refs %d err %v", refs, err)
 	}
 }
 
@@ -116,20 +142,20 @@ func TestRegistryCapacity(t *testing.T) {
 	gnp := func(seed uint64) gen.Spec {
 		return gen.Spec{Family: "gnp", Params: map[string]float64{"n": 16, "p": 0.3}, Seed: seed}
 	}
-	if _, err := s.RegisterSpec(gnp(1)); err != nil {
+	if _, err := s.RegisterSpec("", gnp(1)); err != nil {
 		t.Fatal(err)
 	}
-	snap2, err := s.RegisterSpec(gnp(2))
+	snap2, err := s.RegisterSpec("", gnp(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.RegisterSpec(gnp(3)); !errors.Is(err, ErrRegistryFull) {
+	if _, err := s.RegisterSpec("", gnp(3)); !errors.Is(err, ErrRegistryFull) {
 		t.Fatalf("over-capacity registration: %v", err)
 	}
-	if _, err := s.Release(snap2.ID); err != nil {
+	if _, err := s.Release("", snap2.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.RegisterSpec(gnp(3)); err != nil {
+	if _, err := s.RegisterSpec("", gnp(3)); err != nil {
 		t.Fatalf("registration after release: %v", err)
 	}
 }
@@ -137,7 +163,7 @@ func TestRegistryCapacity(t *testing.T) {
 func TestSpecSizeCap(t *testing.T) {
 	s := New(Config{Workers: 1, MaxGenParam: 100})
 	defer s.Close()
-	_, err := s.RegisterSpec(gen.Spec{Family: "gnp", Params: map[string]float64{"n": 5000}})
+	_, err := s.RegisterSpec("", gen.Spec{Family: "gnp", Params: map[string]float64{"n": 5000}})
 	if err == nil {
 		t.Fatal("oversized spec accepted")
 	}
@@ -150,7 +176,7 @@ func TestQueryChecksumsMatchLibrary(t *testing.T) {
 	defer s.Close()
 
 	spec := ringSpec(5)
-	snap, err := s.RegisterSpec(spec)
+	snap, err := s.RegisterSpec("", spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +186,7 @@ func TestQueryChecksumsMatchLibrary(t *testing.T) {
 	}
 	view := graph.WholeGraph(g)
 
-	res, err := s.Query(snap.ID, "triangle-count", QueryParams{}, nil)
+	res, err := s.Query(bg, "", snap.ID, CountParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +196,7 @@ func TestQueryChecksumsMatchLibrary(t *testing.T) {
 			res.Triangles, res.Checksum, direct.Len(), checksumString(direct.Checksum()))
 	}
 
-	enum, err := s.Query(snap.ID, "enumerate", QueryParams{Seed: 3}, nil)
+	enum, err := s.Query(bg, "", snap.ID, EnumerateParams{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,11 +211,11 @@ func TestQueryChecksumsMatchLibrary(t *testing.T) {
 		t.Fatalf("enumerate list: %d triangles, truncated=%v", len(enum.List), enum.Truncated)
 	}
 
-	dec, err := s.Query(snap.ID, "decompose", QueryParams{Eps: 0.6, K: 2, Seed: 5}, nil)
+	dec, err := s.Query(bg, "", snap.ID, DecomposeParams{Eps: 0.6, K: 2, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := decomposeChecksum(view, QueryParams{Eps: 0.6, K: 2, Seed: 5})
+	want, err := decomposeChecksum(view, DecomposeParams{Eps: 0.6, K: 2, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,6 +224,33 @@ func TestQueryChecksumsMatchLibrary(t *testing.T) {
 	}
 	if dec.Components < 1 || dec.Params != "eps=0.6 k=2 seed=5" {
 		t.Fatalf("decompose result: %+v", dec)
+	}
+}
+
+// TestCanonStrings pins the cache-key canon formats: these strings are
+// the params component of every cache key, so changing a format silently
+// invalidates the cache AND breaks cross-version checksum diffs. Each
+// case spells out the defaults-applied rendering, including the
+// defaults-omitted spellings mapping onto the same key.
+func TestCanonStrings(t *testing.T) {
+	cases := []struct {
+		p    Params
+		want string
+	}{
+		{DecomposeParams{}, "eps=0.4 k=2 seed=1"},
+		{DecomposeParams{Eps: 0.4, K: 2, Seed: 1}, "eps=0.4 k=2 seed=1"},
+		{DecomposeParams{Eps: 0.6, K: 3, Seed: 5}, "eps=0.6 k=3 seed=5"},
+		{CountParams{}, "kernel=auto"},
+		{CountParams{Kernel: "auto"}, "kernel=auto"},
+		{CountParams{Kernel: "2d"}, "kernel=2d"},
+		{EnumerateParams{}, "seed=1 limit=1000"},
+		{EnumerateParams{Seed: 1, Limit: 1000}, "seed=1 limit=1000"},
+		{EnumerateParams{Seed: 9, Limit: 3}, "seed=9 limit=3"},
+	}
+	for _, c := range cases {
+		if got := c.p.normalize().canon(); got != c.want {
+			t.Errorf("%T%+v canon = %q, want %q", c.p, c.p, got, c.want)
+		}
 	}
 }
 
@@ -210,7 +263,7 @@ func TestTriangleCountKernels(t *testing.T) {
 	s := New(Config{Workers: 2})
 	defer s.Close()
 
-	snap, err := s.RegisterSpec(gen.Spec{
+	snap, err := s.RegisterSpec("", gen.Spec{
 		Family: "barabasi-albert",
 		Params: map[string]float64{"n": 96, "m0": 5},
 		Seed:   4,
@@ -218,7 +271,7 @@ func TestTriangleCountKernels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	auto, err := s.Query(snap.ID, "triangle-count", QueryParams{}, nil)
+	auto, err := s.Query(bg, "", snap.ID, CountParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +279,7 @@ func TestTriangleCountKernels(t *testing.T) {
 		t.Fatalf("default params = %q, want kernel=auto", auto.Params)
 	}
 	for _, kernel := range []string{"merge", "rank", "auto"} {
-		res, err := s.Query(snap.ID, "triangle-count", QueryParams{Kernel: kernel}, nil)
+		res, err := s.Query(bg, "", snap.ID, CountParams{Kernel: kernel})
 		if err != nil {
 			t.Fatalf("kernel %s: %v", kernel, err)
 		}
@@ -235,7 +288,7 @@ func TestTriangleCountKernels(t *testing.T) {
 				kernel, res.Triangles, res.Checksum, auto.Triangles, auto.Checksum)
 		}
 	}
-	twod, err := s.Query(snap.ID, "triangle-count", QueryParams{Kernel: "2d"}, nil)
+	twod, err := s.Query(bg, "", snap.ID, CountParams{Kernel: "2d"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,14 +298,14 @@ func TestTriangleCountKernels(t *testing.T) {
 	if twod.Checksum != checksumString(triangle.HashWords(uint64(twod.Triangles))) {
 		t.Fatalf("2d checksum %s does not digest the count", twod.Checksum)
 	}
-	if _, err := s.Query(snap.ID, "triangle-count", QueryParams{Kernel: "quantum"}, nil); err == nil {
+	if _, err := s.Query(bg, "", snap.ID, CountParams{Kernel: "quantum"}); err == nil {
 		t.Fatal("unknown kernel accepted")
 	}
 }
 
 // decomposeChecksum reproduces the service's decompose digest with a
 // direct library call (same formula as the bench matrix cells).
-func decomposeChecksum(view *graph.Sub, p QueryParams) (string, error) {
+func decomposeChecksum(view *graph.Sub, p DecomposeParams) (string, error) {
 	dec, err := core.Decompose(view, core.Options{
 		Eps: p.Eps, K: p.K, Preset: nibble.Practical, Seed: p.Seed,
 	}, core.SeqSubroutines{Preset: nibble.Practical})
@@ -270,11 +323,11 @@ func decomposeChecksum(view *graph.Sub, p QueryParams) (string, error) {
 func TestEnumerateLimitTruncates(t *testing.T) {
 	s := New(Config{Workers: 2})
 	defer s.Close()
-	snap, err := s.RegisterSpec(ringSpec(5))
+	snap, err := s.RegisterSpec("", ringSpec(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Query(snap.ID, "enumerate", QueryParams{Limit: 3}, nil)
+	res, err := s.Query(bg, "", snap.ID, EnumerateParams{Limit: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,16 +343,16 @@ func TestEnumerateLimitTruncates(t *testing.T) {
 // panic a pool worker (negative enumerate limit) or the daemon at
 // startup (negative queue/registry sizes).
 func TestNegativeParamsAndConfigClamped(t *testing.T) {
-	s := New(Config{Workers: 1, Queue: -1, MaxSnapshots: -1, MaxGenParam: -1})
+	s := New(Config{Workers: 1, Queue: -1, MaxSnapshots: -1, MaxGenParam: -1, MaxResults: -1})
 	defer s.Close()
-	if st := s.Stats(); st.QueueCap <= 0 {
-		t.Fatalf("negative queue not clamped: %+v", st)
+	if st := s.Stats(); st.QueueCap <= 0 || st.MaxResults <= 0 {
+		t.Fatalf("negative config not clamped: %+v", st)
 	}
-	snap, err := s.RegisterSpec(ringSpec(1))
+	snap, err := s.RegisterSpec("", ringSpec(1))
 	if err != nil {
 		t.Fatalf("register under clamped config: %v", err)
 	}
-	res, err := s.Query(snap.ID, "enumerate", QueryParams{Limit: -1}, nil)
+	res, err := s.Query(bg, "", snap.ID, EnumerateParams{Limit: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,30 +362,30 @@ func TestNegativeParamsAndConfigClamped(t *testing.T) {
 	}
 }
 
-func TestQueryUnknownAlgorithm(t *testing.T) {
+func TestQueryNilParams(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()
-	snap, err := s.RegisterSpec(ringSpec(1))
+	snap, err := s.RegisterSpec("", ringSpec(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Query(snap.ID, "nope", QueryParams{}, nil); err == nil {
-		t.Fatal("unknown algorithm accepted")
+	if _, err := s.Query(bg, "", snap.ID, nil); err == nil {
+		t.Fatal("nil params accepted")
 	}
 }
 
 func TestClosedServiceRejects(t *testing.T) {
 	s := New(Config{Workers: 1})
-	snap, err := s.RegisterSpec(ringSpec(1))
+	snap, err := s.RegisterSpec("", ringSpec(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
 	s.Close() // idempotent
-	if _, err := s.Query(snap.ID, "triangle-count", QueryParams{}, nil); !errors.Is(err, ErrClosed) {
+	if _, err := s.Query(bg, "", snap.ID, CountParams{}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("query after close: %v", err)
 	}
-	if _, err := s.RegisterSpec(ringSpec(2)); !errors.Is(err, ErrClosed) {
+	if _, err := s.RegisterSpec("", ringSpec(2)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("register after close: %v", err)
 	}
 }

@@ -39,6 +39,13 @@ type Options struct {
 	// decomposition). 0 means GOMAXPROCS; 1 forces inline serial
 	// execution. The output is bit-identical for every value.
 	Workers int
+	// Check is the cooperative-cancellation probe (nil = never
+	// canceled), consulted at every recursion level and before each
+	// component task, and forwarded into the per-level decomposition.
+	// A canceled enumeration returns Check's error within one component
+	// (or decomposition subroutine) call; an uncanceled run's output is
+	// untouched.
+	Check par.Checkpoint
 }
 
 func (o Options) withDefaults() Options {
@@ -145,6 +152,11 @@ func Enumerate(view *graph.Sub, opt Options) (*Set, Stats, error) {
 	}
 	root := rng.New(opt.Seed)
 	for level := 0; level < opt.MaxRecursion && remaining > 0; level++ {
+		if opt.Check != nil {
+			if err := opt.Check(); err != nil {
+				return nil, st, err
+			}
+		}
 		st.Recursions++
 		cur := graph.NewSub(g, view.Members(), mask)
 		dec, err := core.Decompose(cur, core.Options{
@@ -153,6 +165,7 @@ func Enumerate(view *graph.Sub, opt Options) (*Set, Stats, error) {
 			Preset:  opt.Preset,
 			Seed:    root.Fork(uint64(level)).Uint64(),
 			Workers: opt.Workers,
+			Check:   opt.Check,
 		}, opt.Subs)
 		if err != nil {
 			return nil, st, fmt.Errorf("triangle: decomposition at level %d: %w", level, err)
@@ -186,10 +199,12 @@ func Enumerate(view *graph.Sub, opt Options) (*Set, Stats, error) {
 			})
 		}
 		results := make([]compResult, len(tasks))
-		par.ForEach(workers, len(tasks), func(i int) {
+		if err := par.ForEachCheck(workers, len(tasks), opt.Check, func(i int) {
 			set, cs, err := processComponent(cur, final, tasks[i].comp, opt, tasks[i].seed)
 			results[i] = compResult{set: set, stats: cs, err: err}
-		})
+		}); err != nil {
+			return nil, st, err
+		}
 		compStats := make([]congest.Stats, 0, len(results))
 		for i, res := range results {
 			if res.err != nil {

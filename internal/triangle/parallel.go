@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dexpander/internal/graph"
+	"dexpander/internal/par"
 )
 
 // This file implements the original shared-memory merge kernel — the
@@ -158,12 +159,15 @@ func shardVertices(members []int, adj csrAdj, workers int) [][]int {
 // sharded across `workers` goroutines (<= 0 means GOMAXPROCS). Each
 // shard's triangles arrive in lexicographic order and shards cover
 // ascending vertex ranges, so the concatenation is globally sorted and
-// independent of the worker count.
-func forEachTriangleParallel(view *graph.Sub, workers int) [][]Triangle {
+// independent of the worker count. cp (nil = never canceled) is probed
+// once per shard vertex; on cancellation every shard stops within one
+// vertex's intersections and the first probe error is returned.
+func forEachTriangleParallel(view *graph.Sub, workers int, cp par.Checkpoint) ([][]Triangle, error) {
 	workers = resolveWorkers(workers)
 	adj := buildCSR(view)
 	shards := shardVertices(view.Members().Members(), adj, workers)
 	out := make([][]Triangle, len(shards))
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
 	for si, shard := range shards {
 		wg.Add(1)
@@ -171,6 +175,12 @@ func forEachTriangleParallel(view *graph.Sub, workers int) [][]Triangle {
 			defer wg.Done()
 			var local []Triangle
 			for _, a := range shard {
+				if cp != nil {
+					if err := cp(); err != nil {
+						errs[si] = err
+						return
+					}
+				}
 				na := adj.neighbors(a)
 				// Only neighbors above a can be the middle vertex; na is
 				// strictly sorted, so everything past b's own position is
@@ -200,7 +210,12 @@ func forEachTriangleParallel(view *graph.Sub, workers int) [][]Triangle {
 		}(si, shard)
 	}
 	wg.Wait()
-	return out
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // TrianglesParallel returns every triangle of the view in lexicographic
@@ -219,11 +234,24 @@ func BruteForceParallel(view *graph.Sub, workers int) *Set {
 
 // SetKernel collects the selected kernel's triangles into a Set.
 func SetKernel(view *graph.Sub, workers int, k Kernel) *Set {
+	set, _ := SetKernelCheck(view, workers, k, nil)
+	return set
+}
+
+// SetKernelCheck is SetKernel with a cooperative-cancellation probe
+// consulted once per shard vertex: a canceled run stops within one
+// vertex's intersections and returns cp's error; an uncanceled run
+// returns exactly SetKernel's set.
+func SetKernelCheck(view *graph.Sub, workers int, k Kernel, cp par.Checkpoint) (*Set, error) {
 	var shards [][]Triangle
+	var err error
 	if k == KernelMerge {
-		shards = forEachTriangleParallel(view, workers)
+		shards, err = forEachTriangleParallel(view, workers, cp)
 	} else {
-		shards = forEachTriangleRank(view, workers)
+		shards, err = forEachTriangleRank(view, workers, cp)
+	}
+	if err != nil {
+		return nil, err
 	}
 	out := newSetSized(countShards(shards))
 	for _, shard := range shards {
@@ -231,7 +259,7 @@ func SetKernel(view *graph.Sub, workers int, k Kernel) *Set {
 			out.Add(t)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // CountParallel counts the view's triangles with the auto-selected

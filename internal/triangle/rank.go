@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dexpander/internal/graph"
+	"dexpander/internal/par"
 )
 
 // This file implements the skew-proof rank kernel: a degree-descending
@@ -246,11 +247,14 @@ func shardRanks(rc rankCSR, workers int) [][2]int {
 // contents are deterministic (the rank permutation and shard boundaries
 // depend only on the view and worker count), but unlike the merge
 // kernel the concatenation is NOT globally sorted by vertex id — the
-// public entry points canonicalize.
-func forEachTriangleRank(view *graph.Sub, workers int) [][]Triangle {
+// public entry points canonicalize. cp (nil = never canceled) is probed
+// once per rank; on cancellation every shard stops within one vertex's
+// intersections and the first probe error is returned.
+func forEachTriangleRank(view *graph.Sub, workers int, cp par.Checkpoint) ([][]Triangle, error) {
 	rc := buildRankCSR(view)
 	shards := shardRanks(rc, resolveWorkers(workers))
 	out := make([][]Triangle, len(shards))
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
 	for si, shard := range shards {
 		wg.Add(1)
@@ -260,6 +264,12 @@ func forEachTriangleRank(view *graph.Sub, workers int) [][]Triangle {
 			var buf []int32
 			var local []Triangle
 			for r := lo; r < hi; r++ {
+				if cp != nil {
+					if err := cp(); err != nil {
+						errs[si] = err
+						return
+					}
+				}
 				fv := rc.fwd(r)
 				if len(fv) < 2 {
 					continue
@@ -282,7 +292,12 @@ func forEachTriangleRank(view *graph.Sub, workers int) [][]Triangle {
 		}(si, shard[0], shard[1])
 	}
 	wg.Wait()
-	return out
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // TrianglesKernel returns every triangle of the view in lexicographic
@@ -291,9 +306,11 @@ func forEachTriangleRank(view *graph.Sub, workers int) [][]Triangle {
 // resolves to the rank kernel here.
 func TrianglesKernel(view *graph.Sub, workers int, k Kernel) []Triangle {
 	if k == KernelMerge {
-		return concatShards(forEachTriangleParallel(view, workers))
+		shards, _ := forEachTriangleParallel(view, workers, nil)
+		return concatShards(shards)
 	}
-	out := concatShards(forEachTriangleRank(view, workers))
+	shards, _ := forEachTriangleRank(view, workers, nil)
+	out := concatShards(shards)
 	// Rank shards cover rank ranges, not id ranges: restore the global
 	// lexicographic order the merge kernel produces natively.
 	slices.SortFunc(out, func(a, b Triangle) int {
@@ -310,13 +327,30 @@ func TrianglesKernel(view *graph.Sub, workers int, k Kernel) []Triangle {
 
 // CountKernel counts the view's triangles with the selected kernel.
 func CountKernel(view *graph.Sub, workers int, k Kernel) int {
+	n, _ := CountKernelCheck(view, workers, k, nil)
+	return n
+}
+
+// CountKernelCheck is CountKernel with a cooperative-cancellation probe
+// (per shard vertex for merge/rank, per block triple for 2D); a canceled
+// count returns cp's error, an uncanceled one exactly CountKernel's
+// total.
+func CountKernelCheck(view *graph.Sub, workers int, k Kernel, cp par.Checkpoint) (int, error) {
 	switch k {
 	case KernelMerge:
-		return countShards(forEachTriangleParallel(view, workers))
+		shards, err := forEachTriangleParallel(view, workers, cp)
+		if err != nil {
+			return 0, err
+		}
+		return countShards(shards), nil
 	case Kernel2D:
-		return CountParallel2D(view, workers)
+		return CountParallel2DCheck(view, workers, cp)
 	default:
-		return countShards(forEachTriangleRank(view, workers))
+		shards, err := forEachTriangleRank(view, workers, cp)
+		if err != nil {
+			return 0, err
+		}
+		return countShards(shards), nil
 	}
 }
 

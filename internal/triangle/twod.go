@@ -52,9 +52,18 @@ func twoDGrid(workers, ranks int) int {
 // path with an automatically sized block grid; workers <= 0 means
 // GOMAXPROCS. The count always equals CountParallel's.
 func CountParallel2D(view *graph.Sub, workers int) int {
+	n, _ := CountParallel2DCheck(view, workers, nil)
+	return n
+}
+
+// CountParallel2DCheck is CountParallel2D with a cooperative-
+// cancellation probe consulted at block-triple granularity: once cp
+// errors, no further block tasks start and that error is returned. An
+// uncanceled run returns exactly CountParallel2D's count.
+func CountParallel2DCheck(view *graph.Sub, workers int, cp par.Checkpoint) (int, error) {
 	w := resolveWorkers(workers)
 	rc := buildRankCSR(view)
-	return countTwoD(rc, w, twoDGrid(w, rc.ranks()))
+	return countTwoD(rc, w, twoDGrid(w, rc.ranks()), cp)
 }
 
 // CountParallel2DGrid is CountParallel2D with an explicit p x p tiling,
@@ -67,7 +76,8 @@ func CountParallel2DGrid(view *graph.Sub, workers, p int) int {
 	if p > rc.ranks() && rc.ranks() > 0 {
 		p = rc.ranks()
 	}
-	return countTwoD(rc, resolveWorkers(workers), p)
+	n, _ := countTwoD(rc, resolveWorkers(workers), p, nil)
+	return n
 }
 
 // rankCuts splits [0, ranks) into p contiguous ranges balanced by
@@ -114,10 +124,11 @@ func lowerBound(s []int32, x int32) int {
 }
 
 // countTwoD runs the block-triple tasks on the internal/par pool and
-// reduces the private accumulators in task order.
-func countTwoD(rc rankCSR, workers, p int) int {
+// reduces the private accumulators in task order. cp is probed before
+// each block triple starts (nil = never canceled).
+func countTwoD(rc rankCSR, workers, p int, cp par.Checkpoint) (int, error) {
 	if rc.ranks() == 0 {
-		return 0
+		return 0, nil
 	}
 	cuts := rankCuts(rc, p)
 	type task struct{ i, j, k int }
@@ -130,7 +141,7 @@ func countTwoD(rc rankCSR, workers, p int) int {
 		}
 	}
 	counts := make([]int, len(tasks))
-	par.ForEach(workers, len(tasks), func(ti int) {
+	if err := par.ForEachCheck(workers, len(tasks), cp, func(ti int) {
 		t := tasks[ti]
 		sc := getTwoDScratch(rc.ranks())
 		defer twoDScratchPool.Put(sc)
@@ -160,10 +171,12 @@ func countTwoD(rc rankCSR, workers, p int) int {
 			}
 		}
 		counts[ti] = n
-	})
+	}); err != nil {
+		return 0, err
+	}
 	total := 0
 	for _, c := range counts {
 		total += c
 	}
-	return total
+	return total, nil
 }
