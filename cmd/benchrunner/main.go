@@ -71,7 +71,10 @@ func run() error {
 	// serve-cold measures the first-query path, serve-hot the cached
 	// steady state, and the two cells of one scenario must carry the
 	// SAME checksum — the baseline gate thereby re-proves the cache's
-	// transparency (hot bytes == cold bytes) on every CI run.
+	// transparency (hot bytes == cold bytes) on every CI run. serve-dist
+	// boots a replica fleet and fans the count across it; its cells must
+	// match the scenario's count-2d cells exactly, pinning the
+	// distributed total's bit-identity to the local 2D kernel.
 	rep.Merge(bench.Run(bench.ServingScenarios(), bench.ServingAlgorithms(), opt))
 
 	if *tables {

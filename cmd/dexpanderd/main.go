@@ -54,12 +54,19 @@ func run() error {
 		tenFlight  = flag.Int("tenant-inflight", 0, "per-tenant admitted-computation quota (0 = unlimited)")
 		rate       = flag.Float64("rate", 0, "per-tenant request rate limit in req/s (0 = off)")
 		burst      = flag.Float64("burst", 0, "rate-limit burst depth (0 = max(2*rate, 1))")
+		peers      = flag.String("peers", "", "comma-separated replica base URLs the count-dist coordinator fans block triples across (empty = local fallback)")
+		distWindow = flag.Int("dist-window", 0, "in-flight triples per peer for count-dist (0 = 4)")
+		maxFrag    = flag.Int64("max-fragment-bytes", 0, "replica fragment cache byte bound (0 = 256 MiB)")
 		smoke      = flag.String("smoke", "", "run the end-to-end smoke check against this server URL and exit")
+		smokeDist  = flag.String("smoke-dist", "", "run the distributed-count smoke check against this coordinator URL and exit")
 	)
 	flag.Parse()
 
 	if *smoke != "" {
 		return runSmoke(*smoke)
+	}
+	if *smokeDist != "" {
+		return runSmokeDist(*smokeDist)
 	}
 
 	svc := service.New(service.Config{
@@ -73,6 +80,9 @@ func run() error {
 		TenantMaxInFlight:  *tenFlight,
 		RatePerSec:         *rate,
 		RateBurst:          *burst,
+		Peers:              splitPeers(*peers),
+		DistWindow:         *distWindow,
+		MaxFragmentBytes:   *maxFrag,
 	})
 	defer svc.Close()
 
@@ -180,8 +190,8 @@ func runSmoke(base string) error {
 	if err != nil {
 		return fmt.Errorf("stats: %w", err)
 	}
-	if st.SchemaVersion != 2 {
-		return fmt.Errorf("smoke: stats schema version %d, want 2", st.SchemaVersion)
+	if st.SchemaVersion != 3 {
+		return fmt.Errorf("smoke: stats schema version %d, want 3", st.SchemaVersion)
 	}
 	if st.Computations < 3 {
 		return fmt.Errorf("smoke: server reports %d computations, want >= 3", st.Computations)
@@ -224,6 +234,63 @@ func smokeDeadline(ctx context.Context, base, id string) error {
 		return fmt.Errorf("smoke: deadline envelope not marked retryable: %+v", envelope.Error)
 	}
 	fmt.Println("smoke: deadline       expired budget -> 504 deadline (retryable)")
+	return nil
+}
+
+// splitPeers parses the -peers flag (comma-separated base URLs, blanks
+// ignored).
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runSmokeDist drives a coordinator with a configured peer fleet: it
+// registers a skewed graph, runs count-dist, and diffs the served total
+// and checksum against the in-process 2D kernel — the multi-replica
+// bit-identity check CI runs against a live loopback fleet.
+func runSmokeDist(base string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	c := service.NewClient(base)
+
+	spec := gen.Spec{
+		Family: "barabasi-albert",
+		Params: map[string]float64{"n": 2048, "m0": 6},
+		Seed:   5,
+	}
+	snap, err := c.RegisterSpec(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+	fmt.Printf("smoke-dist: registered %s (n=%d m=%d)\n", snap.ID, snap.N, snap.M)
+
+	g, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	want := triangle.CountParallel2D(graph.WholeGraph(g), 0)
+
+	res, err := c.TriangleCountDist(ctx, snap.ID, service.DistCountParams{})
+	if err != nil {
+		return fmt.Errorf("count-dist: %w", err)
+	}
+	if res.Triangles != want {
+		return fmt.Errorf("smoke-dist: served %d triangles, library kernel %d", res.Triangles, want)
+	}
+	if err := diff("count-dist", res.Checksum, checksum(triangle.HashWords(uint64(want)))); err != nil {
+		return err
+	}
+	fmt.Printf("smoke-dist: %d triples over %d peers (%d retries)\n",
+		res.DistTriples, res.DistPeers, res.DistRetries)
+	if err := c.Release(ctx, snap.ID); err != nil {
+		return fmt.Errorf("release: %w", err)
+	}
+	fmt.Println("smoke-dist: PASS — distributed total bit-identical to the 2D kernel")
 	return nil
 }
 

@@ -59,7 +59,77 @@ func ServingAlgorithms() []Algorithm {
 		{Name: "serve-cold", Run: servingCell(0, false)},
 		{Name: "serve-hot", Run: servingCell(servingHotQueries, false)},
 		{Name: "serve-cancel", Run: servingCell(0, true)},
+		{Name: "count-2d", Run: runCount2D},
+		{Name: "serve-dist", Run: runServeDist},
 	}
+}
+
+// servingDistReplicas is the loopback fleet size the serve-dist cell
+// boots: the coordinator fans block triples across this many replica
+// services.
+const servingDistReplicas = 3
+
+// runServeDist measures the distributed counting path end to end: boot
+// servingDistReplicas replica services plus a coordinator configured
+// with their URLs, register the scenario graph on the coordinator, and
+// run one count-dist query — fragment pushes, remote per-triple counts,
+// and the task-order reduction all over loopback HTTP. The cell digests
+// the served total exactly like runCount2D digests the local kernel's,
+// so the scenario's serve-dist and count-2d cells must carry the SAME
+// checksum — the baseline gate re-proves the distributed total's
+// bit-identity to the local 2D kernel on every CI run (and the cell
+// itself diffs the two before returning).
+func runServeDist(view *graph.Sub, seed uint64) (Result, error) {
+	var peers []string
+	for i := 0; i < servingDistReplicas; i++ {
+		svc := service.New(service.Config{Workers: 2})
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return Result{}, err
+		}
+		server := &http.Server{Handler: svc.Handler()}
+		go server.Serve(ln) //nolint:errcheck
+		defer server.Close()
+		peers = append(peers, "http://"+ln.Addr().String())
+	}
+
+	svc := service.New(service.Config{Workers: 2, Peers: peers})
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Result{}, err
+	}
+	server := &http.Server{Handler: svc.Handler()}
+	go server.Serve(ln) //nolint:errcheck
+	defer server.Close()
+
+	ctx := context.Background()
+	c := service.NewClient("http://" + ln.Addr().String())
+
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, view.Base()); err != nil {
+		return Result{}, err
+	}
+	snap, err := c.RegisterEdgeList(ctx, &buf)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := c.TriangleCountDist(ctx, snap.ID, service.DistCountParams{})
+	if err != nil {
+		return Result{}, err
+	}
+	if want := triangle.CountParallel2D(view, 0); res.Triangles != want {
+		return Result{}, fmt.Errorf("bench: serve-dist counted %d triangles, local 2D kernel %d", res.Triangles, want)
+	}
+	sums, err := parseChecksums(res.Checksum)
+	if err != nil {
+		return Result{}, err
+	}
+	if sums[0] != triangle.HashWords(uint64(res.Triangles)) {
+		return Result{}, fmt.Errorf("bench: serve-dist checksum %s does not digest its own count %d", res.Checksum, res.Triangles)
+	}
+	return Result{Triangles: res.Triangles, Checksum: sums[0]}, nil
 }
 
 // servingCell boots a service over loopback HTTP, registers the view's

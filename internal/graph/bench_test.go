@@ -1,6 +1,9 @@
 package graph
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 func benchGraph() *Graph {
 	// 40x40 torus-like grid built inline to avoid importing gen.
@@ -65,5 +68,68 @@ func BenchmarkBallEdgeCount(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		view.BallEdgeCount(0, 5)
+	}
+}
+
+// fingerprintEdges builds a dense-ish edge list in canonical sorted
+// order; shuffle reverses it (every adjacent pair out of order) so the
+// sortedness pre-scan bails immediately and the slow path pays the full
+// copy + sort.
+func fingerprintEdges(shuffled bool) *Graph {
+	const n = 512
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for d := 1; d <= 16; d++ {
+			if u+d < n {
+				edges = append(edges, [2]int{u, u + d})
+			}
+		}
+	}
+	if shuffled {
+		for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
+			edges[i], edges[j] = edges[j], edges[i]
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// BenchmarkFingerprintSorted exercises the already-canonical fast path:
+// one linear pre-scan, zero allocations.
+func BenchmarkFingerprintSorted(b *testing.B) {
+	g := fingerprintEdges(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Fingerprint()
+	}
+}
+
+// BenchmarkFingerprintUnsorted pays the O(m) copy + O(m log m) sort the
+// fast path skips.
+func BenchmarkFingerprintUnsorted(b *testing.B) {
+	g := fingerprintEdges(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Fingerprint()
+	}
+}
+
+// BenchmarkReadEdgeList measures the byte-scanner ingest path (reused
+// line buffer, manual integer parsing): allocations should be the
+// builder's, not the parser's.
+func BenchmarkReadEdgeList(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, fingerprintEdges(false)); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadEdgeList(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -8,6 +8,18 @@ const (
 	fnvPrime  = 1099511628211
 )
 
+// edgesSorted reports whether the edge list is already in canonical
+// (U, V) order — one linear scan, no allocation.
+func edgesSorted(es []Edge) bool {
+	for i := 1; i < len(es); i++ {
+		if es[i].U < es[i-1].U ||
+			(es[i].U == es[i-1].U && es[i].V < es[i-1].V) {
+			return false
+		}
+	}
+	return true
+}
+
 // Fingerprint returns a 64-bit FNV-1a digest of the canonical edge list:
 // the vertex count, the edge count, and every edge (endpoints normalized
 // U <= V) in sorted (U, V) order. Because the edges are sorted before
@@ -16,15 +28,22 @@ const (
 // identically — while parallel edges and self-loops still count with
 // multiplicity. This is the snapshot identity the service layer caches
 // under.
+//
+// Already-sorted edge lists (every generator, and uploads written in
+// canonical order) are detected with a linear pre-scan and hashed in
+// place — no copy, no sort, no allocation.
 func (g *Graph) Fingerprint() uint64 {
-	es := make([]Edge, len(g.edges))
-	copy(es, g.edges)
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].U != es[j].U {
-			return es[i].U < es[j].U
-		}
-		return es[i].V < es[j].V
-	})
+	es := g.edges
+	if !edgesSorted(es) {
+		es = make([]Edge, len(g.edges))
+		copy(es, g.edges)
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].U != es[j].U {
+				return es[i].U < es[j].U
+			}
+			return es[i].V < es[j].V
+		})
+	}
 	h := uint64(fnvOffset)
 	mix := func(w uint64) {
 		for i := 0; i < 8; i++ {

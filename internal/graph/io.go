@@ -136,20 +136,181 @@ func snapHeader(line string) (n, m int, ok bool) {
 // edge lines never justify.
 const edgeCapHint = 1 << 20
 
+// maxLineBytes bounds a single edge-list line, matching the old
+// bufio.Scanner token limit.
+const maxLineBytes = 1 << 22
+
+// lineScanner yields lines as byte slices out of one reused buffer: no
+// per-line string conversion, no field slices, no garbage on the hot
+// ingest path. A returned line is valid only until the next call.
+type lineScanner struct {
+	r          io.Reader
+	buf        []byte
+	start, end int
+	eof        bool
+}
+
+func newLineScanner(r io.Reader) *lineScanner {
+	return &lineScanner{r: r, buf: make([]byte, 64*1024)}
+}
+
+// line returns the next line without its '\n' terminator; io.EOF after
+// the last line. Lines spanning a buffer refill are compacted to the
+// front; the buffer doubles up to maxLineBytes for oversized lines.
+func (s *lineScanner) line() ([]byte, error) {
+	for {
+		if i := bytesIndexByte(s.buf[s.start:s.end], '\n'); i >= 0 {
+			line := s.buf[s.start : s.start+i]
+			s.start += i + 1
+			return line, nil
+		}
+		if s.eof {
+			if s.start < s.end {
+				line := s.buf[s.start:s.end]
+				s.start = s.end
+				return line, nil
+			}
+			return nil, io.EOF
+		}
+		if s.start > 0 {
+			copy(s.buf, s.buf[s.start:s.end])
+			s.end -= s.start
+			s.start = 0
+		}
+		if s.end == len(s.buf) {
+			if len(s.buf) >= maxLineBytes {
+				return nil, fmt.Errorf("graph: edge-list line longer than %d bytes", maxLineBytes)
+			}
+			grown := make([]byte, min(2*len(s.buf), maxLineBytes))
+			copy(grown, s.buf[:s.end])
+			s.buf = grown
+		}
+		n, err := s.r.Read(s.buf[s.end:])
+		s.end += n
+		if err == io.EOF {
+			s.eof = true
+		} else if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func bytesIndexByte(b []byte, c byte) int {
+	for i, v := range b {
+		if v == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func isBlank(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f'
+}
+
+// trimBlanks strips leading and trailing blank bytes in place.
+func trimBlanks(b []byte) []byte {
+	for len(b) > 0 && isBlank(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isBlank(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// parseIntBytes is an allocation-free strconv.Atoi for the decimal
+// integers edge-list lines carry.
+func parseIntBytes(b []byte) (int, bool) {
+	i, neg := 0, false
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		neg = b[0] == '-'
+		i++
+	}
+	if i == len(b) {
+		return 0, false
+	}
+	const maxInt = int(^uint(0) >> 1)
+	n := 0
+	for ; i < len(b); i++ {
+		d := int(b[i] - '0')
+		if d < 0 || d > 9 || n > (maxInt-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// splitTwoInts parses a data line of exactly two blank-separated
+// integers without allocating. numErr reports a field that is present
+// but not a parseable integer (the caller re-parses it with strconv for
+// the canonical wrapped error).
+func splitTwoInts(line []byte) (a, c int, ok, numErr bool) {
+	i := 0
+	next := func() ([]byte, bool) {
+		for i < len(line) && isBlank(line[i]) {
+			i++
+		}
+		if i == len(line) {
+			return nil, false
+		}
+		s := i
+		for i < len(line) && !isBlank(line[i]) {
+			i++
+		}
+		return line[s:i], true
+	}
+	fa, ok1 := next()
+	fc, ok2 := next()
+	if _, extra := next(); !ok1 || !ok2 || extra {
+		return 0, 0, false, false
+	}
+	a, okA := parseIntBytes(fa)
+	c, okC := parseIntBytes(fc)
+	if !okA || !okC {
+		return 0, 0, false, true
+	}
+	return a, c, true, false
+}
+
+// atoiError reproduces the pre-scanner error shape for a line whose
+// fields are not integers, wrapping the strconv error exactly as the
+// strings.Fields parser did.
+func atoiError(line string) error {
+	for _, f := range strings.Fields(line) {
+		if _, err := strconv.Atoi(f); err != nil {
+			return fmt.Errorf("graph: bad number in %q: %w", line, err)
+		}
+	}
+	// Overflow in parseIntBytes with fields strconv accepts cannot
+	// happen (both bound at the platform int); defensive fallback.
+	return fmt.Errorf("graph: bad number in %q", line)
+}
+
 func readEdgeList(r io.Reader, lim ReadLimits) (*Graph, error) {
 	if lim.MaxBytes > 0 {
 		r = &cappedReader{r: r, remaining: lim.MaxBytes}
 	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	sc := newLineScanner(r)
 	var b *Builder
 	edges := 0
 	wantEdges := -1
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+	for {
+		raw, err := sc.line()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		line := trimBlanks(raw)
+		if len(line) == 0 || line[0] == '#' {
 			if b == nil {
-				if n, m, ok := snapHeader(line); ok {
+				if n, m, ok := snapHeader(string(line)); ok {
 					if lim.MaxVertices > 0 && n > lim.MaxVertices {
 						return nil, fmt.Errorf("graph: header vertex count %d exceeds the %d limit", n, lim.MaxVertices)
 					}
@@ -161,17 +322,12 @@ func readEdgeList(r io.Reader, lim ReadLimits) (*Graph, error) {
 			}
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
+		a, c, ok, numErr := splitTwoInts(line)
+		if !ok {
+			if numErr {
+				return nil, atoiError(string(line))
+			}
 			return nil, fmt.Errorf("graph: malformed line %q", line)
-		}
-		a, err := strconv.Atoi(fields[0])
-		if err != nil {
-			return nil, fmt.Errorf("graph: bad number in %q: %w", line, err)
-		}
-		c, err := strconv.Atoi(fields[1])
-		if err != nil {
-			return nil, fmt.Errorf("graph: bad number in %q: %w", line, err)
 		}
 		if b == nil {
 			if a < 0 || c < 0 {
@@ -195,9 +351,6 @@ func readEdgeList(r io.Reader, lim ReadLimits) (*Graph, error) {
 		}
 		b.AddEdge(a, c)
 		edges++
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
 	}
 	if b == nil {
 		return nil, fmt.Errorf("graph: missing header")

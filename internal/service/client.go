@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dexpander/internal/gen"
+	"dexpander/internal/triangle"
 )
 
 // Client is the thin Go binding of the dexpanderd HTTP API. The zero
@@ -76,6 +77,8 @@ func (e *APIError) Unwrap() error {
 		return ErrRegistryFull
 	case CodeInternal:
 		return ErrCompute
+	case CodeFragmentMissing:
+		return ErrFragmentMissing
 	}
 	return nil
 }
@@ -200,6 +203,37 @@ func (c *Client) TriangleCount(ctx context.Context, id string, p CountParams) (*
 // Enumerate runs (or fetches) the CONGEST triangle enumeration.
 func (c *Client) Enumerate(ctx context.Context, id string, p EnumerateParams) (*Result, error) {
 	return c.query(ctx, id, "/triangles/enumerate", p)
+}
+
+// TriangleCountDist runs (or fetches) the distributed 2D triangle count:
+// the server fans block triples across its configured peer fleet, or
+// runs the local 2D kernel when it has none. The count and checksum are
+// bit-identical either way.
+func (c *Client) TriangleCountDist(ctx context.Context, id string, p DistCountParams) (*Result, error) {
+	return c.query(ctx, id, "/triangles/count-dist", p)
+}
+
+// PutFragment pushes one encoded CSR fragment (triangle.Fragment.Encode
+// bytes) into the server's content-addressed cache under (snapshot id,
+// tiling dimension, rank range). Fleet-internal; idempotent.
+func (c *Client) PutFragment(ctx context.Context, id string, p int, lo, hi int32, data []byte) error {
+	path := fmt.Sprintf("/v1/dist/fragments/%s/%d/%d/%d", id, p, lo, hi)
+	return c.do(ctx, http.MethodPut, path, "application/octet-stream", bytes.NewReader(data), nil)
+}
+
+// DistCount asks the server to count one block triple from its resident
+// fragments. Fleet-internal; a missing fragment reports
+// ErrFragmentMissing (push it with PutFragment and retry).
+func (c *Client) DistCount(ctx context.Context, id string, tl triangle.Tiling, t triangle.BlockTriple) (int, error) {
+	body, err := jsonBody(distCountRequest{Snapshot: id, Tiling: tl, Triple: t})
+	if err != nil {
+		return 0, err
+	}
+	var res distCountResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/dist/count", "application/json", body, &res); err != nil {
+		return 0, err
+	}
+	return res.Count, nil
 }
 
 // ServerStats fetches the service counters (stats schema v2).

@@ -175,7 +175,7 @@ func (p slowParams) Algorithm() string { return "test-slow" }
 func (p slowParams) normalize() Params { return p }
 func (p slowParams) validate() error   { return nil }
 func (p slowParams) canon() string     { return fmt.Sprintf("seed=%d", p.Seed) }
-func (p slowParams) run(ctx context.Context, view *graph.Sub, workers int) (*Result, error) {
+func (p slowParams) run(ctx context.Context, view *graph.Sub, env runEnv) (*Result, error) {
 	slowStarted <- struct{}{}
 	select {
 	case <-slowGate:

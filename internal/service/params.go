@@ -42,9 +42,26 @@ type Params interface {
 	// run executes the computation. ctx is the flight's cancelable
 	// context: implementations forward par.CheckpointFromContext(ctx)
 	// into the kernels so a canceled flight frees its worker within one
-	// checkpoint interval. workers bounds host parallelism; outputs are
-	// bit-identical for every value.
-	run(ctx context.Context, view *graph.Sub, workers int) (*Result, error)
+	// checkpoint interval. env carries the host parallelism bound plus
+	// the service-level context distributed algorithms need (snapshot
+	// fingerprint, peer fleet); outputs are bit-identical for every
+	// worker count and peer set.
+	run(ctx context.Context, view *graph.Sub, env runEnv) (*Result, error)
+}
+
+// runEnv is the execution context the service hands a computation beyond
+// its graph view. Local algorithms read only workers; the distributed
+// coordinator also needs the snapshot identity (fragments are
+// content-addressed under it) and the replica fleet.
+type runEnv struct {
+	// workers bounds host parallelism inside the computation.
+	workers int
+	// fingerprint is the snapshot's graph fingerprint.
+	fingerprint uint64
+	// svc is the owning service: the coordinator reads the peer fleet
+	// and dist tuning from svc.cfg and reports fleet counters through
+	// it. Implementations must not touch svc.mu-guarded state directly.
+	svc *Service
 }
 
 // Result is one computed (and cached) analytics answer. All fields are
@@ -77,11 +94,19 @@ type Result struct {
 	// Simulated CONGEST costs (enumerate only).
 	Rounds   int   `json:"rounds,omitempty"`
 	Messages int64 `json:"messages,omitempty"`
+
+	// Distributed-count fields (triangle-count-dist only). DistPeers is
+	// the number of replicas that served at least one triple; DistTriples
+	// is the schedule size; DistRetries counts triples that needed a
+	// second home. All zero on the 0-peer local fallback.
+	DistPeers   int `json:"dist_peers,omitempty"`
+	DistTriples int `json:"dist_triples,omitempty"`
+	DistRetries int `json:"dist_retries,omitempty"`
 }
 
 // AlgorithmNames lists the query endpoints (for docs and errors).
 func AlgorithmNames() []string {
-	return []string{"decompose", "enumerate", "triangle-count"}
+	return []string{"decompose", "enumerate", "triangle-count", "triangle-count-dist"}
 }
 
 // DecomposeParams configures the Theorem 1 expander decomposition.
@@ -129,13 +154,13 @@ func (p DecomposeParams) canon() string {
 // run executes the Theorem 1 pipeline. The checksum digests the full
 // structural output exactly like the bench matrix's decompose cells:
 // HashWords(count, cutEdges, labels...).
-func (p DecomposeParams) run(ctx context.Context, view *graph.Sub, workers int) (*Result, error) {
+func (p DecomposeParams) run(ctx context.Context, view *graph.Sub, env runEnv) (*Result, error) {
 	cp := par.CheckpointFromContext(ctx)
 	start := time.Now()
 	dec, err := core.Decompose(view, core.Options{
 		Eps: p.Eps, K: p.K, Preset: nibble.Practical, Seed: p.Seed,
-		Workers: workers, Check: cp,
-	}, core.SeqSubroutines{Preset: nibble.Practical, Workers: workers})
+		Workers: env.workers, Check: cp,
+	}, core.SeqSubroutines{Preset: nibble.Practical, Workers: env.workers})
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +211,7 @@ func (p CountParams) canon() string { return fmt.Sprintf("kernel=%s", p.Kernel) 
 // enumerate-merge/enumerate-rank cells. The 2d kernel counts without
 // materializing a set, so its checksum digests the count alone, exactly
 // like the matrix's count-2d cells.
-func (p CountParams) run(ctx context.Context, view *graph.Sub, workers int) (*Result, error) {
+func (p CountParams) run(ctx context.Context, view *graph.Sub, env runEnv) (*Result, error) {
 	k, err := triangle.ParseKernel(p.Kernel)
 	if err != nil {
 		return nil, err
@@ -194,7 +219,7 @@ func (p CountParams) run(ctx context.Context, view *graph.Sub, workers int) (*Re
 	cp := par.CheckpointFromContext(ctx)
 	start := time.Now()
 	if k == triangle.Kernel2D {
-		n, err := triangle.CountParallel2DCheck(view, workers, cp)
+		n, err := triangle.CountParallel2DCheck(view, env.workers, cp)
 		if err != nil {
 			return nil, err
 		}
@@ -204,7 +229,7 @@ func (p CountParams) run(ctx context.Context, view *graph.Sub, workers int) (*Re
 			Triangles: n,
 		}, nil
 	}
-	set, err := triangle.SetKernelCheck(view, workers, k, cp)
+	set, err := triangle.SetKernelCheck(view, env.workers, k, cp)
 	if err != nil {
 		return nil, err
 	}
@@ -250,10 +275,10 @@ func (p EnumerateParams) canon() string {
 // reports the simulated round/message costs alongside the result;
 // checksum, count, rounds, and messages match the bench matrix's
 // enumerate cells.
-func (p EnumerateParams) run(ctx context.Context, view *graph.Sub, workers int) (*Result, error) {
+func (p EnumerateParams) run(ctx context.Context, view *graph.Sub, env runEnv) (*Result, error) {
 	start := time.Now()
 	set, stats, err := triangle.Enumerate(view, triangle.Options{
-		Seed: p.Seed, Workers: workers, Check: par.CheckpointFromContext(ctx),
+		Seed: p.Seed, Workers: env.workers, Check: par.CheckpointFromContext(ctx),
 	})
 	if err != nil {
 		return nil, err
@@ -275,6 +300,56 @@ func (p EnumerateParams) run(ctx context.Context, view *graph.Sub, workers int) 
 		res.List[i] = [3]int{t.A, t.B, t.C}
 	}
 	return res, nil
+}
+
+// DistCountParams configures the distributed 2D triangle count. The
+// coordinator fans the tiling's block triples across the configured peer
+// fleet and reduces the per-triple counts in task order; with no peers
+// configured it runs the local 2D kernel. Both paths produce the same
+// count and therefore the same checksum — the bit-identity the bench
+// matrix pins serve-dist cells against count-2d cells with.
+type DistCountParams struct {
+	// Grid forces the tiling dimension p (p(p+1)(p+2)/6 triples).
+	// 0 (the default) sizes the grid from the fleet: enough triples to
+	// keep every peer's in-flight window full.
+	Grid int `json:"grid,omitempty"`
+}
+
+// Algorithm returns "triangle-count-dist".
+func (p DistCountParams) Algorithm() string { return "triangle-count-dist" }
+
+func (p DistCountParams) normalize() Params { return p }
+
+func (p DistCountParams) validate() error {
+	if p.Grid < 0 || p.Grid > 64 {
+		return fmt.Errorf("service: grid = %d out of [0,64]", p.Grid)
+	}
+	return nil
+}
+
+func (p DistCountParams) canon() string { return fmt.Sprintf("grid=%d", p.Grid) }
+
+// run counts triangles through the distribution layer. The total is the
+// per-triple counts reduced in task order, so it is bit-identical to
+// triangle.CountParallel2D for every peer count — including zero, where
+// it IS the local kernel. The checksum digests the count alone, exactly
+// like the count-2d bench cells.
+func (p DistCountParams) run(ctx context.Context, view *graph.Sub, env runEnv) (*Result, error) {
+	peers := env.svc.cfg.Peers
+	if len(peers) == 0 {
+		cp := par.CheckpointFromContext(ctx)
+		start := time.Now()
+		n, err := triangle.CountParallel2DCheck(view, env.workers, cp)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Checksum:  checksumString(triangle.HashWords(uint64(n))),
+			ComputeNS: time.Since(start).Nanoseconds(),
+			Triangles: n,
+		}, nil
+	}
+	return env.svc.distCount(ctx, view, env.fingerprint, p.Grid)
 }
 
 // checksumString renders a digest the way every bench cell does, so

@@ -178,7 +178,7 @@ func (p costParams) Algorithm() string { return "test-cost" }
 func (p costParams) normalize() Params { return p }
 func (p costParams) validate() error   { return nil }
 func (p costParams) canon() string     { return fmt.Sprintf("seed=%d cost=%d", p.Seed, p.Cost) }
-func (p costParams) run(ctx context.Context, view *graph.Sub, workers int) (*Result, error) {
+func (p costParams) run(ctx context.Context, view *graph.Sub, env runEnv) (*Result, error) {
 	return &Result{Checksum: checksumString(p.Seed), ComputeNS: p.Cost}, nil
 }
 

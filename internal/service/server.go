@@ -13,6 +13,7 @@ import (
 
 	"dexpander/internal/gen"
 	"dexpander/internal/graph"
+	"dexpander/internal/triangle"
 )
 
 // Upload bounds: maxUploadBytes caps the request body on the wire, and
@@ -74,6 +75,10 @@ const (
 	CodeRegistryFull = "registry_full" // 507: snapshot registry at capacity
 	CodeInternal     = "internal"      // 500: computation failed server-side
 	CodeBadRequest   = "bad_request"   // 400: malformed params/spec/upload
+	// CodeFragmentMissing (412) answers a dist-count naming a CSR
+	// fragment this replica does not hold; the coordinator re-pushes the
+	// fragment and retries, so it is not "retryable" as-is.
+	CodeFragmentMissing = "fragment_missing"
 )
 
 // codeOf maps a service error onto (status, code, retryable). Order
@@ -94,6 +99,8 @@ func codeOf(err error) (int, string, bool) {
 		return http.StatusNotFound, CodeNotFound, false
 	case errors.Is(err, ErrRegistryFull):
 		return http.StatusInsufficientStorage, CodeRegistryFull, false
+	case errors.Is(err, ErrFragmentMissing):
+		return http.StatusPreconditionFailed, CodeFragmentMissing, false
 	case errors.Is(err, ErrCompute):
 		// The request was valid; the kernel failed. Server fault.
 		return http.StatusInternalServerError, CodeInternal, false
@@ -111,7 +118,10 @@ func codeOf(err error) (int, string, bool) {
 //	POST   /v1/graphs/{id}/decompose         expander decomposition (Theorem 1)
 //	POST   /v1/graphs/{id}/triangles/count   triangle count (parallel kernel)
 //	POST   /v1/graphs/{id}/triangles/enumerate  CONGEST enumeration (Theorem 2)
-//	GET    /v1/stats                         service counters (schema v2)
+//	POST   /v1/graphs/{id}/triangles/count-dist distributed 2D count (peer fleet)
+//	PUT    /v1/dist/fragments/{id}/{p}/{lo}/{hi} push one CSR fragment (fleet-internal)
+//	POST   /v1/dist/count                    count one block triple (fleet-internal)
+//	GET    /v1/stats                         service counters (schema v3)
 //	GET    /healthz                          liveness
 //
 // Every mutating/compute endpoint honors the X-Tenant and X-Timeout-Ms
@@ -127,6 +137,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/graphs/{id}/decompose", queryHandler[DecomposeParams](s))
 	mux.HandleFunc("POST /v1/graphs/{id}/triangles/count", queryHandler[CountParams](s))
 	mux.HandleFunc("POST /v1/graphs/{id}/triangles/enumerate", queryHandler[EnumerateParams](s))
+	mux.HandleFunc("POST /v1/graphs/{id}/triangles/count-dist", queryHandler[DistCountParams](s))
+	mux.HandleFunc("PUT /v1/dist/fragments/{id}/{p}/{lo}/{hi}", s.handlePutFragment)
+	mux.HandleFunc("POST /v1/dist/count", s.handleDistCount)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -242,6 +255,65 @@ func (s *Service) handleRelease(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// distCountRequest is the JSON body of the fleet-internal POST
+// /v1/dist/count: one block triple against fragments resident under the
+// named snapshot and tiling.
+type distCountRequest struct {
+	Snapshot string               `json:"snapshot"`
+	Tiling   triangle.Tiling      `json:"tiling"`
+	Triple   triangle.BlockTriple `json:"triple"`
+}
+
+type distCountResponse struct {
+	Count int `json:"count"`
+}
+
+// handlePutFragment stores one encoded CSR fragment in the replica's
+// content-addressed cache. Idempotent: re-pushing a resident key answers
+// stored == false without decoding twice the cache's bytes.
+func (s *Service) handlePutFragment(w http.ResponseWriter, r *http.Request) {
+	p, err := strconv.Atoi(r.PathValue("p"))
+	if err != nil {
+		writeError(w, fmt.Errorf("service: bad tiling dimension %q", r.PathValue("p")))
+		return
+	}
+	lo, err1 := strconv.ParseInt(r.PathValue("lo"), 10, 32)
+	hi, err2 := strconv.ParseInt(r.PathValue("hi"), 10, 32)
+	if err1 != nil || err2 != nil || lo < 0 || hi < lo {
+		writeError(w, fmt.Errorf("service: bad fragment range %q..%q", r.PathValue("lo"), r.PathValue("hi")))
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxFragmentBytes))
+	if err != nil {
+		writeError(w, fmt.Errorf("read fragment body: %w", err))
+		return
+	}
+	stored, err := s.StoreFragment(r.PathValue("id"), p, int32(lo), int32(hi), data)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"stored": stored})
+}
+
+// handleDistCount counts one block triple from resident fragments. Runs
+// on the handler goroutine, not the compute pool: one triple touches two
+// rank ranges, the fleet-internal unit of work the coordinator's window
+// already bounds.
+func (s *Service) handleDistCount(w http.ResponseWriter, r *http.Request) {
+	var req distCountRequest
+	if err := decodeParams(http.MaxBytesReader(w, r.Body, 1<<20), &req); err != nil {
+		writeError(w, fmt.Errorf("parse dist count request: %w", err))
+		return
+	}
+	n, err := s.DistCountTriple(req.Snapshot, req.Tiling, req.Triple)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, distCountResponse{Count: n})
 }
 
 // queryHandler serves one algorithm endpoint with its typed params (an

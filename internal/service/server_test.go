@@ -102,8 +102,8 @@ func TestServerEndToEnd(t *testing.T) {
 	if st.Computations != 3 || st.Hits != 1 || st.Snapshots != 1 {
 		t.Fatalf("stats: %+v", st)
 	}
-	if st.SchemaVersion != 2 {
-		t.Fatalf("stats schema version = %d, want 2", st.SchemaVersion)
+	if st.SchemaVersion != 3 {
+		t.Fatalf("stats schema version = %d, want 3", st.SchemaVersion)
 	}
 	// The per-tenant section attributes all of it to the default tenant.
 	ts, ok := st.Tenants[DefaultTenant]

@@ -74,6 +74,10 @@ var (
 	// ErrCompute wraps a failed computation — a server-side fault, not a
 	// request problem (the HTTP layer maps it to 500).
 	ErrCompute = errors.New("service: computation failed")
+	// ErrFragmentMissing means a distributed-count request named a CSR
+	// fragment this replica has not been sent; the coordinator re-pushes
+	// the fragment and retries.
+	ErrFragmentMissing = errors.New("service: fragment not resident")
 )
 
 // Config sizes the service.
@@ -121,6 +125,18 @@ type Config struct {
 	RatePerSec float64
 	// RateBurst is the bucket depth; 0 means max(2*RatePerSec, 1).
 	RateBurst float64
+
+	// Peers is the replica fleet the triangle-count-dist coordinator fans
+	// block triples across (base URLs, e.g. "http://10.0.0.2:8080").
+	// Empty means no fleet: count-dist falls back to the local 2D kernel.
+	Peers []string
+	// DistWindow bounds the coordinator's in-flight triples per peer;
+	// 0 means 4.
+	DistWindow int
+	// MaxFragmentBytes bounds this replica's content-addressed fragment
+	// cache (decoded CSR bytes); 0 means 256 MiB. Admitting a fragment
+	// over the bound evicts least-recently-used fragments first.
+	MaxFragmentBytes int64
 }
 
 // withDefaults also clamps negative values to the defaults (an operator
@@ -154,6 +170,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RateBurst <= 0 {
 		c.RateBurst = max(2*c.RatePerSec, 1)
+	}
+	if c.DistWindow <= 0 {
+		c.DistWindow = 4
+	}
+	if c.MaxFragmentBytes <= 0 {
+		c.MaxFragmentBytes = 256 << 20
 	}
 	return c
 }
@@ -274,16 +296,15 @@ type TenantStats struct {
 
 // Stats is the service's observable state, served by /v1/stats.
 //
-// SchemaVersion 2 adds the multi-tenant section: per-tenant counters
-// under "tenants", queue/latency histograms, and the cancellation /
-// quota / cache-eviction counters. Every v1 field keeps its name and
-// meaning (legacy "evictions" remains the SNAPSHOT eviction count;
-// result-cache evictions are the new "cache_evictions") — v1 consumers
-// keep working for one release; see README.md for the v1 -> v2 mapping.
+// SchemaVersion 3 drops the deprecated v1 alias kept exactly one release
+// by schema v2: "evictions" (the snapshot eviction count) is now
+// "snapshot_evictions", symmetric with "cache_evictions" and the new
+// "fragment_evictions". v3 also adds the distributed-count section:
+// fragment-cache counters and the coordinator's triple counter. See
+// README.md for the v1 -> v2 -> v3 mapping.
 type Stats struct {
 	SchemaVersion int `json:"schema_version"`
 
-	// v1 fields.
 	Snapshots    int    `json:"snapshots"`
 	CacheEntries int    `json:"cache_entries"`
 	InFlight     int    `json:"in_flight"`
@@ -293,7 +314,9 @@ type Stats struct {
 	Hits         uint64 `json:"hits"`
 	Joins        uint64 `json:"joins"`
 	Busy         uint64 `json:"busy"`
-	Evictions    uint64 `json:"evictions"` // snapshot evictions (v1 name)
+	// SnapshotEvictions counts snapshot registry evictions (named
+	// "evictions" through schema v2).
+	SnapshotEvictions uint64 `json:"snapshot_evictions"`
 
 	// v2 fields.
 	QueueDepth      int                    `json:"queue_depth"` // queued, not yet running
@@ -307,6 +330,19 @@ type Stats struct {
 	// admission.
 	ComputeLatencyUS *Hist `json:"compute_latency_us"`
 	QueueDepthHist   *Hist `json:"queue_depth_hist"`
+
+	// v3 fields: the replica-side fragment cache and the coordinator.
+	// FragmentStores counts fragments admitted (each store is one decode +
+	// insert); FragmentHits counts dist-count requests served from
+	// resident fragments; together they prove each (fingerprint, tiling,
+	// rank-range) key is fetched at most once per replica per job.
+	FragmentStores    uint64 `json:"fragment_stores"`
+	FragmentHits      uint64 `json:"fragment_hits"`
+	FragmentBytes     int64  `json:"fragment_bytes"`
+	FragmentEvictions uint64 `json:"fragment_evictions"`
+	// DistTriples counts block-triple tasks this replica counted for
+	// remote coordinators.
+	DistTriples uint64 `json:"dist_triples"`
 }
 
 // tenant is one tenant's quota and accounting state.
@@ -351,6 +387,11 @@ type Service struct {
 	tenants map[string]*tenant
 	stats   Stats
 
+	// Replica-side content-addressed fragment cache; see dist.go.
+	frags     map[fragKey]*fragEntry
+	fragBytes int64
+	fragTick  uint64 // LRU clock for fragment eviction
+
 	work chan *entry
 	wg   sync.WaitGroup
 }
@@ -364,9 +405,10 @@ func New(cfg Config) *Service {
 		snaps:   make(map[string]*Snapshot),
 		cache:   make(map[cacheKey]*entry),
 		tenants: make(map[string]*tenant),
+		frags:   make(map[fragKey]*fragEntry),
 		work:    make(chan *entry, cfg.Queue),
 	}
-	s.stats.SchemaVersion = 2
+	s.stats.SchemaVersion = 3
 	s.stats.Workers = cfg.Workers
 	s.stats.QueueCap = cfg.Queue
 	s.stats.MaxResults = cfg.MaxResults
@@ -544,7 +586,7 @@ func (s *Service) evictLocked(snap *Snapshot) {
 			delete(s.cache, k)
 		}
 	}
-	s.stats.Evictions++
+	s.stats.SnapshotEvictions++
 }
 
 // RegisterGraph registers an uploaded graph under the tenant ("" means
@@ -719,7 +761,7 @@ func (s *Service) Query(ctx context.Context, tn, id string, p Params) (*Result, 
 	}
 	algorithm := p.Algorithm()
 	canon := p.canon()
-	workers := s.cfg.AlgoWorkers
+	env := runEnv{workers: s.cfg.AlgoWorkers, svc: s}
 
 	s.mu.Lock()
 	if s.closed {
@@ -762,13 +804,14 @@ func (s *Service) Query(ctx context.Context, tn, id string, p Params) (*Result, 
 		return nil, fmt.Errorf("%w: in-flight computations (%d admitted, max %d)",
 			ErrQuota, held, s.cfg.TenantMaxInFlight)
 	}
+	env.fingerprint = snap.fingerprint
 	fctx, fcancel := context.WithCancel(context.Background())
 	e := &entry{
 		key:    key,
 		snap:   snap,
 		tenant: tn,
 		run: func(ctx context.Context, view *graph.Sub) (*Result, error) {
-			res, err := p.run(ctx, view, workers)
+			res, err := p.run(ctx, view, env)
 			if err != nil {
 				if ctx.Err() != nil {
 					return nil, fmt.Errorf("%w: %v", ErrCanceled, err)

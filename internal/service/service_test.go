@@ -104,8 +104,8 @@ func TestReleaseEvictsAtZeroRefs(t *testing.T) {
 		t.Fatalf("snapshot survived release to zero: %v", err)
 	}
 	st := s.Stats()
-	if st.CacheEntries != 0 || st.Evictions != 1 {
-		t.Fatalf("after eviction: cache=%d evictions=%d", st.CacheEntries, st.Evictions)
+	if st.CacheEntries != 0 || st.SnapshotEvictions != 1 {
+		t.Fatalf("after eviction: cache=%d evictions=%d", st.CacheEntries, st.SnapshotEvictions)
 	}
 	if _, err := s.Query(bg, "", snap.ID, CountParams{}); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("query on evicted snapshot: %v", err)
