@@ -159,25 +159,63 @@ func runSmoke(base string) error {
 		return err
 	}
 
-	decQ := service.DecomposeParams{Eps: 0.4, K: 2, Seed: 1}
-	dec, err := c.Decompose(ctx, snap.ID, decQ)
+	// Decompose through every registered backend: each served checksum
+	// must equal the direct library run's, and the direct run must pass
+	// the structural validity check and the measured quality bound — the
+	// smoke check now exercises the full certificate, not just the digest.
+	const smokeEps = 0.4
+	for _, backend := range core.BackendNames() {
+		decQ := service.DecomposeParams{Eps: smokeEps, K: 2, Seed: 1, Backend: backend}
+		dec, err := c.Decompose(ctx, snap.ID, decQ)
+		if err != nil {
+			return fmt.Errorf("decompose (%s): %w", backend, err)
+		}
+		if dec.Backend != backend {
+			return fmt.Errorf("smoke: decompose backend=%s served by %q", backend, dec.Backend)
+		}
+		b, err := core.LookupBackend(backend)
+		if err != nil {
+			return err
+		}
+		directDec, _, err := b.Decompose(view, core.Options{
+			Eps: decQ.Eps, K: decQ.K, Preset: nibble.Practical, Seed: decQ.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		if err := directDec.CheckPartition(view); err != nil {
+			return fmt.Errorf("smoke: decompose (%s) partition invalid: %w", backend, err)
+		}
+		if q := directDec.Evaluate(view); q.InterFraction > smokeEps {
+			return fmt.Errorf("smoke: decompose (%s) inter-fraction %.4f above eps %v",
+				backend, q.InterFraction, smokeEps)
+		}
+		words := make([]uint64, 0, len(directDec.Labels)+2)
+		words = append(words, uint64(directDec.Count), uint64(directDec.CutEdges))
+		for _, l := range directDec.Labels {
+			words = append(words, uint64(int64(l)))
+		}
+		if err := diff("decompose/"+backend, dec.Checksum, checksum(triangle.HashWords(words...))); err != nil {
+			return err
+		}
+	}
+
+	// backend=auto must resolve to a registered backend and serve a result
+	// meeting the requested quality bound.
+	auto, err := c.Decompose(ctx, snap.ID, service.DecomposeParams{
+		Eps: smokeEps, K: 2, Seed: 1, Backend: "auto", MaxEpsFraction: smokeEps,
+	})
 	if err != nil {
-		return fmt.Errorf("decompose: %w", err)
+		return fmt.Errorf("decompose (auto): %w", err)
 	}
-	directDec, err := core.Decompose(view, core.Options{
-		Eps: decQ.Eps, K: decQ.K, Preset: nibble.Practical, Seed: decQ.Seed,
-	}, core.SeqSubroutines{Preset: nibble.Practical})
-	if err != nil {
-		return err
+	if _, err := core.LookupBackend(auto.Backend); err != nil {
+		return fmt.Errorf("smoke: auto resolved to %q: %w", auto.Backend, err)
 	}
-	words := make([]uint64, 0, len(directDec.Labels)+2)
-	words = append(words, uint64(directDec.Count), uint64(directDec.CutEdges))
-	for _, l := range directDec.Labels {
-		words = append(words, uint64(int64(l)))
+	if auto.EpsAchieved > smokeEps {
+		return fmt.Errorf("smoke: auto served eps_achieved %.4f above bound %v", auto.EpsAchieved, smokeEps)
 	}
-	if err := diff("decompose", dec.Checksum, checksum(triangle.HashWords(words...))); err != nil {
-		return err
-	}
+	fmt.Printf("smoke: decompose/auto  resolved to %s (eps_achieved %.4f <= %v)\n",
+		auto.Backend, auto.EpsAchieved, smokeEps)
 
 	// A request whose budget is already spent must be refused with the
 	// "deadline" envelope code — the deadline is enforced server-side and
@@ -195,6 +233,14 @@ func runSmoke(base string) error {
 	}
 	if st.Computations < 3 {
 		return fmt.Errorf("smoke: server reports %d computations, want >= 3", st.Computations)
+	}
+	// Every registered backend ran at least once above, so the per-backend
+	// stats section must account for each of them.
+	for _, backend := range core.BackendNames() {
+		bs, ok := st.Decompose[backend]
+		if !ok || bs.Requests < 1 {
+			return fmt.Errorf("smoke: stats decompose section missing backend %s: %+v", backend, st.Decompose)
+		}
 	}
 	if err := c.Release(ctx, snap.ID); err != nil {
 		return fmt.Errorf("release: %w", err)

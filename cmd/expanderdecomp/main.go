@@ -2,9 +2,16 @@
 // decomposition (Theorem 1) on a generated graph and prints the
 // decomposition statistics and quality certificate.
 //
-// Example:
+// The -backend flag selects the decomposition backend from the core
+// registry ("cs19", "det", "par-cmps") or "auto", which serves the
+// cheapest backend whose measured inter-cluster fraction meets the
+// -max-eps bound (default: -eps).
+//
+// Examples:
 //
 //	expanderdecomp -graph ring -blocks 6 -size 12 -eps 0.6 -k 2 -dist
+//	expanderdecomp -graph gnp -size 200 -backend det
+//	expanderdecomp -graph dumbbell -size 16 -backend auto -max-eps 0.3
 package main
 
 import (
@@ -25,13 +32,22 @@ func main() { cli.Main("expanderdecomp", run) }
 func run() error {
 	gf := cli.GraphFlags{Family: "ring", Blocks: 6, Size: 12, Bridges: 1, D: 6, P: 0.5, Seed: 1}
 	gf.Register(flag.CommandLine)
+	bf := cli.BackendFlags{Backend: "cs19"}
+	bf.Register(flag.CommandLine, append(core.BackendNames(), "auto"))
 	var (
-		eps  = flag.Float64("eps", 0.6, "target inter-cluster edge fraction")
-		k    = flag.Int("k", 2, "Theorem 1 trade-off parameter")
-		dist = flag.Bool("dist", false, "run the distributed (CONGEST) subroutines and report rounds")
-		dot  = flag.String("dot", "", "write the decomposition as Graphviz DOT to this file")
+		eps    = flag.Float64("eps", 0.6, "target inter-cluster edge fraction")
+		k      = flag.Int("k", 2, "Theorem 1 trade-off parameter")
+		maxEps = flag.Float64("max-eps", 0, "inter-cluster fraction bound auto selection verifies against (0 means -eps)")
+		dist   = flag.Bool("dist", false, "run the distributed (CONGEST) subroutines and report rounds (cs19 only)")
+		dot    = flag.String("dot", "", "write the decomposition as Graphviz DOT to this file")
 	)
 	flag.Parse()
+	if err := bf.Validate(); err != nil {
+		return err
+	}
+	if *dist && bf.Backend != "cs19" {
+		return fmt.Errorf("-dist implements only the cs19 backend, not %q", bf.Backend)
+	}
 
 	g, err := gf.Build()
 	if err != nil {
@@ -39,13 +55,27 @@ func run() error {
 	}
 	fmt.Println("graph:", gen.Describe(g))
 	view := graph.WholeGraph(g)
-	var subs core.Subroutines = core.SeqSubroutines{Preset: nibble.Practical}
-	if *dist {
-		subs = dnibble.DistSubroutines{Preset: nibble.Practical}
+	opt := core.Options{Eps: *eps, K: *k, Preset: nibble.Practical, Seed: gf.Seed}
+	var dec *core.Decomposition
+	switch {
+	case *dist:
+		dec, err = core.Decompose(view, opt, dnibble.DistSubroutines{Preset: nibble.Practical})
+	case bf.Backend == "auto":
+		bound := *maxEps
+		if bound == 0 {
+			bound = *eps
+		}
+		var selected string
+		dec, _, selected, err = core.DecomposeAuto(view, opt, bound)
+		if err == nil {
+			fmt.Printf("backend:         %s (auto, verified inter-fraction <= %v)\n", selected, bound)
+		}
+	default:
+		var b core.Backend
+		if b, err = core.LookupBackend(bf.Backend); err == nil {
+			dec, _, err = b.Decompose(view, opt)
+		}
 	}
-	dec, err := core.Decompose(view, core.Options{
-		Eps: *eps, K: *k, Preset: nibble.Practical, Seed: gf.Seed,
-	}, subs)
 	if err != nil {
 		return err
 	}

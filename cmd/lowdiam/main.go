@@ -1,9 +1,14 @@
 // Command lowdiam runs the low-diameter decomposition (Theorem 4) on a
 // generated graph and prints component and cut statistics.
 //
-// Example:
+// The -backend flag picks the clustering variant: "cs19" (the paper's
+// randomized epoch pipeline) or "det" (the deterministic ball-growing
+// counterpart with the same worst-case cut bound).
+//
+// Examples:
 //
 //	lowdiam -graph path -size 600 -beta 0.9 -dist
+//	lowdiam -graph grid -size 40 -beta 0.5 -backend det
 package main
 
 import (
@@ -23,11 +28,19 @@ func run() error {
 	// P <= 0 keeps the historical gnp fallback of p = 4/n.
 	gf := cli.GraphFlags{Family: "torus", Blocks: 6, Size: 20, Bridges: 1, D: 6, Seed: 1}
 	gf.Register(flag.CommandLine)
+	bf := cli.BackendFlags{Backend: "cs19"}
+	bf.Register(flag.CommandLine, []string{"cs19", "det"})
 	var (
 		beta = flag.Float64("beta", 0.5, "cut fraction parameter in (0,1)")
-		dist = flag.Bool("dist", false, "run the full distributed pipeline and report rounds")
+		dist = flag.Bool("dist", false, "run the full distributed pipeline and report rounds (cs19 only)")
 	)
 	flag.Parse()
+	if err := bf.Validate(); err != nil {
+		return err
+	}
+	if *dist && bf.Backend != "cs19" {
+		return fmt.Errorf("-dist implements only the cs19 backend, not %q", bf.Backend)
+	}
 
 	g, err := gf.Build()
 	if err != nil {
@@ -39,14 +52,17 @@ func run() error {
 	fmt.Printf("params: T=%d epochs, A=%d, B=%d\n", pr.T, pr.A, pr.B)
 
 	var res *ldd.Result
-	if *dist {
+	switch {
+	case *dist:
 		r, s, err := ldd.DistDecompose(view, pr, gf.Seed)
 		if err != nil {
 			return err
 		}
 		res = r
 		fmt.Printf("CONGEST rounds: %d (messages %d)\n", s.Rounds, s.Messages)
-	} else {
+	case bf.Backend == "det":
+		res = ldd.BallClustering(view, pr)
+	default:
 		res = ldd.Decompose(view, pr, rng.New(gf.Seed))
 	}
 	fmt.Printf("components:     %d\n", res.Count)

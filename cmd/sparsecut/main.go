@@ -2,9 +2,14 @@
 // (Theorem 3) on a generated graph, sequentially or in the CONGEST
 // simulator.
 //
-// Example:
+// The -backend flag picks the cut schedule: "cs19" (the paper's
+// randomized Nibble starts) or "det" (the derandomized fixed-schedule
+// greedy variant).
+//
+// Examples:
 //
 //	sparsecut -graph dumbbell -size 16 -small 6 -phi 0.05 -dist
+//	sparsecut -graph dumbbell -size 16 -small 6 -phi 0.05 -backend det
 package main
 
 import (
@@ -24,11 +29,19 @@ func main() { cli.Main("sparsecut", run) }
 func run() error {
 	gf := cli.GraphFlags{Family: "dumbbell", Blocks: 4, Size: 12, Bridges: 1, Small: 6, D: 6, Seed: 1}
 	gf.Register(flag.CommandLine)
+	bf := cli.BackendFlags{Backend: "cs19"}
+	bf.Register(flag.CommandLine, []string{"cs19", "det"})
 	var (
 		phi  = flag.Float64("phi", 0.05, "conductance target")
-		dist = flag.Bool("dist", false, "run in the CONGEST simulator and report rounds")
+		dist = flag.Bool("dist", false, "run in the CONGEST simulator and report rounds (cs19 only)")
 	)
 	flag.Parse()
+	if err := bf.Validate(); err != nil {
+		return err
+	}
+	if *dist && bf.Backend != "cs19" {
+		return fmt.Errorf("-dist implements only the cs19 backend, not %q", bf.Backend)
+	}
 
 	g, err := gf.Build()
 	if err != nil {
@@ -48,7 +61,12 @@ func run() error {
 		fmt.Printf("CONGEST rounds: %d (messages %d)\n", stats.Rounds, stats.Messages)
 		return nil
 	}
-	res := nibble.SparseCut(view, *phi, nibble.Practical, rng.New(gf.Seed))
+	var res *nibble.PartitionResult
+	if bf.Backend == "det" {
+		res = nibble.DetSparseCut(view, *phi, nibble.Practical)
+	} else {
+		res = nibble.SparseCut(view, *phi, nibble.Practical, rng.New(gf.Seed))
+	}
 	report(res)
 	return nil
 }

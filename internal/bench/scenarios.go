@@ -247,6 +247,8 @@ func DecompositionAlgorithms() []Algorithm {
 	return []Algorithm{
 		{Name: "decompose-seq", Run: decomposeCell(1)},
 		{Name: "decompose-par", Run: decomposeCell(0)},
+		{Name: "decompose-det", Run: decomposeBackendCell("det")},
+		{Name: "decompose-cmps", Run: decomposeBackendCell("par-cmps")},
 		{Name: "partition-seq", Run: runPartitionSeq},
 		{Name: "enumerate-seq", Run: enumerateCell(1)},
 		{Name: "enumerate-par", Run: enumerateCell(0)},
@@ -263,13 +265,49 @@ func decomposeCell(workers int) func(view *graph.Sub, seed uint64) (Result, erro
 		if err != nil {
 			return Result{}, err
 		}
-		words := make([]uint64, 0, len(dec.Labels)+2)
-		words = append(words, uint64(dec.Count), uint64(dec.CutEdges))
-		for _, l := range dec.Labels {
-			words = append(words, uint64(int64(l)))
-		}
-		return Result{Checksum: triangle.HashWords(words...)}, nil
+		return decomposeResult(view, dec, opt.Eps)
 	}
+}
+
+// decomposeBackendCell runs the named registry backend and digests its
+// full structural output the same way as decomposeCell, with the quality
+// cross-check: every cell errors unless the decomposition is a valid
+// partition whose measured inter-cluster fraction meets eps. The
+// decompose-det cell's checksum is pinned in the baseline (and measure()
+// re-runs every cell), so CI proves the det backend byte-stable run over
+// run AND release over release.
+func decomposeBackendCell(backend string) func(view *graph.Sub, seed uint64) (Result, error) {
+	return func(view *graph.Sub, seed uint64) (Result, error) {
+		b, err := core.LookupBackend(backend)
+		if err != nil {
+			return Result{}, err
+		}
+		opt := core.Options{Eps: 0.4, K: 2, Preset: nibble.Practical, Seed: seed}
+		dec, _, err := b.Decompose(view, opt)
+		if err != nil {
+			return Result{}, err
+		}
+		return decomposeResult(view, dec, opt.Eps)
+	}
+}
+
+// decomposeResult validates and digests one decomposition cell: the
+// partition must be structurally valid and its independently recomputed
+// inter-cluster fraction within eps, then the checksum digests the full
+// structural output (count, cut edges, labels).
+func decomposeResult(view *graph.Sub, dec *core.Decomposition, eps float64) (Result, error) {
+	if err := dec.CheckPartition(view); err != nil {
+		return Result{}, fmt.Errorf("invalid partition: %w", err)
+	}
+	if q := dec.Evaluate(view); q.InterFraction > eps {
+		return Result{}, fmt.Errorf("inter-cluster fraction %.4f above eps %v", q.InterFraction, eps)
+	}
+	words := make([]uint64, 0, len(dec.Labels)+2)
+	words = append(words, uint64(dec.Count), uint64(dec.CutEdges))
+	for _, l := range dec.Labels {
+		words = append(words, uint64(int64(l)))
+	}
+	return Result{Checksum: triangle.HashWords(words...)}, nil
 }
 
 // enumerateCell runs the Theorem 2 pipeline with the given worker count;

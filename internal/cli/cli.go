@@ -23,6 +23,36 @@ func Main(name string, run func() error) {
 	}
 }
 
+// BackendFlags is the shared -backend flag block: every
+// decomposition-adjacent tool selects its algorithm variant through the
+// same flag name and vocabulary (the core backend registry names, plus
+// "auto" where the command supports quality-bound-driven selection),
+// validated against the subset the command actually implements.
+type BackendFlags struct {
+	// Backend is the selected backend name; set the command's default
+	// before Register.
+	Backend string
+
+	allowed []string
+}
+
+// Register installs the -backend flag on fs, restricted to allowed.
+func (f *BackendFlags) Register(fs *flag.FlagSet, allowed []string) {
+	f.allowed = allowed
+	fs.StringVar(&f.Backend, "backend", f.Backend,
+		fmt.Sprintf("decomposition backend, one of %v", allowed))
+}
+
+// Validate rejects a backend outside the registered subset.
+func (f *BackendFlags) Validate() error {
+	for _, a := range f.allowed {
+		if f.Backend == a {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown backend %q (known: %v)", f.Backend, f.allowed)
+}
+
 // GraphFlags is the shared graph-selection flag block. Zero values are
 // replaced by each command's defaults before Register, so existing
 // invocations keep their historical meaning (e.g. sparsecut's ring

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dexpander/internal/congest"
+	"dexpander/internal/graph"
+)
+
+// BackendInfo describes one registered decomposition backend.
+type BackendInfo struct {
+	// Name is the registry key and the value callers select by
+	// ("cs19", "det", "par-cmps").
+	Name string
+	// Description is a one-line summary for docs and CLI help.
+	Description string
+	// Deterministic reports whether the output is a pure function of the
+	// view and the non-Seed Options fields: independent of Options.Seed,
+	// Options.Workers, GOMAXPROCS, and the process it runs in.
+	Deterministic bool
+	// CostHint ranks expected compute cost relative to the other
+	// backends (lower = cheaper). Auto selection tries backends in
+	// ascending CostHint order.
+	CostHint int
+}
+
+// Backend is one way of producing a Decomposition. Implementations must
+// be safe for concurrent use (they are registered once and shared), and
+// their output must be bit-identical for every Options.Workers value.
+type Backend interface {
+	// Info describes the backend.
+	Info() BackendInfo
+	// Decompose runs the backend on the view. The returned stats carry
+	// the simulated CONGEST cost where the backend models one (zero for
+	// pure host paths).
+	Decompose(view *graph.Sub, opt Options) (*Decomposition, congest.Stats, error)
+}
+
+// backends is the static registry, keyed by BackendInfo.Name — the same
+// closed-set idiom as gen's family registry: the set is fixed at compile
+// time, lookups validate against it, and BackendNames feeds CLI help.
+var backends = map[string]Backend{
+	"cs19":     cs19Backend{},
+	"det":      detBackend{},
+	"par-cmps": cmpsBackend{},
+}
+
+// BackendNames lists the registered backends, sorted.
+func BackendNames() []string {
+	names := make([]string, 0, len(backends))
+	for name := range backends {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupBackend resolves a backend by name.
+func LookupBackend(name string) (Backend, error) {
+	b, ok := backends[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown backend %q (known: %v)", name, BackendNames())
+	}
+	return b, nil
+}
+
+// BackendsByCost returns the registered backends in ascending CostHint
+// order (ties broken by name), the order auto selection probes them in.
+func BackendsByCost() []Backend {
+	out := make([]Backend, 0, len(backends))
+	for _, b := range backends {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		bi, bj := out[i].Info(), out[j].Info()
+		if bi.CostHint != bj.CostHint {
+			return bi.CostHint < bj.CostHint
+		}
+		return bi.Name < bj.Name
+	})
+	return out
+}
+
+// DecomposeAuto implements backend=auto: it runs the registered backends
+// in ascending cost order and returns the first result whose
+// independently measured quality (Evaluate's inter-cluster edge
+// fraction, recomputed from the final mask rather than trusted from the
+// run's own counters) meets the bound. The selection is a verification,
+// not a prediction: the returned decomposition provably satisfies
+// InterFraction <= bound on this input. If no backend meets the bound
+// the error reports every attempt.
+func DecomposeAuto(view *graph.Sub, opt Options, bound float64) (*Decomposition, congest.Stats, string, error) {
+	if !(bound > 0 && bound < 1) {
+		return nil, congest.Stats{}, "", fmt.Errorf("%w: auto bound = %v not in (0,1)", ErrBadEps, bound)
+	}
+	var attempts []string
+	for _, b := range BackendsByCost() {
+		name := b.Info().Name
+		dec, stats, err := b.Decompose(view, opt)
+		if err != nil {
+			return nil, congest.Stats{}, "", fmt.Errorf("core: auto backend %s: %w", name, err)
+		}
+		if q := dec.Evaluate(view); q.InterFraction <= bound {
+			return dec, stats, name, nil
+		} else {
+			attempts = append(attempts, fmt.Sprintf("%s: inter-fraction %.4f", name, q.InterFraction))
+		}
+	}
+	return nil, congest.Stats{}, "", fmt.Errorf("core: no backend met inter-cluster bound %v (%v)", bound, attempts)
+}
+
+// cs19Backend is the paper's randomized pipeline (Theorem 1 with the
+// sequential reference subroutines), re-homed from the former hard-wired
+// Decompose + SeqSubroutines call path.
+type cs19Backend struct{}
+
+func (cs19Backend) Info() BackendInfo {
+	return BackendInfo{
+		Name:        "cs19",
+		Description: "randomized Theorem 1 pipeline (Nibble sparse cuts, exponential-shift LDD); seeded",
+		CostHint:    30,
+	}
+}
+
+func (cs19Backend) Decompose(view *graph.Sub, opt Options) (*Decomposition, congest.Stats, error) {
+	dec, err := Decompose(view, opt, SeqSubroutines{Preset: opt.Preset, Workers: opt.Workers})
+	if err != nil {
+		return nil, congest.Stats{}, err
+	}
+	return dec, dec.Stats, nil
+}

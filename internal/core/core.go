@@ -26,6 +26,28 @@
 // combine as the maximum while their traffic sums
 // (congest.Stats.CombineParallel), and successive steps add.
 //
+// One level up, every way of producing a Decomposition sits behind the
+// Backend interface, registered in a closed static registry the way
+// gen's family registry works (LookupBackend, BackendNames,
+// BackendsByCost):
+//
+//   - "cs19" is this randomized pipeline with the sequential reference
+//     subroutines — the paper's algorithm, seeded.
+//   - "det" runs the same orchestration with derandomized subroutines
+//     (deterministic BFS ball-growing in place of the exponential-shift
+//     LDD, a greedy deterministic sweep-cut schedule in place of the
+//     Nibble random walks): zero RNG dependence, so the output is
+//     bit-identical for every Seed, worker count, and process.
+//   - "par-cmps" is the simple near-optimal parallel decomposition of
+//     Chen–Meierhans–Probst Gutenberg–Saranurak (arXiv 2410.13451):
+//     repeated low-diameter clustering with boundary-linked recursion
+//     (the implicit-self-loop machinery below IS the boundary linking)
+//     under a hard edge-removal budget — the fast host path.
+//
+// DecomposeAuto picks the cheapest backend whose independently measured
+// quality (Quality.InterFraction, recomputed from the final mask) meets
+// a requested bound; the service's backend=auto is exactly this call.
+//
 // The host-side execution exploits the same structure the accounting
 // models: the vertex-disjoint tasks of a Phase 1 level (the LDD step, then
 // the sparse-cut step) and the independent Phase 2 components run on
@@ -41,6 +63,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -82,15 +105,30 @@ type Options struct {
 	Check par.Checkpoint
 }
 
+// Typed Options validation errors, so callers can distinguish a bad
+// request from a pipeline fault with errors.Is.
+var (
+	// ErrBadEps reports an Eps outside (0,1), NaN and ±Inf included.
+	ErrBadEps = errors.New("core: eps out of range")
+	// ErrBadK reports a non-positive K.
+	ErrBadK = errors.New("core: k must be positive")
+	// ErrBadPreset reports an unset Preset.
+	ErrBadPreset = errors.New("core: preset not set")
+)
+
 func (o Options) validate() error {
-	if o.Eps <= 0 || o.Eps >= 1 {
-		return fmt.Errorf("core: Eps = %v out of (0,1)", o.Eps)
+	// Written as the negated conjunction deliberately: NaN fails both
+	// ordered comparisons, so the former `Eps <= 0 || Eps >= 1` form waved
+	// NaN through and the parameter derivation poisoned every ladder value
+	// downstream. `!(Eps > 0 && Eps < 1)` rejects NaN and ±Inf alike.
+	if !(o.Eps > 0 && o.Eps < 1) {
+		return fmt.Errorf("%w: Eps = %v not in (0,1)", ErrBadEps, o.Eps)
 	}
 	if o.K < 1 {
-		return fmt.Errorf("core: K = %d must be positive", o.K)
+		return fmt.Errorf("%w: K = %d", ErrBadK, o.K)
 	}
 	if o.Preset == 0 {
-		return fmt.Errorf("core: Preset not set")
+		return ErrBadPreset
 	}
 	return nil
 }

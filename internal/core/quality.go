@@ -13,8 +13,16 @@ import (
 type Quality struct {
 	// Components is the number of parts.
 	Components int
-	// EpsAchieved is the inter-cluster edge fraction.
+	// EpsAchieved is the inter-cluster edge fraction as accounted by the
+	// run's own removal counters.
 	EpsAchieved float64
+	// InterFraction is the inter-cluster edge fraction recomputed
+	// independently from the final mask (usable view edges no longer
+	// alive, over the view's usable edges). It is the quantity auto
+	// selection and the bench quality cross-checks verify against the
+	// requested eps bound; it equals EpsAchieved unless the removal
+	// accounting and the mask disagree.
+	InterFraction float64
 	// MinPhiLower is the minimum, over non-singleton components, of a
 	// certified conductance lower bound (exact for small components,
 	// Cheeger lambda2/2 otherwise).
@@ -35,8 +43,8 @@ func (q Quality) String() string {
 	if q.MinPhiExactKnown {
 		exact = "exact"
 	}
-	return fmt.Sprintf("parts=%d eps=%.4f minPhi(%s)=%.4f largest=%d singletons=%.3f",
-		q.Components, q.EpsAchieved, exact, q.MinPhiLower, q.LargestComponent, q.SingletonFraction)
+	return fmt.Sprintf("parts=%d eps=%.4f inter=%.4f minPhi(%s)=%.4f largest=%d singletons=%.3f",
+		q.Components, q.EpsAchieved, q.InterFraction, exact, q.MinPhiLower, q.LargestComponent, q.SingletonFraction)
 }
 
 // Evaluate measures the decomposition on its original view. The
@@ -50,6 +58,19 @@ func (d *Decomposition) Evaluate(view *graph.Sub) Quality {
 		EpsAchieved:      d.EpsAchieved,
 		MinPhiLower:      math.Inf(1),
 		MinPhiExactKnown: true,
+	}
+	var inter, usable int
+	for e := 0; e < g.M(); e++ {
+		if !view.Usable(e) {
+			continue
+		}
+		usable++
+		if !d.FinalMask[e] {
+			inter++
+		}
+	}
+	if usable > 0 {
+		q.InterFraction = float64(inter) / float64(usable)
 	}
 	final := graph.NewSub(g, view.Members(), d.FinalMask)
 	singles := 0

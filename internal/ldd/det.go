@@ -1,0 +1,87 @@
+package ldd
+
+import (
+	"dexpander/internal/graph"
+)
+
+// BallClustering is the deterministic counterpart of Clustering: instead
+// of exponential shifts it grows BFS balls by the classic region-growing
+// rule. Centers are chosen as the lowest-id uncovered member vertex; a
+// ball expands one BFS layer at a time until the edges leaving it number
+// at most Beta times its volume (original degrees, so implicit self-loops
+// count as the paper requires), at which point its vertices are carved
+// out and the next center starts. The stopping rule is always reachable —
+// a ball swallowing its whole component has an empty boundary — and
+// charges each carved ball's boundary to its volume, so the total cut is
+// at most Beta * Vol(V) = 2*Beta*|E| edges, the same bound Lemma 12 gives
+// the randomized clustering in expectation, but here worst-case. Radius
+// stays below log_{1+Beta} Vol(V) (volume grows by 1+Beta per failed
+// check), matching Clustering's O(log n / beta) diameter up to constants.
+//
+// The run is a pure function of the view and Beta: center order, BFS
+// order, and the boundary test read nothing but the deterministic
+// adjacency structure. No RNG, no map iteration, no worker pool.
+func BallClustering(view *graph.Sub, pr Params) *Result {
+	g := view.Base()
+	n := g.N()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = graph.Unreachable
+	}
+	// ball[v] marks membership in the CURRENT ball only; covered vertices
+	// carry their center in labels.
+	ball := make([]bool, n)
+	var members []int // current ball, in BFS discovery order
+	for _, c := range view.MemberList() {
+		if labels[c] != graph.Unreachable {
+			continue
+		}
+		members = members[:0]
+		members = append(members, c)
+		ball[c] = true
+		var vol, cut int64
+		vol = int64(g.Deg(c))
+		for _, a := range view.UsableNeighbors(c) {
+			if a.To != c && labels[a.To] == graph.Unreachable {
+				cut++
+			}
+		}
+		// frontier[lo:] is the layer to expand next.
+		lo := 0
+		for float64(cut) > pr.Beta*float64(vol) {
+			hi := len(members)
+			for _, v := range members[lo:hi] {
+				for _, a := range view.UsableNeighbors(v) {
+					w := a.To
+					if w == v || ball[w] || labels[w] != graph.Unreachable {
+						continue
+					}
+					ball[w] = true
+					members = append(members, w)
+					vol += int64(g.Deg(w))
+					// w's boundary edges flip: arcs into the ball stop
+					// being cut, arcs to uncovered outside start.
+					for _, aw := range view.UsableNeighbors(w) {
+						if aw.To == w {
+							continue
+						}
+						if ball[aw.To] {
+							cut--
+						} else if labels[aw.To] == graph.Unreachable {
+							cut++
+						}
+					}
+				}
+			}
+			lo = hi
+			if hi == len(members) {
+				break // component exhausted; cut can only involve covered vertices
+			}
+		}
+		for _, v := range members {
+			labels[v] = c
+			ball[v] = false
+		}
+	}
+	return finishClusters(view, labels)
+}

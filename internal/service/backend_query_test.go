@@ -1,0 +1,143 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dexpander/internal/core"
+	"dexpander/internal/gen"
+)
+
+// TestDecomposeBackendDispatch serves one snapshot through every
+// registered backend plus auto, and checks the resolved backend is
+// reported, accounted in the per-backend stats section, and that each
+// backend occupies its own cache line.
+func TestDecomposeBackendDispatch(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	snap, err := s.RegisterSpec("", gen.Spec{
+		Family: "ring", Params: map[string]float64{"blocks": 4, "size": 6}, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	requested := append(core.BackendNames(), "auto")
+	for _, backend := range requested {
+		res, err := s.Query(bg, "", snap.ID, DecomposeParams{Backend: backend})
+		if err != nil {
+			t.Fatalf("backend %s: %v", backend, err)
+		}
+		if backend == "auto" {
+			if _, err := core.LookupBackend(res.Backend); err != nil {
+				t.Fatalf("auto resolved to unregistered backend %q", res.Backend)
+			}
+		} else if res.Backend != backend {
+			t.Fatalf("backend %s: result reports %q", backend, res.Backend)
+		}
+		if res.Checksum == "" || res.Components < 1 {
+			t.Fatalf("backend %s: degenerate result %+v", backend, res)
+		}
+	}
+
+	st := s.Stats()
+	if st.Computations != uint64(len(requested)) {
+		t.Fatalf("computations = %d, want %d (one per backend param)", st.Computations, len(requested))
+	}
+	var recorded uint64
+	for name, bs := range st.Decompose {
+		if _, err := core.LookupBackend(name); err != nil {
+			t.Fatalf("stats key %q is not a registered backend", name)
+		}
+		if bs.LatencyUS == nil {
+			t.Fatalf("backend %s stats missing latency histogram", name)
+		}
+		recorded += bs.Requests
+	}
+	if recorded != uint64(len(requested)) {
+		t.Fatalf("per-backend requests sum to %d, want %d", recorded, len(requested))
+	}
+
+	if _, err := s.Query(bg, "", snap.ID, DecomposeParams{Backend: "quantum"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if _, err := s.Query(bg, "", snap.ID, DecomposeParams{MaxEpsFraction: 2}); err == nil {
+		t.Fatal("max_eps_fraction = 2 accepted")
+	}
+
+	// auto with an explicit bound: the served result must satisfy it.
+	res, err := s.Query(bg, "", snap.ID, DecomposeParams{Backend: "auto", MaxEpsFraction: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpsAchieved > 0.4 {
+		t.Fatalf("auto served eps_achieved %v above max_eps_fraction 0.4", res.EpsAchieved)
+	}
+}
+
+// stripComputeNS removes the one wall-clock field from a response body
+// and re-renders it canonically (Go marshals map keys sorted), so two
+// bodies compare byte-for-byte on every deterministic field.
+func stripComputeNS(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("response %q: %v", body, err)
+	}
+	delete(m, "compute_ns")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDetBackendByteIdenticalAcrossServers pins the det backend's
+// cross-process determinism at the HTTP boundary: two freshly started
+// servers (separate Service instances, separate registries and caches —
+// everything two separate processes would not share) must answer a det
+// decompose request with byte-identical bodies, modulo only the
+// compute_ns wall-time measurement.
+func TestDetBackendByteIdenticalAcrossServers(t *testing.T) {
+	spec := []byte(`{"spec":{"family":"gnp","params":{"n":64,"p":0.12},"seed":3}}`)
+	params := []byte(`{"backend":"det","eps":0.3,"seed":42}`)
+	var bodies [][]byte
+	for i := 0; i < 2; i++ {
+		s := New(Config{Workers: 1 + i}) // different pool sizes, same bytes
+		srv := httptest.NewServer(s.Handler())
+		reg, err := http.Post(srv.URL+"/v1/graphs", "application/json", bytes.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap Snapshot
+		if err := json.NewDecoder(reg.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		reg.Body.Close()
+		resp, err := http.Post(
+			fmt.Sprintf("%s/v1/graphs/%s/decompose", srv.URL, snap.ID),
+			"application/json", bytes.NewReader(params))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("server %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+		bodies = append(bodies, stripComputeNS(t, body))
+		srv.Close()
+		s.Close()
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatalf("det responses differ across fresh servers:\n%s\n%s", bodies[0], bodies[1])
+	}
+}

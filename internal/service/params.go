@@ -78,7 +78,9 @@ type Result struct {
 	// backs the cache's cost-aware eviction score.
 	ComputeNS int64 `json:"compute_ns"`
 
-	// Decomposition fields.
+	// Decomposition fields. Backend is the backend that produced the
+	// result — the resolved selection when the request said "auto".
+	Backend     string  `json:"backend,omitempty"`
 	Components  int     `json:"components,omitempty"`
 	CutEdges    int64   `json:"cut_edges,omitempty"`
 	EpsAchieved float64 `json:"eps_achieved,omitempty"`
@@ -109,7 +111,9 @@ func AlgorithmNames() []string {
 	return []string{"decompose", "enumerate", "triangle-count", "triangle-count-dist"}
 }
 
-// DecomposeParams configures the Theorem 1 expander decomposition.
+// DecomposeParams configures the expander decomposition. Backend selects
+// the algorithm from core's backend registry; the rest parameterize the
+// selected backend.
 type DecomposeParams struct {
 	// Eps is the decomposition's target inter-cluster edge fraction
 	// (default 0.4, matching the bench matrix cells).
@@ -117,8 +121,20 @@ type DecomposeParams struct {
 	// K is Theorem 1's trade-off parameter (default 2).
 	K int `json:"k,omitempty"`
 	// Seed drives the computation's randomness (default 1, the bench
-	// matrix seed).
+	// matrix seed). The det backend ignores it by construction.
 	Seed uint64 `json:"seed,omitempty"`
+	// Backend names the decomposition backend: one of
+	// core.BackendNames() ("cs19", "det", "par-cmps") or "auto", which
+	// tries backends cheapest-first and serves the first one whose
+	// measured inter-cluster fraction meets the quality bound. Default
+	// "cs19", the pre-registry behavior.
+	Backend string `json:"backend,omitempty"`
+	// MaxEpsFraction is the quality bound auto selection verifies
+	// against, and a served-result guarantee for the fixed backends: a
+	// result whose measured inter-cluster fraction exceeds it is an
+	// error, never served (or cached). 0 (the default) disables the
+	// check for fixed backends and makes auto verify against Eps.
+	MaxEpsFraction float64 `json:"max_eps_fraction,omitempty"`
 }
 
 // Algorithm returns "decompose".
@@ -134,6 +150,9 @@ func (p DecomposeParams) normalize() Params {
 	if p.Seed == 0 {
 		p.Seed = 1
 	}
+	if p.Backend == "" {
+		p.Backend = "cs19"
+	}
 	return p
 }
 
@@ -144,25 +163,68 @@ func (p DecomposeParams) validate() error {
 	if p.K < 1 {
 		return fmt.Errorf("service: k = %d must be positive", p.K)
 	}
+	if p.Backend != "auto" {
+		if _, err := core.LookupBackend(p.Backend); err != nil {
+			return fmt.Errorf("service: backend %q not one of %v or \"auto\"",
+				p.Backend, core.BackendNames())
+		}
+	}
+	// Written so NaN fails both arms and is rejected.
+	if !(p.MaxEpsFraction == 0 || (p.MaxEpsFraction > 0 && p.MaxEpsFraction < 1)) {
+		return fmt.Errorf("service: max_eps_fraction = %v not 0 or in (0,1)", p.MaxEpsFraction)
+	}
 	return nil
 }
 
 func (p DecomposeParams) canon() string {
-	return fmt.Sprintf("eps=%v k=%d seed=%d", p.Eps, p.K, p.Seed)
+	return fmt.Sprintf("backend=%s eps=%v k=%d max_eps=%v seed=%d",
+		p.Backend, p.Eps, p.K, p.MaxEpsFraction, p.Seed)
 }
 
-// run executes the Theorem 1 pipeline. The checksum digests the full
-// structural output exactly like the bench matrix's decompose cells:
-// HashWords(count, cutEdges, labels...).
+// run executes the selected decomposition backend. The checksum digests
+// the full structural output exactly like the bench matrix's decompose
+// cells: HashWords(count, cutEdges, labels...). backend=auto dispatches
+// through core.DecomposeAuto, so the served result provably satisfies the
+// quality bound (MaxEpsFraction, or Eps when unset); a fixed backend with
+// MaxEpsFraction set gets the same post-verification, as a hard error.
 func (p DecomposeParams) run(ctx context.Context, view *graph.Sub, env runEnv) (*Result, error) {
-	cp := par.CheckpointFromContext(ctx)
-	start := time.Now()
-	dec, err := core.Decompose(view, core.Options{
+	opt := core.Options{
 		Eps: p.Eps, K: p.K, Preset: nibble.Practical, Seed: p.Seed,
-		Workers: env.workers, Check: cp,
-	}, core.SeqSubroutines{Preset: nibble.Practical, Workers: env.workers})
-	if err != nil {
-		return nil, err
+		Workers: env.workers, Check: par.CheckpointFromContext(ctx),
+	}
+	start := time.Now()
+	var dec *core.Decomposition
+	var served string
+	var err error
+	if p.Backend == "auto" {
+		bound := p.MaxEpsFraction
+		if bound == 0 {
+			bound = p.Eps
+		}
+		dec, _, served, err = core.DecomposeAuto(view, opt, bound)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		b, lookErr := core.LookupBackend(p.Backend)
+		if lookErr != nil {
+			return nil, lookErr
+		}
+		served = p.Backend
+		dec, _, err = b.Decompose(view, opt)
+		if err != nil {
+			return nil, err
+		}
+		if p.MaxEpsFraction > 0 {
+			if q := dec.Evaluate(view); q.InterFraction > p.MaxEpsFraction {
+				return nil, fmt.Errorf("service: backend %s inter-cluster fraction %.4f exceeds max_eps_fraction %v",
+					served, q.InterFraction, p.MaxEpsFraction)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	if env.svc != nil {
+		env.svc.recordDecomposeBackend(served, elapsed)
 	}
 	words := make([]uint64, 0, len(dec.Labels)+2)
 	words = append(words, uint64(dec.Count), uint64(dec.CutEdges))
@@ -171,7 +233,8 @@ func (p DecomposeParams) run(ctx context.Context, view *graph.Sub, env runEnv) (
 	}
 	return &Result{
 		Checksum:    checksumString(triangle.HashWords(words...)),
-		ComputeNS:   time.Since(start).Nanoseconds(),
+		ComputeNS:   elapsed.Nanoseconds(),
+		Backend:     served,
 		Components:  dec.Count,
 		CutEdges:    dec.CutEdges,
 		EpsAchieved: dec.EpsAchieved,

@@ -343,6 +343,38 @@ type Stats struct {
 	// DistTriples counts block-triple tasks this replica counted for
 	// remote coordinators.
 	DistTriples uint64 `json:"dist_triples"`
+
+	// Decompose maps each decomposition backend name to its computation
+	// counters (additive within schema v3). Keys appear on first use and
+	// are the RESOLVED backend — an auto request is accounted to the
+	// backend it selected. Counters cover computations only: cache hits
+	// and joins never re-run a backend and are not recorded here.
+	Decompose map[string]*BackendStats `json:"decompose,omitempty"`
+}
+
+// BackendStats is one decomposition backend's section of Stats.Decompose.
+type BackendStats struct {
+	// Requests counts computations this backend ran to completion
+	// (successful or post-verification-rejected; canceled flights that
+	// never reached the backend are not counted).
+	Requests uint64 `json:"requests"`
+	// LatencyUS observes each computation's wall time in microseconds.
+	LatencyUS *Hist `json:"latency_us"`
+}
+
+// recordDecomposeBackend accounts one decomposition computation to the
+// backend that ran it. It takes s.mu itself: computations call it from
+// pool workers, which must not touch mu-guarded state directly.
+func (s *Service) recordDecomposeBackend(name string, elapsed time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs, ok := s.stats.Decompose[name]
+	if !ok {
+		bs = &BackendStats{LatencyUS: newHist(24)}
+		s.stats.Decompose[name] = bs
+	}
+	bs.Requests++
+	bs.LatencyUS.observe(uint64(elapsed.Microseconds()))
 }
 
 // tenant is one tenant's quota and accounting state.
@@ -408,6 +440,7 @@ func New(cfg Config) *Service {
 		frags:   make(map[fragKey]*fragEntry),
 		work:    make(chan *entry, cfg.Queue),
 	}
+	s.stats.Decompose = make(map[string]*BackendStats)
 	s.stats.SchemaVersion = 3
 	s.stats.Workers = cfg.Workers
 	s.stats.QueueCap = cfg.Queue
@@ -677,6 +710,10 @@ func (s *Service) Stats() Stats {
 	st.QueueDepth = len(s.work)
 	st.ComputeLatencyUS = s.stats.ComputeLatencyUS.clone()
 	st.QueueDepthHist = s.stats.QueueDepthHist.clone()
+	st.Decompose = make(map[string]*BackendStats, len(s.stats.Decompose))
+	for name, bs := range s.stats.Decompose {
+		st.Decompose[name] = &BackendStats{Requests: bs.Requests, LatencyUS: bs.LatencyUS.clone()}
+	}
 	st.Tenants = make(map[string]TenantStats, len(s.tenants))
 	for name, t := range s.tenants {
 		ts := t.stats

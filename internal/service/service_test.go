@@ -222,7 +222,7 @@ func TestQueryChecksumsMatchLibrary(t *testing.T) {
 	if dec.Checksum != want {
 		t.Fatalf("decompose: served %s, library %s", dec.Checksum, want)
 	}
-	if dec.Components < 1 || dec.Params != "eps=0.6 k=2 seed=5" {
+	if dec.Components < 1 || dec.Params != "backend=cs19 eps=0.6 k=2 max_eps=0 seed=5" {
 		t.Fatalf("decompose result: %+v", dec)
 	}
 }
@@ -237,9 +237,12 @@ func TestCanonStrings(t *testing.T) {
 		p    Params
 		want string
 	}{
-		{DecomposeParams{}, "eps=0.4 k=2 seed=1"},
-		{DecomposeParams{Eps: 0.4, K: 2, Seed: 1}, "eps=0.4 k=2 seed=1"},
-		{DecomposeParams{Eps: 0.6, K: 3, Seed: 5}, "eps=0.6 k=3 seed=5"},
+		{DecomposeParams{}, "backend=cs19 eps=0.4 k=2 max_eps=0 seed=1"},
+		{DecomposeParams{Eps: 0.4, K: 2, Seed: 1, Backend: "cs19"}, "backend=cs19 eps=0.4 k=2 max_eps=0 seed=1"},
+		{DecomposeParams{Eps: 0.6, K: 3, Seed: 5}, "backend=cs19 eps=0.6 k=3 max_eps=0 seed=5"},
+		{DecomposeParams{Backend: "det", MaxEpsFraction: 0.5}, "backend=det eps=0.4 k=2 max_eps=0.5 seed=1"},
+		{DecomposeParams{Backend: "auto"}, "backend=auto eps=0.4 k=2 max_eps=0 seed=1"},
+		{DecomposeParams{Backend: "par-cmps"}, "backend=par-cmps eps=0.4 k=2 max_eps=0 seed=1"},
 		{CountParams{}, "kernel=auto"},
 		{CountParams{Kernel: "auto"}, "kernel=auto"},
 		{CountParams{Kernel: "2d"}, "kernel=2d"},
