@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,6 +36,7 @@ import (
 	"dexpander/internal/gen"
 	"dexpander/internal/graph"
 	"dexpander/internal/nibble"
+	"dexpander/internal/obs"
 	"dexpander/internal/service"
 	"dexpander/internal/triangle"
 )
@@ -57,6 +59,11 @@ func run() error {
 		peers      = flag.String("peers", "", "comma-separated replica base URLs the count-dist coordinator fans block triples across (empty = local fallback)")
 		distWindow = flag.Int("dist-window", 0, "in-flight triples per peer for count-dist (0 = 4)")
 		maxFrag    = flag.Int64("max-fragment-bytes", 0, "replica fragment cache byte bound (0 = 256 MiB)")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		slowMS     = flag.Int("slow-query-ms", 1000, "queries at or above this wall time log at warn with slow=true (0 = off)")
+		traceSpans = flag.Int("trace-spans", 4096, "trace ring capacity in finished spans (0 = tracing off)")
+		traceSamp  = flag.Float64("trace-sample", 1, "fraction of traces sampled into the ring (hashed from the trace ID)")
+		debugAddr  = flag.String("debug-addr", "", "separate listener serving net/http/pprof under /debug/pprof/ (empty = off)")
 		smoke      = flag.String("smoke", "", "run the end-to-end smoke check against this server URL and exit")
 		smokeDist  = flag.String("smoke-dist", "", "run the distributed-count smoke check against this coordinator URL and exit")
 	)
@@ -68,6 +75,12 @@ func run() error {
 	if *smokeDist != "" {
 		return runSmokeDist(*smokeDist)
 	}
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	svc := service.New(service.Config{
 		Workers:            *workers,
@@ -83,8 +96,35 @@ func run() error {
 		Peers:              splitPeers(*peers),
 		DistWindow:         *distWindow,
 		MaxFragmentBytes:   *maxFrag,
+		Tracer:             obs.NewTracer(*traceSpans, *traceSamp),
+		Logger:             logger,
+		SlowQuery:          time.Duration(*slowMS) * time.Millisecond,
 	})
 	defer svc.Close()
+
+	// The pprof endpoints live on their OWN listener so the profiling
+	// surface is never reachable through the API address (bind it to
+	// localhost or a management network).
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		defer dsrv.Close()
+		go func() {
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *debugAddr)
+	}
 
 	server := &http.Server{
 		Addr:    *addr,
@@ -100,8 +140,15 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
-	fmt.Printf("dexpanderd listening on %s (workers=%d queue=%d)\n",
-		*addr, svc.Stats().Workers, svc.Stats().QueueCap)
+	logger.Info("dexpanderd listening",
+		"addr", *addr,
+		"workers", svc.Stats().Workers,
+		"queue_cap", svc.Stats().QueueCap,
+		"peers", len(splitPeers(*peers)),
+		"trace_spans", *traceSpans,
+		"trace_sample", *traceSamp,
+		"log_level", level.String(),
+	)
 
 	select {
 	case err := <-errc:
@@ -109,7 +156,7 @@ func run() error {
 	case <-ctx.Done():
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		fmt.Println("dexpanderd: shutting down")
+		logger.Info("dexpanderd shutting down")
 		return server.Shutdown(shutdownCtx)
 	}
 }
@@ -242,10 +289,76 @@ func runSmoke(base string) error {
 			return fmt.Errorf("smoke: stats decompose section missing backend %s: %+v", backend, st.Decompose)
 		}
 	}
+	if err := smokeObservability(ctx, base, snap.ID); err != nil {
+		return err
+	}
+
 	if err := c.Release(ctx, snap.ID); err != nil {
 		return fmt.Errorf("release: %w", err)
 	}
 	fmt.Println("smoke: PASS — all served checksums equal the library's")
+	return nil
+}
+
+// smokeObservability exercises the observability surface of a live
+// server: healthz must report build facts, a query issued under a fixed
+// X-Request-Id must yield a retrievable trace, and /metrics must parse
+// as valid Prometheus text covering the core series.
+func smokeObservability(ctx context.Context, base, id string) error {
+	c := service.NewClient(base)
+
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if h.Status != "ok" || !strings.HasPrefix(h.GoVersion, "go") || h.GOMAXPROCS < 1 {
+		return fmt.Errorf("smoke: implausible healthz report: %+v", h)
+	}
+	fmt.Printf("smoke: healthz        %s %s gomaxprocs=%d peers=%d\n",
+		h.Status, h.GoVersion, h.GOMAXPROCS, h.Peers)
+
+	// A traced query: the fixed request ID names the trace, and the
+	// debug endpoint must serve it back with the request pipeline spans.
+	c.RequestID = "smoketrace0000001"
+	if _, err := c.Enumerate(ctx, id, service.EnumerateParams{Seed: 11}); err != nil {
+		return fmt.Errorf("traced enumerate: %w", err)
+	}
+	tr, err := c.Trace(ctx, c.RequestID)
+	if err != nil {
+		return fmt.Errorf("smoke: fetch trace %s: %w", c.RequestID, err)
+	}
+	spans := map[string]bool{}
+	for _, sp := range tr.Spans {
+		spans[sp.Name] = true
+	}
+	for _, want := range []string{"http", "query"} {
+		if !spans[want] {
+			return fmt.Errorf("smoke: trace %s has no %q span (%d spans)", c.RequestID, want, len(tr.Spans))
+		}
+	}
+	fmt.Printf("smoke: trace          %s retrieved with %d spans\n", tr.TraceID, len(tr.Spans))
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scrape /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	names, err := obs.ValidateProm(resp.Body)
+	if err != nil {
+		return fmt.Errorf("smoke: /metrics is not valid Prometheus text: %w", err)
+	}
+	for _, want := range []string{
+		"dexpander_computations_total",
+		"dexpander_hits_total",
+		"dexpander_compute_latency_seconds",
+		"dexpander_tenant_queries_total",
+		"dexpander_decompose_requests_total",
+	} {
+		if !names[want] {
+			return fmt.Errorf("smoke: /metrics is missing series %q", want)
+		}
+	}
+	fmt.Printf("smoke: metrics        valid exposition, %d series\n", len(names))
 	return nil
 }
 
@@ -321,6 +434,9 @@ func runSmokeDist(base string) error {
 	}
 	want := triangle.CountParallel2D(graph.WholeGraph(g), 0)
 
+	// The fixed request ID makes the fan-out's cross-replica trace
+	// retrievable below.
+	c.RequestID = "smokedist0000001"
 	res, err := c.TriangleCountDist(ctx, snap.ID, service.DistCountParams{})
 	if err != nil {
 		return fmt.Errorf("count-dist: %w", err)
@@ -333,6 +449,32 @@ func runSmokeDist(base string) error {
 	}
 	fmt.Printf("smoke-dist: %d triples over %d peers (%d retries)\n",
 		res.DistTriples, res.DistPeers, res.DistRetries)
+
+	// One trace out of the whole job: coordinator spans plus a
+	// replica.count span per triple, tagged with the peer that ran it.
+	if res.DistPeers > 0 {
+		tr, err := c.Trace(ctx, c.RequestID)
+		if err != nil {
+			return fmt.Errorf("smoke-dist: fetch trace: %w", err)
+		}
+		replicaSpans := 0
+		peersSeen := map[string]bool{}
+		for _, sp := range tr.Spans {
+			if sp.Name == "replica.count" {
+				replicaSpans++
+				peersSeen[sp.Attrs["peer"]] = true
+			}
+		}
+		if replicaSpans == 0 {
+			return fmt.Errorf("smoke-dist: trace %s has no replica.count spans (%d spans)", tr.TraceID, len(tr.Spans))
+		}
+		if len(peersSeen) != res.DistPeers {
+			return fmt.Errorf("smoke-dist: trace names %d peers, schedule used %d", len(peersSeen), res.DistPeers)
+		}
+		fmt.Printf("smoke-dist: trace %s spans %d replicas (%d replica.count spans)\n",
+			tr.TraceID, len(peersSeen), replicaSpans)
+	}
+
 	if err := c.Release(ctx, snap.ID); err != nil {
 		return fmt.Errorf("release: %w", err)
 	}

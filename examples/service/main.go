@@ -6,6 +6,10 @@
 // graph as a gzipped edge list to see fingerprint dedup, and read the
 // per-tenant counters (stats schema v2).
 //
+// Failures report through the same structured JSON logger dexpanderd
+// uses (internal/obs), not the stdlib logger, so the example's error
+// output is machine-parseable exactly like the daemon's.
+//
 // The same API is served standalone by cmd/dexpanderd.
 package main
 
@@ -15,15 +19,25 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"dexpander/internal/gen"
 	"dexpander/internal/graph"
+	"dexpander/internal/obs"
 	"dexpander/internal/service"
 )
+
+// logger carries failures as structured JSON lines on stderr.
+var logger = obs.NewLogger(os.Stderr, obs.LevelInfo)
+
+// fatal logs one structured error line and exits non-zero.
+func fatal(msg string, kv ...any) {
+	logger.Error(msg, kv...)
+	os.Exit(1)
+}
 
 func main() {
 	// A loopback listener on a free port, serving the service's API.
@@ -31,7 +45,7 @@ func main() {
 	defer svc.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen", "err", err)
 	}
 	server := &http.Server{Handler: svc.Handler()}
 	go server.Serve(ln) //nolint:errcheck
@@ -51,7 +65,7 @@ func main() {
 	}
 	snap, err := c.RegisterSpec(ctx, spec)
 	if err != nil {
-		log.Fatal(err)
+		fatal("register spec", "err", err)
 	}
 	fmt.Printf("registered %s: n=%d m=%d\n", snap.ID, snap.N, snap.M)
 
@@ -59,7 +73,7 @@ func main() {
 	start := time.Now()
 	dec, err := c.Decompose(ctx, snap.ID, service.DecomposeParams{Eps: 0.6})
 	if err != nil {
-		log.Fatal(err)
+		fatal("decompose (cold)", "err", err)
 	}
 	cold := time.Since(start)
 	fmt.Printf("decomposition: %d components, eps=%.4f, checksum %s\n",
@@ -69,14 +83,14 @@ func main() {
 	// cache — same bytes, no recomputation.
 	start = time.Now()
 	if _, err := c.Decompose(ctx, snap.ID, service.DecomposeParams{Eps: 0.6}); err != nil {
-		log.Fatal(err)
+		fatal("decompose (hot)", "err", err)
 	}
 	fmt.Printf("cold %v -> hot %v\n", cold.Round(time.Microsecond), time.Since(start).Round(time.Microsecond))
 
 	// Triangle queries amortize against the same snapshot.
 	tri, err := c.TriangleCount(ctx, snap.ID, service.CountParams{})
 	if err != nil {
-		log.Fatal(err)
+		fatal("triangle count", "err", err)
 	}
 	fmt.Printf("triangles: %d (checksum %s)\n", tri.Triangles, tri.Checksum)
 
@@ -99,38 +113,38 @@ func main() {
 		// The transport can also give up before the request is sent.
 		fmt.Println("expired budget refused client-side before reaching the server")
 	case err == nil:
-		log.Fatal("expired budget was served")
+		fatal("expired budget was served")
 	default:
-		log.Fatal(err)
+		fatal("deadline probe", "err", err)
 	}
 
 	// Uploading the same graph as a gzipped edge list dedups onto the
 	// registered snapshot: the fingerprint is the identity.
 	g, err := spec.Build()
 	if err != nil {
-		log.Fatal(err)
+		fatal("build graph", "err", err)
 	}
 	var plain bytes.Buffer
 	if err := graph.WriteEdgeList(&plain, g); err != nil {
-		log.Fatal(err)
+		fatal("write edge list", "err", err)
 	}
 	var packed bytes.Buffer
 	zw := gzip.NewWriter(&packed)
 	if _, err := zw.Write(plain.Bytes()); err != nil {
-		log.Fatal(err)
+		fatal("gzip edge list", "err", err)
 	}
 	if err := zw.Close(); err != nil {
-		log.Fatal(err)
+		fatal("gzip close", "err", err)
 	}
 	up, err := c.RegisterEdgeList(ctx, &packed)
 	if err != nil {
-		log.Fatal(err)
+		fatal("register edge list", "err", err)
 	}
 	fmt.Printf("gzip upload deduped onto %s (refs now %d)\n", up.ID, up.Refs)
 
 	st, err := c.ServerStats(ctx)
 	if err != nil {
-		log.Fatal(err)
+		fatal("server stats", "err", err)
 	}
 	fmt.Printf("server: %d snapshot(s), %d cached result(s), %d computation(s), %d hit(s)\n",
 		st.Snapshots, st.CacheEntries, st.Computations, st.Hits)

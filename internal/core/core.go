@@ -72,6 +72,7 @@ import (
 	"dexpander/internal/graph"
 	"dexpander/internal/ldd"
 	"dexpander/internal/nibble"
+	"dexpander/internal/obs"
 	"dexpander/internal/par"
 	"dexpander/internal/rng"
 )
@@ -103,6 +104,12 @@ type Options struct {
 	// (par.CheckpointFromContext qualifies); it never alters the output
 	// of a run it does not cancel.
 	Check par.Checkpoint
+	// Span, when non-nil, receives tracing children for each Phase 1
+	// level (with per-task LDD/sparse-cut sub-spans) and the Phase 2
+	// component fan-out. Purely observational: a nil Span costs one
+	// pointer test per probe site and the output is bit-identical
+	// either way.
+	Span *obs.Span
 }
 
 // Typed Options validation errors, so callers can distinguish a bad
@@ -232,6 +239,7 @@ func Decompose(view *graph.Sub, opt Options, subs Subroutines) (*Decomposition, 
 		root:    rng.New(opt.Seed),
 		workers: par.Workers(opt.Workers),
 		check:   opt.Check,
+		span:    opt.Span,
 	}
 	dec := &Decomposition{PhiTarget: ladder[opt.K], PhiLadder: ladder}
 
@@ -245,7 +253,10 @@ func Decompose(view *graph.Sub, opt Options, subs Subroutines) (*Decomposition, 
 		}
 		depth++
 		dec.Phase1Depth = depth
-		next, entered, err := st.phase1Level(tasks, dec)
+		lsp := st.span.Child("core.phase1.level")
+		lsp.AttrInt("level", depth).AttrInt("tasks", len(tasks))
+		next, entered, err := st.phase1Level(tasks, dec, lsp)
+		lsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -266,11 +277,15 @@ func Decompose(view *graph.Sub, opt Options, subs Subroutines) (*Decomposition, 
 		bases[i] = st.reserveSeeds(budgets[i])
 	}
 	outs := make([]phase2Out, len(phase2))
-	if err := par.ForEachCheck(st.workers, len(phase2), st.check, func(i int) {
+	psp := st.span.Child("core.phase2")
+	psp.AttrInt("components", len(phase2))
+	if err := par.ForEachCheckSpan(st.workers, len(phase2), st.check, psp, "core.phase2.component", func(i int) {
 		outs[i] = st.phase2(phase2[i], budgets[i], bases[i])
 	}); err != nil {
+		psp.End()
 		return nil, err
 	}
+	psp.End()
 	var p2Par congest.Stats
 	for i := range outs {
 		o := &outs[i]
@@ -315,6 +330,7 @@ type state struct {
 	seqNo   uint64
 	workers int
 	check   par.Checkpoint
+	span    *obs.Span
 }
 
 // checkpoint probes the cooperative-cancellation hook; nil means never
@@ -353,7 +369,9 @@ func (s *state) reserveSeeds(count int) uint64 {
 // works on a pooled private copy of the stage-start mask, and removal
 // logs, cluster lists, and stats merge back in task order. Sibling costs
 // combine as max-rounds/summed-traffic; the two steps add.
-func (s *state) phase1Level(tasks []*graph.VSet, dec *Decomposition) (next []*graph.VSet, phase2 []*graph.VSet, err error) {
+// lsp is the enclosing level's trace span (nil when tracing is off);
+// the LDD and sparse-cut stages each get a child with per-task spans.
+func (s *state) phase1Level(tasks []*graph.VSet, dec *Decomposition, lsp *obs.Span) (next []*graph.VSet, phase2 []*graph.VSet, err error) {
 	g := s.view.Base()
 
 	type lddOut struct {
@@ -368,7 +386,9 @@ func (s *state) phase1Level(tasks []*graph.VSet, dec *Decomposition) (next []*gr
 		lddSeeds[i] = s.nextSeed()
 	}
 	lddOuts := make([]lddOut, len(tasks))
-	if err := par.ForEachCheck(s.workers, len(tasks), s.check, func(i int) {
+	lddSpan := lsp.Child("core.ldd")
+	lddSpan.AttrInt("tasks", len(tasks))
+	if err := par.ForEachCheckSpan(s.workers, len(tasks), s.check, lddSpan, "core.ldd.task", func(i int) {
 		o := &lddOuts[i]
 		u := tasks[i]
 		priv := acquireMask(s.mask)
@@ -384,8 +404,10 @@ func (s *state) phase1Level(tasks []*graph.VSet, dec *Decomposition) (next []*gr
 		o.removed = o.log.removeInterLabel(g, *priv, u, res.Labels)
 		o.comps = splitComponents(graph.NewSub(g, s.view.Members(), *priv), u)
 	}); err != nil {
+		lddSpan.End()
 		return nil, nil, err
 	}
+	lddSpan.End()
 	var lddPar congest.Stats
 	var afterLDD []*graph.VSet
 	for i := range lddOuts {
@@ -417,7 +439,9 @@ func (s *state) phase1Level(tasks []*graph.VSet, dec *Decomposition) (next []*gr
 		cutSeeds[i] = s.nextSeed()
 	}
 	cutOuts := make([]cutOut, len(afterLDD))
-	if err := par.ForEachCheck(s.workers, len(afterLDD), s.check, func(i int) {
+	cutSpan := lsp.Child("core.cut")
+	cutSpan.AttrInt("tasks", len(afterLDD))
+	if err := par.ForEachCheckSpan(s.workers, len(afterLDD), s.check, cutSpan, "core.cut.task", func(i int) {
 		o := &cutOuts[i]
 		u := afterLDD[i]
 		priv := acquireMask(s.mask)
@@ -445,8 +469,10 @@ func (s *state) phase1Level(tasks []*graph.VSet, dec *Decomposition) (next []*gr
 			o.comps = append(splitComponents(after, cut.C), splitComponents(after, rest)...)
 		}
 	}); err != nil {
+		cutSpan.End()
 		return nil, nil, err
 	}
+	cutSpan.End()
 	var cutPar congest.Stats
 	for i := range cutOuts {
 		o := &cutOuts[i]

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPromRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProm(&buf)
+	p.Gauge("dx_snapshots", "Registered snapshots.", 3)
+	p.Counter("dx_hits_total", "Cache hits.", 17, "tenant", "acme")
+	p.Counter("dx_hits_total", "Cache hits.", 4, "tenant", `we"ird\te
+nant`)
+	p.Histogram("dx_latency_seconds", "Latency.", HistogramData{
+		Le:     []float64{0.001, 0.01, 0.1},
+		Counts: []uint64{5, 3, 0, 2},
+		Sum:    0.42,
+	}, "backend", "nibble")
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	names, err := ValidateProm(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("own output fails validation: %v\n%s", err, out)
+	}
+	for _, want := range []string{"dx_snapshots", "dx_hits_total", "dx_latency_seconds"} {
+		if !names[want] {
+			t.Fatalf("metric %s missing from parse result (%v)", want, names)
+		}
+	}
+	// HELP/TYPE emitted once despite two dx_hits_total samples.
+	if got := strings.Count(out, "# TYPE dx_hits_total"); got != 1 {
+		t.Fatalf("TYPE header emitted %d times, want 1:\n%s", got, out)
+	}
+	// Cumulative buckets: 5, 8, 8, 10; +Inf == _count.
+	for _, want := range []string{
+		`dx_latency_seconds_bucket{backend="nibble",le="0.001"} 5`,
+		`dx_latency_seconds_bucket{backend="nibble",le="0.1"} 8`,
+		`dx_latency_seconds_bucket{backend="nibble",le="+Inf"} 10`,
+		`dx_latency_seconds_sum{backend="nibble"} 0.42`,
+		`dx_latency_seconds_count{backend="nibble"} 10`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing line %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateCatchesMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE header": "foo 1\n",
+		"non-cumulative buckets": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 3\n",
+		"missing +Inf": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\nh_sum 1\nh_count 5\n",
+		"count mismatch": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="+Inf"} 6` + "\nh_sum 1\nh_count 5\n",
+		"le not increasing": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="2"} 1` + "\n" + `h_bucket{le="1"} 2` + "\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 2\n",
+		"bad value":       "# HELP g x\n# TYPE g gauge\ng one\n",
+		"bad metric name": "# HELP 9g x\n# TYPE 9g gauge\n9g 1\n",
+		"duplicate TYPE":  "# TYPE g gauge\n# TYPE g gauge\ng 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ValidateProm(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: validator accepted malformed input:\n%s", name, text)
+		}
+	}
+}
+
+func TestValidateAcceptsEscapes(t *testing.T) {
+	text := "# HELP g a gauge\n# TYPE g gauge\n" +
+		`g{tenant="we\"ird\\te\nnant"} 1` + "\n"
+	if _, err := ValidateProm(strings.NewReader(text)); err != nil {
+		t.Fatalf("escaped labels rejected: %v", err)
+	}
+}

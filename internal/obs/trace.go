@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"context"
+	"hash/fnv"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed operation. Live spans are handles created by
+// Tracer.Root / Tracer.Adopt / Span.Child and closed with End; the
+// exported fields double as the wire format, so a finished span
+// marshals directly into trace responses and unmarshals back on the
+// coordinator when replicas ship their spans home. Durations come
+// from the monotonic clock (time.Since); Start's wall reading is kept
+// only for display ordering.
+//
+// All methods are nil-receiver-safe no-ops, which is what keeps
+// instrumented code free when tracing is off: a nil span's Child is
+// nil, so whole probe trees collapse to pointer tests.
+type Span struct {
+	TraceID    string            `json:"trace_id"`
+	ID         uint64            `json:"id"`
+	Parent     uint64            `json:"parent,omitempty"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationNS int64             `json:"duration_ns"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+
+	tracer  *Tracer
+	sampled bool
+}
+
+// Attr attaches a string attribute and returns the span for chaining.
+// Not safe for concurrent use on one span; concurrent tasks get their
+// own Child spans.
+func (s *Span) Attr(k, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 4)
+	}
+	s.Attrs[k] = v
+	return s
+}
+
+// AttrInt attaches an integer attribute.
+func (s *Span) AttrInt(k string, v int) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.Attr(k, strconv.Itoa(v))
+}
+
+// Child opens a sub-span under s. Safe to call from concurrent tasks
+// sharing the parent: it only reads s's identity fields, which are
+// immutable after creation.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		TraceID: s.TraceID,
+		ID:      s.tracer.nextID(),
+		Parent:  s.ID,
+		Name:    name,
+		Start:   time.Now(),
+		tracer:  s.tracer,
+		sampled: s.sampled,
+	}
+}
+
+// End stamps the duration and hands the span to its tracer: the
+// per-name phase aggregate always advances, and sampled spans are
+// written into the ring buffer. Call exactly once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.DurationNS = time.Since(s.Start).Nanoseconds()
+	s.tracer.finish(s)
+}
+
+// Snapshot returns a copy suitable for marshaling or handing to
+// another tracer's Record; on a nil span it returns the zero Span
+// (callers gate on Sampled or TraceID).
+func (s *Span) Snapshot() Span {
+	if s == nil {
+		return Span{}
+	}
+	c := *s
+	c.tracer = nil
+	return c
+}
+
+// Sampled reports whether the span will be (or was) kept in the ring.
+// Phase aggregates advance regardless.
+func (s *Span) Sampled() bool { return s != nil && s.sampled }
+
+// PhaseStats is the always-on aggregate for one span name: every End
+// adds here even when the trace is not sampled into the ring, so the
+// per-phase /metrics series stay complete at any sampling rate.
+type PhaseStats struct {
+	Count   uint64
+	TotalNS int64
+}
+
+// Tracer owns a bounded ring of finished spans plus the per-phase
+// aggregates. A nil *Tracer is the disabled state: Root and Adopt
+// return nil spans and every accessor returns zeros.
+type Tracer struct {
+	capacity int
+	sample   float64
+
+	ids    atomic.Uint64
+	idBase uint64
+
+	mu      sync.Mutex
+	ring    []Span
+	next    int // ring write cursor
+	total   uint64
+	evicted uint64
+	phases  map[string]PhaseStats
+}
+
+// NewTracer builds a tracer whose ring holds capacity finished spans
+// (oldest overwritten first) and which samples the given fraction of
+// traces into the ring. capacity <= 0 returns nil — tracing disabled.
+// The sampling decision hashes the trace ID, so every replica of a
+// fleet keeps or drops the same traces and cross-replica traces stay
+// whole.
+func NewTracer(capacity int, sample float64) *Tracer {
+	if capacity <= 0 {
+		return nil
+	}
+	if sample < 0 {
+		sample = 0
+	}
+	if sample > 1 {
+		sample = 1
+	}
+	return &Tracer{
+		capacity: capacity,
+		sample:   sample,
+		idBase:   rand.Uint64(),
+		phases:   make(map[string]PhaseStats),
+	}
+}
+
+// NewTraceID returns a fresh 16-hex-digit trace ID.
+func NewTraceID() string {
+	var b [16]byte
+	v := rand.Uint64()
+	const hex = "0123456789abcdef"
+	for i := range b {
+		b[i] = hex[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// Root opens a top-level span for the given trace ID (typically the
+// request ID from X-Request-Id). The trace's sampling fate is decided
+// here, deterministically from the ID.
+func (t *Tracer) Root(traceID, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		TraceID: traceID,
+		ID:      t.nextID(),
+		Name:    name,
+		Start:   time.Now(),
+		tracer:  t,
+		sampled: t.sampleTrace(traceID),
+	}
+}
+
+// Adopt opens a span continuing a trace started elsewhere (a replica
+// serving a coordinator's dist request). parent is the remote span ID
+// the new span hangs under. Adopted spans are always sampled: the
+// coordinator already decided to trace this job, so local sampling
+// does not get a second vote. They land in the local ring like any
+// sampled span AND typically travel back in the response for the
+// coordinator to Record, so the trace is whole on both sides.
+func (t *Tracer) Adopt(traceID string, parent uint64, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		TraceID: traceID,
+		ID:      t.nextID(),
+		Parent:  parent,
+		Name:    name,
+		Start:   time.Now(),
+		tracer:  t,
+		sampled: true,
+	}
+}
+
+// Record merges an externally produced span (e.g. shipped back from a
+// replica) into the ring.
+func (t *Tracer) Record(sp Span) {
+	if t == nil || sp.TraceID == "" {
+		return
+	}
+	t.mu.Lock()
+	t.write(sp)
+	t.mu.Unlock()
+}
+
+// Trace returns every buffered span of the given trace, ordered by
+// start time (ties broken by span ID for stability).
+func (t *Tracer) Trace(id string) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var out []Span
+	for i := range t.ring {
+		if t.ring[i].TraceID == id {
+			out = append(out, t.ring[i])
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Phases returns a copy of the per-name aggregates.
+func (t *Tracer) Phases() map[string]PhaseStats {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make(map[string]PhaseStats, len(t.phases))
+	for k, v := range t.phases {
+		out[k] = v
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// Counts returns how many spans were ever written to the ring and how
+// many of those have since been overwritten.
+func (t *Tracer) Counts() (total, evicted uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total, t.evicted
+}
+
+// Capacity returns the ring size (0 when disabled).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return t.capacity
+}
+
+// Sample returns the configured sampling fraction.
+func (t *Tracer) Sample() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.sample
+}
+
+// nextID hands out process-unique span IDs: a random per-tracer base
+// plus an atomic counter, so IDs from different replicas of a fleet
+// do not collide when merged into one trace.
+func (t *Tracer) nextID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.idBase + t.ids.Add(1)
+}
+
+func (t *Tracer) sampleTrace(id string) bool {
+	if t.sample >= 1 {
+		return true
+	}
+	if t.sample <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	// Top 53 bits → uniform float in [0, 1).
+	frac := float64(h.Sum64()>>11) / float64(1<<53)
+	return frac < t.sample
+}
+
+func (t *Tracer) finish(s *Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	ps := t.phases[s.Name]
+	ps.Count++
+	ps.TotalNS += s.DurationNS
+	t.phases[s.Name] = ps
+	if s.sampled {
+		t.write(s.Snapshot())
+	}
+	t.mu.Unlock()
+}
+
+// write appends under t.mu.
+func (t *Tracer) write(sp Span) {
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, sp)
+	} else {
+		t.ring[t.next] = sp
+		t.next = (t.next + 1) % t.capacity
+		t.evicted++
+	}
+	t.total++
+}
+
+type spanKey struct{}
+
+// ContextWithSpan attaches a span to the context; a nil span returns
+// ctx unchanged so the disabled path allocates nothing.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the span attached by ContextWithSpan, or
+// nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

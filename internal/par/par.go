@@ -11,6 +11,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"dexpander/internal/obs"
 )
 
 // Checkpoint is the cooperative-cancellation probe threaded through the
@@ -148,4 +150,25 @@ func ForEachCheck(workers, n int, cp Checkpoint, fn func(i int)) error {
 		return *p
 	}
 	return nil
+}
+
+// ForEachCheckSpan is ForEachCheck with per-task tracing: when sp is
+// non-nil every task runs under its own child span named name with a
+// "task" attribute holding the task index (tasks are handed out from
+// the same deterministic index space ForEach uses, so the index
+// identifies the work item). Each task's span is created and ended on
+// the worker goroutine running it; spans only read the shared
+// parent's immutable identity, so concurrent tasks are safe. With a
+// nil sp this is exactly ForEachCheck — the probe costs one pointer
+// test, keeping tracing off the hot path.
+func ForEachCheckSpan(workers, n int, cp Checkpoint, sp *obs.Span, name string, fn func(i int)) error {
+	if sp == nil {
+		return ForEachCheck(workers, n, cp, fn)
+	}
+	return ForEachCheck(workers, n, cp, func(i int) {
+		child := sp.Child(name)
+		child.AttrInt("task", i)
+		fn(i)
+		child.End()
+	})
 }

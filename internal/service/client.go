@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dexpander/internal/gen"
+	"dexpander/internal/obs"
 	"dexpander/internal/triangle"
 )
 
@@ -22,6 +23,11 @@ type Client struct {
 	// Tenant is sent as the X-Tenant header on every request; empty
 	// means the server's DefaultTenant.
 	Tenant string
+	// RequestID, when set, is sent as the X-Request-Id header on every
+	// request, naming the trace the server files its spans under
+	// (retrievable at GET /v1/debug/traces/{id} when the server traces).
+	// Empty lets the server pick one; the response echoes it either way.
+	RequestID string
 	// HTTP overrides the transport (nil means http.DefaultClient).
 	HTTP *http.Client
 }
@@ -97,6 +103,9 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 	}
 	if c.Tenant != "" {
 		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	if c.RequestID != "" {
+		req.Header.Set(RequestIDHeader, c.RequestID)
 	}
 	if deadline, ok := ctx.Deadline(); ok {
 		ms := time.Until(deadline).Milliseconds()
@@ -234,6 +243,43 @@ func (c *Client) DistCount(ctx context.Context, id string, tl triangle.Tiling, t
 		return 0, err
 	}
 	return res.Count, nil
+}
+
+// DistCountTraced is DistCount carrying a trace reference: the replica
+// runs the count under a span of trace traceID parented at parent and
+// returns its spans for the coordinator to merge, which is how one
+// dist job becomes a single cross-replica trace.
+func (c *Client) DistCountTraced(ctx context.Context, id string, tl triangle.Tiling, t triangle.BlockTriple, traceID string, parent uint64) (int, []obs.Span, error) {
+	body, err := jsonBody(distCountRequest{
+		Snapshot: id, Tiling: tl, Triple: t,
+		Trace: &traceRef{ID: traceID, Parent: parent},
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	var res distCountResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/dist/count", "application/json", body, &res); err != nil {
+		return 0, nil, err
+	}
+	return res.Count, res.Spans, nil
+}
+
+// Trace fetches one trace from the server's debug endpoint.
+func (c *Client) Trace(ctx context.Context, id string) (*TraceResponse, error) {
+	var tr TraceResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/debug/traces/"+id, "", nil, &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// Healthz fetches the build/version report from GET /healthz.
+func (c *Client) Healthz(ctx context.Context) (*HealthResponse, error) {
+	var h HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", "", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
 }
 
 // ServerStats fetches the service counters (stats schema v2).

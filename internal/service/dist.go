@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dexpander/internal/graph"
+	"dexpander/internal/obs"
 	"dexpander/internal/triangle"
 )
 
@@ -209,8 +210,20 @@ type distJob struct {
 	plan   *triangle.DistPlan
 	peers  []*distPeer
 
+	// svc is the owning coordinator, for per-peer stats and the tracer;
+	// span is the job's "dist" span (nil when the request is untraced).
+	svc  *Service
+	span *obs.Span
+
 	encMu sync.Mutex
 	enc   map[int][]byte // block -> encoded fragment, rendered once per job
+}
+
+// peerFailed marks the peer dead for the rest of the job and accounts
+// the failure to its per-peer stats section.
+func (j *distJob) peerFailed(dp *distPeer) {
+	dp.markDead()
+	j.svc.recordDistPeer(dp.client.Base, func(ps *PeerDistStats) { ps.Failures++ })
 }
 
 // encoded returns block b's wire bytes, encoding at most once per job no
@@ -240,10 +253,19 @@ func (j *distJob) ensureFragment(ctx context.Context, dp *distPeer, b int) error
 		return nil
 	}
 	lo, hi := j.plan.Tiling.Block(b)
-	if err := dp.client.PutFragment(ctx, j.snapID, j.plan.Tiling.P, lo, hi, j.encoded(b)); err != nil {
+	data := j.encoded(b)
+	psp := j.span.Child("dist.push")
+	psp.Attr("peer", dp.client.Base).AttrInt("block", b).AttrInt("bytes", len(data))
+	err := dp.client.PutFragment(ctx, j.snapID, j.plan.Tiling.P, lo, hi, data)
+	psp.End()
+	if err != nil {
 		return err
 	}
 	dp.pushed[b] = true
+	j.svc.recordDistPeer(dp.client.Base, func(ps *PeerDistStats) {
+		ps.Pushes++
+		ps.PushBytes += int64(len(data))
+	})
 	return nil
 }
 
@@ -260,21 +282,33 @@ func (dp *distPeer) forget(b int) {
 // answer re-pushes and retries once; a transport error marks the peer
 // dead so queued work fails over immediately instead of timing out
 // triple by triple.
-func (j *distJob) countOn(ctx context.Context, dp *distPeer, t triangle.BlockTriple) (int, error) {
+func (j *distJob) countOn(ctx context.Context, dp *distPeer, t triangle.BlockTriple) (n int, err error) {
+	csp := j.span.Child("dist.count")
+	csp.Attr("peer", dp.client.Base)
+	csp.AttrInt("bi", t.I).AttrInt("bj", t.J).AttrInt("bk", t.K)
+	defer func() {
+		if err != nil {
+			csp.Attr("outcome", "error")
+		} else {
+			csp.AttrInt("count", n)
+		}
+		csp.End()
+	}()
 	bi, bj := t.Blocks()
 	for attempt := 0; ; attempt++ {
 		if err := j.ensureFragment(ctx, dp, bi); err != nil {
-			dp.markDead()
+			j.peerFailed(dp)
 			return 0, err
 		}
 		if bj != bi {
 			if err := j.ensureFragment(ctx, dp, bj); err != nil {
-				dp.markDead()
+				j.peerFailed(dp)
 				return 0, err
 			}
 		}
-		n, err := dp.client.DistCount(ctx, j.snapID, j.plan.Tiling, t)
+		n, err := j.distCountRemote(ctx, dp, t, csp)
 		if err == nil {
+			j.svc.recordDistPeer(dp.client.Base, func(ps *PeerDistStats) { ps.Triples++ })
 			return n, nil
 		}
 		if apiErr, ok := err.(*APIError); ok && apiErr.Code == CodeFragmentMissing && attempt == 0 {
@@ -285,10 +319,35 @@ func (j *distJob) countOn(ctx context.Context, dp *distPeer, t triangle.BlockTri
 		if _, ok := err.(*APIError); !ok {
 			// Transport-level failure (connection refused, reset, ctx
 			// cancel): assume the peer is gone for the rest of the job.
-			dp.markDead()
+			j.peerFailed(dp)
 		}
 		return 0, err
 	}
+}
+
+// distCountRemote asks the peer for one triple's count. When the job is
+// traced, the request carries the trace reference so the replica opens
+// its own span and ships it back; the coordinator tags returned spans
+// with the peer's base URL and merges them into the local ring — that
+// merge is what makes one dist job a single cross-replica trace.
+func (j *distJob) distCountRemote(ctx context.Context, dp *distPeer, t triangle.BlockTriple, csp *obs.Span) (int, error) {
+	if csp == nil {
+		return dp.client.DistCount(ctx, j.snapID, j.plan.Tiling, t)
+	}
+	n, spans, err := dp.client.DistCountTraced(ctx, j.snapID, j.plan.Tiling, t, csp.TraceID, csp.ID)
+	if err != nil {
+		return 0, err
+	}
+	if csp.Sampled() {
+		for _, rs := range spans {
+			if rs.Attrs == nil {
+				rs.Attrs = make(map[string]string, 1)
+			}
+			rs.Attrs["peer"] = dp.client.Base
+			j.svc.cfg.Tracer.Record(rs)
+		}
+	}
+	return n, nil
 }
 
 // distCount is the coordinator: tile the view, schedule the block
@@ -296,7 +355,7 @@ func (j *distJob) countOn(ctx context.Context, dp *distPeer, t triangle.BlockTri
 // LPT) assignment, run each peer's share through a bounded in-flight
 // window, fail triples over to the other replicas, and count the last
 // resort locally. Called from DistCountParams.run with len(peers) > 0.
-func (s *Service) distCount(ctx context.Context, view *graph.Sub, fp uint64, grid int) (*Result, error) {
+func (s *Service) distCount(ctx context.Context, view *graph.Sub, fp uint64, grid int, parent *obs.Span) (res *Result, err error) {
 	start := time.Now()
 	peers := s.cfg.Peers
 	window := s.cfg.DistWindow
@@ -306,6 +365,16 @@ func (s *Service) distCount(ctx context.Context, view *graph.Sub, fp uint64, gri
 	}
 	plan := triangle.NewDistPlan(view, p)
 	triples := plan.Tiling.Triples()
+	dsp := parent.Child("dist")
+	dsp.AttrInt("grid", p).AttrInt("peers", len(peers)).AttrInt("triples", len(triples))
+	defer func() {
+		if err != nil {
+			dsp.Attr("outcome", "error")
+		} else {
+			dsp.AttrInt("count", res.Triangles).AttrInt("retries", res.DistRetries)
+		}
+		dsp.End()
+	}()
 
 	// Deterministic volume-balanced schedule: triples in descending cost
 	// order (ties by task order) onto the least-loaded peer (ties by peer
@@ -338,6 +407,8 @@ func (s *Service) distCount(ctx context.Context, view *graph.Sub, fp uint64, gri
 		snapID: snapshotID(fp),
 		plan:   plan,
 		peers:  make([]*distPeer, len(peers)),
+		svc:    s,
+		span:   dsp,
 		enc:    make(map[int][]byte),
 	}
 	for pi, base := range peers {

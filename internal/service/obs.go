@@ -1,0 +1,144 @@
+// Query- and request-level observability: the per-query trace/log
+// helper used by Service.Query and the error → outcome vocabulary
+// shared with the structured logs. The HTTP middleware lives in
+// server.go, the /metrics renderer in metrics.go.
+
+package service
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"dexpander/internal/obs"
+)
+
+// queryObs carries one Query call's observability state. A nil
+// *queryObs (tracing and logging both disabled) no-ops everywhere, so
+// Query pays one pointer test per probe when observability is off.
+type queryObs struct {
+	s         *Service
+	span      *obs.Span
+	start     time.Time
+	tenant    string
+	snapshot  string
+	algorithm string
+	out       string // hit/join/computed; "" until decided
+}
+
+// beginQuery opens the query span (as a child of the HTTP request span
+// when one rides in on ctx, else as a root of a fresh trace) and
+// stamps the start time. Returns nil when observability is off.
+func (s *Service) beginQuery(ctx context.Context, id, algorithm, canon string) *queryObs {
+	if s.cfg.Tracer == nil && s.cfg.Logger == nil {
+		return nil
+	}
+	q := &queryObs{s: s, start: time.Now(), snapshot: id, algorithm: algorithm}
+	if s.cfg.Tracer != nil {
+		if parent := obs.SpanFromContext(ctx); parent != nil {
+			q.span = parent.Child("query")
+		} else {
+			// Library callers (tests, benchmarks) have no HTTP span;
+			// the query becomes its own trace.
+			q.span = s.cfg.Tracer.Root(obs.NewTraceID(), "query")
+		}
+		q.span.Attr("snapshot", id).Attr("algorithm", algorithm).Attr("params", canon)
+	}
+	return q
+}
+
+// setTenant records the admitted (normalized) tenant.
+func (q *queryObs) setTenant(tn string) {
+	if q != nil {
+		q.tenant = tn
+	}
+}
+
+// served records how the query was satisfied: "hit", "join", or
+// "computed". Errors override it in finish.
+func (q *queryObs) served(how string) {
+	if q != nil {
+		q.out = how
+	}
+}
+
+// computeSpan opens the compute span that follows the flight through
+// the worker pool (ended by the worker, not by finish: joiners'
+// queries return while the computation keeps running).
+func (q *queryObs) computeSpan() *obs.Span {
+	if q == nil {
+		return nil
+	}
+	return q.span.Child("compute")
+}
+
+// finish closes the query span and emits the structured query log.
+func (q *queryObs) finish(res *Result, err error) {
+	if q == nil {
+		return
+	}
+	outcome := q.out
+	if err != nil || outcome == "" {
+		outcome = outcomeOf(err)
+	}
+	elapsed := time.Since(q.start)
+	q.span.Attr("outcome", outcome)
+	q.span.End()
+	lg := q.s.cfg.Logger
+	if lg == nil {
+		return
+	}
+	slow := q.s.cfg.SlowQuery > 0 && elapsed >= q.s.cfg.SlowQuery
+	kv := make([]any, 0, 20)
+	kv = append(kv,
+		"tenant", q.tenant,
+		"fingerprint", q.snapshot,
+		"algorithm", q.algorithm,
+		"outcome", outcome,
+		"duration_ms", float64(elapsed)/float64(time.Millisecond),
+	)
+	if q.span != nil {
+		kv = append(kv, "trace", q.span.TraceID)
+	}
+	if res != nil && res.Backend != "" {
+		kv = append(kv, "backend", res.Backend)
+	}
+	if err != nil {
+		kv = append(kv, "err", err)
+	}
+	if slow {
+		kv = append(kv, "slow", true)
+		lg.Warn("query", kv...)
+		return
+	}
+	if err != nil && outcome == "error" {
+		lg.Error("query", kv...)
+		return
+	}
+	lg.Info("query", kv...)
+}
+
+// outcomeOf maps an error to the outcome vocabulary shared by the
+// query span attribute and the structured log field.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrBusy):
+		return "busy"
+	case errors.Is(err, ErrQuota):
+		return "quota"
+	case errors.Is(err, ErrNotFound):
+		return "not_found"
+	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, ErrCanceled), errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	case errors.Is(err, ErrRegistryFull):
+		return "registry_full"
+	default:
+		return "error"
+	}
+}

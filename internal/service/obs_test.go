@@ -1,0 +1,289 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dexpander/internal/gen"
+	"dexpander/internal/graph"
+	"dexpander/internal/obs"
+	"dexpander/internal/triangle"
+)
+
+// startTracedReplicas boots n loopback replicas that trace (so they can
+// Adopt coordinator traces).
+func startTracedReplicas(t *testing.T, n int) (bases []string, svcs []*Service) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		svc := New(Config{Workers: 2, Tracer: obs.NewTracer(256, 1)})
+		srv := httptest.NewServer(svc.Handler())
+		t.Cleanup(srv.Close)
+		t.Cleanup(svc.Close)
+		bases = append(bases, srv.URL)
+		svcs = append(svcs, svc)
+	}
+	return bases, svcs
+}
+
+// TestTraceDistPropagation is the tentpole acceptance test: a count-dist
+// query against a 3-replica fleet, issued over HTTP with a fixed
+// X-Request-Id, must yield ONE trace — retrievable from the coordinator
+// at GET /v1/debug/traces/{id} — whose spans cover the coordinator
+// pipeline (http, query, compute, dist, dist.push, dist.count) AND the
+// replica-side replica.count spans from all three peers.
+func TestTraceDistPropagation(t *testing.T) {
+	bases, _ := startTracedReplicas(t, 3)
+	coord := New(Config{
+		Workers:    2,
+		Peers:      bases,
+		DistWindow: 2,
+		Tracer:     obs.NewTracer(1024, 1),
+	})
+	t.Cleanup(coord.Close)
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(srv.Close)
+
+	ctx := context.Background()
+	cl := NewClient(srv.URL)
+	cl.RequestID = "trace-dist-test-001"
+
+	spec := gen.Spec{Family: "gnp", Params: map[string]float64{"n": 96, "p": 0.2}, Seed: 7}
+	snap, err := coord.RegisterSpec("", spec)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	// Grid 4 → 20 block triples, so the deterministic schedule gives
+	// every one of the 3 peers work.
+	res, err := cl.TriangleCountDist(ctx, snap.ID, DistCountParams{Grid: 4})
+	if err != nil {
+		t.Fatalf("count-dist: %v", err)
+	}
+	// Bit-identity with instrumentation ENABLED: the traced, fleet-wide
+	// count serves the same total and checksum as the local kernel.
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := triangle.CountParallel2D(graph.WholeGraph(g), 0)
+	if res.Triangles != want || res.Checksum != checksumString(triangle.HashWords(uint64(want))) {
+		t.Fatalf("traced dist count %d (%s), local kernel %d", res.Triangles, res.Checksum, want)
+	}
+
+	tr, err := cl.Trace(ctx, cl.RequestID)
+	if err != nil {
+		t.Fatalf("fetch trace: %v", err)
+	}
+	if tr.TraceID != cl.RequestID {
+		t.Fatalf("trace id %q, want %q", tr.TraceID, cl.RequestID)
+	}
+	byName := map[string]int{}
+	peers := map[string]bool{}
+	ids := map[uint64]bool{}
+	for _, sp := range tr.Spans {
+		if sp.TraceID != cl.RequestID {
+			t.Fatalf("span %q carries trace %q, want %q", sp.Name, sp.TraceID, cl.RequestID)
+		}
+		byName[sp.Name]++
+		if sp.Name == "replica.count" {
+			peers[sp.Attrs["peer"]] = true
+		}
+		if ids[sp.ID] {
+			t.Fatalf("duplicate span ID %d in trace", sp.ID)
+		}
+		ids[sp.ID] = true
+	}
+	for _, want := range []string{"http", "query", "compute", "dist", "dist.push", "dist.count", "replica.count"} {
+		if byName[want] == 0 {
+			t.Fatalf("trace has no %q span; got %v", want, byName)
+		}
+	}
+	if byName["replica.count"] != byName["dist.count"] {
+		t.Fatalf("%d replica.count spans for %d dist.count spans", byName["replica.count"], byName["dist.count"])
+	}
+	if len(peers) != 3 {
+		t.Fatalf("replica.count spans name %d distinct peers, want 3: %v", len(peers), peers)
+	}
+	for pb := range peers {
+		found := false
+		for _, b := range bases {
+			if pb == b {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("replica.count peer %q is not a configured base %v", pb, bases)
+		}
+	}
+
+	// Parent links resolve within the trace: every non-root span's
+	// parent is a span the ring also holds (the fan-out is small enough
+	// that nothing was evicted).
+	for _, sp := range tr.Spans {
+		if sp.Parent != 0 && !ids[sp.Parent] {
+			t.Fatalf("span %q (id %d) has dangling parent %d", sp.Name, sp.ID, sp.Parent)
+		}
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics after a mixed workload and
+// checks the exposition parses as valid Prometheus text (ValidateProm
+// enforces bucket cumulativity, le monotonicity, and +Inf == _count)
+// and covers every stats v3 field's series.
+func TestMetricsEndpoint(t *testing.T) {
+	svc := New(Config{Workers: 2, Tracer: obs.NewTracer(256, 1)})
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+
+	ctx := context.Background()
+	snap, err := svc.RegisterSpec("acme", gen.Spec{Family: "gnp", Params: map[string]float64{"n": 64, "p": 0.2}, Seed: 3})
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if _, err := svc.Query(ctx, "acme", snap.ID, DecomposeParams{}); err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	if _, err := svc.Query(ctx, "acme", snap.ID, CountParams{}); err != nil {
+		t.Fatalf("count: %v", err)
+	}
+	if _, err := svc.Query(ctx, "acme", snap.ID, CountParams{}); err != nil { // cache hit
+		t.Fatalf("count (hit): %v", err)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != promContentType {
+		t.Fatalf("content type %q, want %q", ct, promContentType)
+	}
+	names, err := obs.ValidateProm(resp.Body)
+	if err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	// One series per stats v3 field (the README's mapping table).
+	want := []string{
+		"dexpander_stats_schema_version",
+		"dexpander_snapshots", "dexpander_cache_entries", "dexpander_in_flight",
+		"dexpander_workers", "dexpander_queue_cap", "dexpander_queue_depth", "dexpander_max_results",
+		"dexpander_computations_total", "dexpander_hits_total", "dexpander_joins_total",
+		"dexpander_busy_total", "dexpander_snapshot_evictions_total", "dexpander_cache_evictions_total",
+		"dexpander_cancellations_total", "dexpander_quota_rejections_total",
+		"dexpander_compute_latency_seconds", "dexpander_queue_depth_observed",
+		"dexpander_fragment_stores_total", "dexpander_fragment_hits_total",
+		"dexpander_fragment_bytes", "dexpander_fragment_evictions_total", "dexpander_dist_triples_total",
+		"dexpander_tenant_queries_total", "dexpander_tenant_computations_total",
+		"dexpander_tenant_hits_total", "dexpander_tenant_joins_total", "dexpander_tenant_busy_total",
+		"dexpander_tenant_quota_rejections_total", "dexpander_tenant_cancellations_total",
+		"dexpander_tenant_snapshot_refs", "dexpander_tenant_in_flight",
+		"dexpander_decompose_requests_total", "dexpander_decompose_latency_seconds",
+		"dexpander_trace_ring_capacity", "dexpander_trace_sample_ratio",
+		"dexpander_trace_spans_total", "dexpander_trace_spans_evicted_total",
+		"dexpander_phase_total", "dexpander_phase_seconds_total",
+	}
+	for _, n := range want {
+		if !names[n] {
+			t.Fatalf("exposition is missing series %q", n)
+		}
+	}
+}
+
+// TestHealthzReport checks the enriched healthz payload.
+func TestHealthzReport(t *testing.T) {
+	svc := New(Config{Workers: 1, Peers: []string{"http://a", "http://b"}})
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+
+	h, err := NewClient(srv.URL).Healthz(context.Background())
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status %q", h.Status)
+	}
+	if !strings.HasPrefix(h.GoVersion, "go") {
+		t.Fatalf("go_version %q", h.GoVersion)
+	}
+	if h.ModuleVersion == "" {
+		t.Fatalf("module_version empty")
+	}
+	if h.GOMAXPROCS < 1 {
+		t.Fatalf("gomaxprocs %d", h.GOMAXPROCS)
+	}
+	if h.Peers != 2 {
+		t.Fatalf("peers %d, want 2", h.Peers)
+	}
+}
+
+// TestRequestIDEcho checks header round-tripping: a valid caller ID is
+// echoed back; a malformed one is replaced with a generated trace ID.
+func TestRequestIDEcho(t *testing.T) {
+	svc := New(Config{Workers: 1, Tracer: obs.NewTracer(64, 1)})
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+
+	req, _ := http.NewRequest("GET", srv.URL+"/healthz", nil)
+	req.Header.Set(RequestIDHeader, "my-req.01")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "my-req.01" {
+		t.Fatalf("echoed request id %q, want %q", got, "my-req.01")
+	}
+
+	req, _ = http.NewRequest("GET", srv.URL+"/healthz", nil)
+	req.Header.Set(RequestIDHeader, "bad id with junk!")
+	resp, err = srv.Client().Do(req)
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	got := resp.Header.Get(RequestIDHeader)
+	if got == "" || got == "bad id with junk!" || len(got) != 16 {
+		t.Fatalf("malformed id not replaced with a generated trace ID: %q", got)
+	}
+}
+
+// TestQueryLogFields checks the structured query log line carries the
+// per-request fields the Observability contract names.
+func TestQueryLogFields(t *testing.T) {
+	var buf bytes.Buffer
+	svc := New(Config{
+		Workers:   1,
+		Logger:    obs.NewLogger(&buf, obs.LevelInfo),
+		SlowQuery: time.Nanosecond, // everything is slow: exercise the slow path
+	})
+	t.Cleanup(svc.Close)
+
+	snap, err := svc.RegisterSpec("acme", gen.Spec{Family: "gnp", Params: map[string]float64{"n": 48, "p": 0.2}, Seed: 1})
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if _, err := svc.Query(context.Background(), "acme", snap.ID, CountParams{}); err != nil {
+		t.Fatalf("count: %v", err)
+	}
+	line := strings.TrimSpace(buf.String())
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, line)
+	}
+	for _, k := range []string{"ts", "level", "msg", "tenant", "fingerprint", "algorithm", "outcome", "duration_ms", "slow"} {
+		if _, ok := rec[k]; !ok {
+			t.Fatalf("log line missing %q: %s", k, line)
+		}
+	}
+	if rec["tenant"] != "acme" || rec["outcome"] != "computed" || rec["level"] != "warn" {
+		t.Fatalf("unexpected log fields: %s", line)
+	}
+}

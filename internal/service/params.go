@@ -8,6 +8,7 @@ import (
 	"dexpander/internal/core"
 	"dexpander/internal/graph"
 	"dexpander/internal/nibble"
+	"dexpander/internal/obs"
 	"dexpander/internal/par"
 	"dexpander/internal/triangle"
 )
@@ -62,6 +63,10 @@ type runEnv struct {
 	// and dist tuning from svc.cfg and reports fleet counters through
 	// it. Implementations must not touch svc.mu-guarded state directly.
 	svc *Service
+	// span is the flight's compute span (nil when tracing is off).
+	// Implementations hang their phase spans under it; it never alters
+	// outputs.
+	span *obs.Span
 }
 
 // Result is one computed (and cached) analytics answer. All fields are
@@ -188,9 +193,12 @@ func (p DecomposeParams) canon() string {
 // quality bound (MaxEpsFraction, or Eps when unset); a fixed backend with
 // MaxEpsFraction set gets the same post-verification, as a hard error.
 func (p DecomposeParams) run(ctx context.Context, view *graph.Sub, env runEnv) (*Result, error) {
+	sp := env.span.Child("decompose")
+	defer sp.End()
 	opt := core.Options{
 		Eps: p.Eps, K: p.K, Preset: nibble.Practical, Seed: p.Seed,
 		Workers: env.workers, Check: par.CheckpointFromContext(ctx),
+		Span: sp,
 	}
 	start := time.Now()
 	var dec *core.Decomposition
@@ -223,6 +231,7 @@ func (p DecomposeParams) run(ctx context.Context, view *graph.Sub, env runEnv) (
 		}
 	}
 	elapsed := time.Since(start)
+	sp.Attr("backend", served)
 	if env.svc != nil {
 		env.svc.recordDecomposeBackend(served, elapsed)
 	}
@@ -280,9 +289,12 @@ func (p CountParams) run(ctx context.Context, view *graph.Sub, env runEnv) (*Res
 		return nil, err
 	}
 	cp := par.CheckpointFromContext(ctx)
+	sp := env.span.Child("count")
+	sp.Attr("kernel", p.Kernel)
+	defer sp.End()
 	start := time.Now()
 	if k == triangle.Kernel2D {
-		n, err := triangle.CountParallel2DCheck(view, env.workers, cp)
+		n, err := triangle.CountParallel2DSpan(view, env.workers, cp, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -339,9 +351,12 @@ func (p EnumerateParams) canon() string {
 // checksum, count, rounds, and messages match the bench matrix's
 // enumerate cells.
 func (p EnumerateParams) run(ctx context.Context, view *graph.Sub, env runEnv) (*Result, error) {
+	sp := env.span.Child("enumerate")
+	defer sp.End()
 	start := time.Now()
 	set, stats, err := triangle.Enumerate(view, triangle.Options{
 		Seed: p.Seed, Workers: env.workers, Check: par.CheckpointFromContext(ctx),
+		Span: sp,
 	})
 	if err != nil {
 		return nil, err
@@ -401,8 +416,11 @@ func (p DistCountParams) run(ctx context.Context, view *graph.Sub, env runEnv) (
 	peers := env.svc.cfg.Peers
 	if len(peers) == 0 {
 		cp := par.CheckpointFromContext(ctx)
+		sp := env.span.Child("count")
+		sp.Attr("kernel", "2d-local")
+		defer sp.End()
 		start := time.Now()
-		n, err := triangle.CountParallel2DCheck(view, env.workers, cp)
+		n, err := triangle.CountParallel2DSpan(view, env.workers, cp, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -412,7 +430,7 @@ func (p DistCountParams) run(ctx context.Context, view *graph.Sub, env runEnv) (
 			Triangles: n,
 		}, nil
 	}
-	return env.svc.distCount(ctx, view, env.fingerprint, p.Grid)
+	return env.svc.distCount(ctx, view, env.fingerprint, p.Grid, env.span)
 }
 
 // checksumString renders a digest the way every bench cell does, so

@@ -7,12 +7,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
 
 	"dexpander/internal/gen"
 	"dexpander/internal/graph"
+	"dexpander/internal/obs"
 	"dexpander/internal/triangle"
 )
 
@@ -37,6 +40,10 @@ const (
 	// deadline expiry is observed SERVER-side and reported with the
 	// "deadline" envelope code instead of a torn client-side connection.
 	TimeoutHeader = "X-Timeout-Ms"
+	// RequestIDHeader names the trace the request's spans are filed
+	// under (GET /v1/debug/traces/{id}). Absent or malformed, the server
+	// generates one; the response always echoes the effective value.
+	RequestIDHeader = "X-Request-Id"
 )
 
 // maxTenantName bounds the tenant header (it becomes a map key in the
@@ -122,7 +129,9 @@ func codeOf(err error) (int, string, bool) {
 //	PUT    /v1/dist/fragments/{id}/{p}/{lo}/{hi} push one CSR fragment (fleet-internal)
 //	POST   /v1/dist/count                    count one block triple (fleet-internal)
 //	GET    /v1/stats                         service counters (schema v3)
-//	GET    /healthz                          liveness
+//	GET    /v1/debug/traces/{id}             one trace's recorded spans
+//	GET    /metrics                          Prometheus text exposition
+//	GET    /healthz                          liveness + build/version report
 //
 // Every mutating/compute endpoint honors the X-Tenant and X-Timeout-Ms
 // headers; errors use the uniform envelope (errorResponse). Responses
@@ -141,10 +150,107 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("PUT /v1/dist/fragments/{id}/{p}/{lo}/{hi}", s.handlePutFragment)
 	mux.HandleFunc("POST /v1/dist/count", s.handleDistCount)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	mux.HandleFunc("GET /v1/debug/traces/{id}", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s.instrument(mux)
+}
+
+// statusWriter captures the response status for the request span/log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// sanitizeRequestID accepts a caller-supplied X-Request-Id only when it
+// is short and printable-safe: it becomes a map key in the trace ring
+// and a JSON log field, so arbitrary bytes are rejected rather than
+// escaped.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// instrument wraps the API mux with the request-scoped observability
+// shell: it resolves the request's trace ID (the sanitized X-Request-Id
+// header, or a fresh one), echoes it, opens the root "http" span that
+// the query span parents under via the request context, and emits one
+// structured access-log line per request. With tracing and logging both
+// disabled it returns the mux untouched, so the served path is
+// byte-for-byte the pre-observability one.
+func (s *Service) instrument(mux http.Handler) http.Handler {
+	if s.cfg.Tracer == nil && s.cfg.Logger == nil {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w}
+		var sp *obs.Span
+		if s.cfg.Tracer != nil {
+			sp = s.cfg.Tracer.Root(id, "http")
+			sp.Attr("method", r.Method).Attr("path", r.URL.Path)
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
+		}
+		mux.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		sp.AttrInt("status", status)
+		sp.End()
+		if lg := s.cfg.Logger; lg != nil {
+			elapsed := time.Since(start)
+			kv := []any{
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", status,
+				"request_id", id,
+				"duration_ms", float64(elapsed) / float64(time.Millisecond),
+			}
+			if tn := r.Header.Get(TenantHeader); tn != "" && len(tn) <= maxTenantName {
+				kv = append(kv, "tenant", tn)
+			}
+			if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+				kv = append(kv, "slow", true)
+				lg.Warn("http", kv...)
+			} else if lg.Enabled(obs.LevelDebug) {
+				// Per-request HTTP lines are debug-level: the query log
+				// already covers the compute endpoints at info.
+				lg.Debug("http", kv...)
+			}
+		}
 	})
-	return mux
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -257,6 +363,55 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// HealthResponse is the GET /healthz payload: liveness plus the
+// build/version facts an operator wants before anything else when a
+// replica misbehaves.
+type HealthResponse struct {
+	Status        string `json:"status"`
+	GoVersion     string `json:"go_version"`
+	ModuleVersion string `json:"module_version"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Peers         int    `json:"peers"`
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := HealthResponse{
+		Status:        "ok",
+		GoVersion:     runtime.Version(),
+		ModuleVersion: "(devel)",
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Peers:         len(s.cfg.Peers),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		h.ModuleVersion = bi.Main.Version
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// TraceResponse is the GET /v1/debug/traces/{id} payload: every span
+// recorded under the trace still resident in the ring, sorted by start
+// time. Spans from replica fleets carry a "peer" attribute naming the
+// base URL they ran on.
+type TraceResponse struct {
+	TraceID string     `json:"trace_id"`
+	Spans   []obs.Span `json:"spans"`
+}
+
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.cfg.Tracer
+	if tr == nil {
+		writeError(w, fmt.Errorf("%w: tracing disabled", ErrNotFound))
+		return
+	}
+	id := r.PathValue("id")
+	spans := tr.Trace(id)
+	if len(spans) == 0 {
+		writeError(w, fmt.Errorf("%w: no spans recorded for trace %q (evicted, unsampled, or never seen)", ErrNotFound, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{TraceID: id, Spans: spans})
+}
+
 // distCountRequest is the JSON body of the fleet-internal POST
 // /v1/dist/count: one block triple against fragments resident under the
 // named snapshot and tiling.
@@ -264,10 +419,23 @@ type distCountRequest struct {
 	Snapshot string               `json:"snapshot"`
 	Tiling   triangle.Tiling      `json:"tiling"`
 	Triple   triangle.BlockTriple `json:"triple"`
+	// Trace, when set, asks the replica to run the count under a span of
+	// the named trace and return it, so the coordinator merges one
+	// cross-replica trace out of the fan-out.
+	Trace *traceRef `json:"trace,omitempty"`
+}
+
+// traceRef names the coordinator span a replica's work parents under.
+type traceRef struct {
+	ID     string `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
 }
 
 type distCountResponse struct {
 	Count int `json:"count"`
+	// Spans are the replica-side spans of the coordinator's trace
+	// (present only when the request carried a traceRef).
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // handlePutFragment stores one encoded CSR fragment in the replica's
@@ -308,12 +476,29 @@ func (s *Service) handleDistCount(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("parse dist count request: %w", err))
 		return
 	}
+	// Adopt the coordinator's trace so the replica's span carries the
+	// same trace ID and parents under the coordinator's dist.count
+	// span. The snapshot travels back in the response for the
+	// coordinator to merge (and stays in this replica's ring too).
+	var sp *obs.Span
+	if req.Trace != nil && s.cfg.Tracer != nil && sanitizeRequestID(req.Trace.ID) != "" {
+		sp = s.cfg.Tracer.Adopt(req.Trace.ID, req.Trace.Parent, "replica.count")
+		sp.AttrInt("bi", req.Triple.I).AttrInt("bj", req.Triple.J).AttrInt("bk", req.Triple.K)
+	}
 	n, err := s.DistCountTriple(req.Snapshot, req.Tiling, req.Triple)
 	if err != nil {
+		if sp != nil {
+			sp.Attr("outcome", "error").End()
+		}
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, distCountResponse{Count: n})
+	resp := distCountResponse{Count: n}
+	if sp != nil {
+		sp.AttrInt("count", n).End()
+		resp.Spans = []obs.Span{sp.Snapshot()}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // queryHandler serves one algorithm endpoint with its typed params (an

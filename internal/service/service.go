@@ -39,6 +39,7 @@ import (
 
 	"dexpander/internal/gen"
 	"dexpander/internal/graph"
+	"dexpander/internal/obs"
 	"dexpander/internal/par"
 )
 
@@ -137,6 +138,18 @@ type Config struct {
 	// cache (decoded CSR bytes); 0 means 256 MiB. Admitting a fragment
 	// over the bound evicts least-recently-used fragments first.
 	MaxFragmentBytes int64
+
+	// Tracer records request/compute spans (nil disables tracing: every
+	// probe collapses to a pointer test and outputs are bit-identical
+	// either way). Traces are retrievable at GET /v1/debug/traces/{id}
+	// and feed the per-phase series on GET /metrics.
+	Tracer *obs.Tracer
+	// Logger receives structured JSON request/query logs (nil disables
+	// logging).
+	Logger *obs.Logger
+	// SlowQuery marks queries and requests slower than this with
+	// slow=true at warn level; 0 disables the threshold.
+	SlowQuery time.Duration
 }
 
 // withDefaults also clamps negative values to the defaults (an operator
@@ -235,14 +248,18 @@ type entry struct {
 
 	cost     int64  // compute cost (ns) backing the eviction score
 	lastUsed uint64 // logical tick of admission or last cache hit
+
+	span *obs.Span // compute span of the admitting trace (nil = untraced)
 }
 
 // Hist is a self-describing power-of-two histogram: Counts[i] counts
 // observations v with v <= Le[i] (and > Le[i-1]); Counts[len(Le)] is the
-// overflow bucket. Le[i] = 2^(i+1)-1.
+// overflow bucket. Le[i] = 2^(i+1)-1. Sum totals the observed values
+// (additive schema v3 field; it feeds the Prometheus _sum sample).
 type Hist struct {
 	Le     []uint64 `json:"le"`
 	Counts []uint64 `json:"counts"`
+	Sum    uint64   `json:"sum"`
 }
 
 func newHist(buckets int) *Hist {
@@ -254,6 +271,7 @@ func newHist(buckets int) *Hist {
 }
 
 func (h *Hist) observe(v uint64) {
+	h.Sum += v
 	for i, le := range h.Le {
 		if v <= le {
 			h.Counts[i]++
@@ -267,7 +285,7 @@ func (h *Hist) clone() *Hist {
 	if h == nil {
 		return nil
 	}
-	cp := &Hist{Le: make([]uint64, len(h.Le)), Counts: make([]uint64, len(h.Counts))}
+	cp := &Hist{Le: make([]uint64, len(h.Le)), Counts: make([]uint64, len(h.Counts)), Sum: h.Sum}
 	copy(cp.Le, h.Le)
 	copy(cp.Counts, h.Counts)
 	return cp
@@ -350,6 +368,26 @@ type Stats struct {
 	// backend it selected. Counters cover computations only: cache hits
 	// and joins never re-run a backend and are not recorded here.
 	Decompose map[string]*BackendStats `json:"decompose,omitempty"`
+
+	// DistPeers maps each configured replica base URL to this
+	// coordinator's per-peer counters (additive within schema v3; keys
+	// appear on first use, so a coordinator that never ran a dist job
+	// has an empty section). These are the per-peer series on /metrics.
+	DistPeers map[string]*PeerDistStats `json:"dist_peers,omitempty"`
+}
+
+// PeerDistStats is one replica's section of Stats.DistPeers, accounted
+// on the coordinator.
+type PeerDistStats struct {
+	// Triples counts block-triple tasks this peer answered.
+	Triples uint64 `json:"triples"`
+	// Pushes counts fragment uploads to this peer; PushBytes totals
+	// their encoded sizes.
+	Pushes    uint64 `json:"pushes"`
+	PushBytes int64  `json:"push_bytes"`
+	// Failures counts transport errors that marked the peer dead for a
+	// job (its remaining triples failed over to the surviving peers).
+	Failures uint64 `json:"failures"`
 }
 
 // BackendStats is one decomposition backend's section of Stats.Decompose.
@@ -375,6 +413,19 @@ func (s *Service) recordDecomposeBackend(name string, elapsed time.Duration) {
 	}
 	bs.Requests++
 	bs.LatencyUS.observe(uint64(elapsed.Microseconds()))
+}
+
+// recordDistPeer accounts coordinator-side dist activity to one peer.
+// Takes s.mu itself: the coordinator calls it from per-peer goroutines.
+func (s *Service) recordDistPeer(base string, f func(*PeerDistStats)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps, ok := s.stats.DistPeers[base]
+	if !ok {
+		ps = &PeerDistStats{}
+		s.stats.DistPeers[base] = ps
+	}
+	f(ps)
 }
 
 // tenant is one tenant's quota and accounting state.
@@ -441,6 +492,7 @@ func New(cfg Config) *Service {
 		work:    make(chan *entry, cfg.Queue),
 	}
 	s.stats.Decompose = make(map[string]*BackendStats)
+	s.stats.DistPeers = make(map[string]*PeerDistStats)
 	s.stats.SchemaVersion = 3
 	s.stats.Workers = cfg.Workers
 	s.stats.QueueCap = cfg.Queue
@@ -516,12 +568,20 @@ func (s *Service) worker() {
 			// Canceled while still queued: every waiter is gone and the
 			// entry is already unlinked; don't burn the worker on it.
 			err = fmt.Errorf("%w: %v", ErrCanceled, err)
+			e.span.Attr("outcome", "canceled_queued")
 		} else {
 			ran = true
 			start := time.Now()
 			res, err = e.run(e.ctx, e.snap.view)
 			elapsed = time.Since(start)
+			switch {
+			case err != nil:
+				e.span.Attr("outcome", "error")
+			default:
+				e.span.Attr("outcome", "ok")
+			}
 		}
+		e.span.End()
 		s.mu.Lock()
 		e.completed = true
 		e.result, e.err = res, err
@@ -714,6 +774,11 @@ func (s *Service) Stats() Stats {
 	for name, bs := range s.stats.Decompose {
 		st.Decompose[name] = &BackendStats{Requests: bs.Requests, LatencyUS: bs.LatencyUS.clone()}
 	}
+	st.DistPeers = make(map[string]*PeerDistStats, len(s.stats.DistPeers))
+	for base, ps := range s.stats.DistPeers {
+		cp := *ps
+		st.DistPeers[base] = &cp
+	}
 	st.Tenants = make(map[string]TenantStats, len(s.tenants))
 	for name, t := range s.tenants {
 		ts := t.stats
@@ -785,7 +850,7 @@ func ctxError(ctx context.Context) error {
 // within one checkpoint interval, and nothing is cached. Uncanceled
 // results are bit-identical to direct library calls for every worker
 // count and tenant.
-func (s *Service) Query(ctx context.Context, tn, id string, p Params) (*Result, error) {
+func (s *Service) Query(ctx context.Context, tn, id string, p Params) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -800,6 +865,10 @@ func (s *Service) Query(ctx context.Context, tn, id string, p Params) (*Result, 
 	canon := p.canon()
 	env := runEnv{workers: s.cfg.AlgoWorkers, svc: s}
 
+	q := s.beginQuery(ctx, id, algorithm, canon)
+	q.setTenant(tn)
+	defer func() { q.finish(res, err) }()
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -810,6 +879,7 @@ func (s *Service) Query(ctx context.Context, tn, id string, p Params) (*Result, 
 		s.mu.Unlock()
 		return nil, err
 	}
+	q.setTenant(tn)
 	t.stats.Queries++
 	snap, ok := s.snaps[id]
 	if !ok {
@@ -825,12 +895,14 @@ func (s *Service) Query(ctx context.Context, tn, id string, p Params) (*Result, 
 			e.lastUsed = s.tick
 			res, err := e.result, e.err
 			s.mu.Unlock()
+			q.served("hit")
 			return res, err
 		}
 		s.stats.Joins++
 		t.stats.Joins++
 		e.waiters++
 		s.mu.Unlock()
+		q.served("join")
 		return s.wait(ctx, tn, e)
 	}
 	if s.cfg.TenantMaxInFlight > 0 && t.inFlight >= s.cfg.TenantMaxInFlight {
@@ -842,8 +914,10 @@ func (s *Service) Query(ctx context.Context, tn, id string, p Params) (*Result, 
 			ErrQuota, held, s.cfg.TenantMaxInFlight)
 	}
 	env.fingerprint = snap.fingerprint
+	env.span = q.computeSpan()
 	fctx, fcancel := context.WithCancel(context.Background())
 	e := &entry{
+		span:   env.span,
 		key:    key,
 		snap:   snap,
 		tenant: tn,
@@ -883,9 +957,13 @@ func (s *Service) Query(ctx context.Context, tn, id string, p Params) (*Result, 
 		t.stats.Busy++
 		s.mu.Unlock()
 		fcancel()
+		// The compute span never reaches a worker; close it here so
+		// the trace shows the rejected admission.
+		e.span.Attr("outcome", "busy").End()
 		return nil, ErrBusy
 	}
 	s.mu.Unlock()
+	q.served("computed")
 	return s.wait(ctx, tn, e)
 }
 

@@ -8,6 +8,7 @@ import (
 	"dexpander/internal/core"
 	"dexpander/internal/graph"
 	"dexpander/internal/nibble"
+	"dexpander/internal/obs"
 	"dexpander/internal/par"
 	"dexpander/internal/rng"
 	"dexpander/internal/route"
@@ -46,6 +47,10 @@ type Options struct {
 	// (or decomposition subroutine) call; an uncanceled run's output is
 	// untouched.
 	Check par.Checkpoint
+	// Span, when non-nil, receives one child per recursion level (with
+	// decomposition and per-component sub-spans). Purely
+	// observational; a nil Span costs one pointer test per level.
+	Span *obs.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -158,6 +163,8 @@ func Enumerate(view *graph.Sub, opt Options) (*Set, Stats, error) {
 			}
 		}
 		st.Recursions++
+		lsp := opt.Span.Child("enumerate.level")
+		lsp.AttrInt("level", level).AttrInt("edges", remaining)
 		cur := graph.NewSub(g, view.Members(), mask)
 		dec, err := core.Decompose(cur, core.Options{
 			Eps:     opt.Eps,
@@ -166,8 +173,10 @@ func Enumerate(view *graph.Sub, opt Options) (*Set, Stats, error) {
 			Seed:    root.Fork(uint64(level)).Uint64(),
 			Workers: opt.Workers,
 			Check:   opt.Check,
+			Span:    lsp,
 		}, opt.Subs)
 		if err != nil {
+			lsp.End()
 			return nil, st, fmt.Errorf("triangle: decomposition at level %d: %w", level, err)
 		}
 		st.Rounds += dec.Stats.Rounds
@@ -199,12 +208,15 @@ func Enumerate(view *graph.Sub, opt Options) (*Set, Stats, error) {
 			})
 		}
 		results := make([]compResult, len(tasks))
-		if err := par.ForEachCheck(workers, len(tasks), opt.Check, func(i int) {
+		if err := par.ForEachCheckSpan(workers, len(tasks), opt.Check, lsp, "enumerate.component", func(i int) {
 			set, cs, err := processComponent(cur, final, tasks[i].comp, opt, tasks[i].seed)
 			results[i] = compResult{set: set, stats: cs, err: err}
 		}); err != nil {
+			lsp.End()
 			return nil, st, err
 		}
+		lsp.AttrInt("components", len(tasks))
+		lsp.End()
 		compStats := make([]congest.Stats, 0, len(results))
 		for i, res := range results {
 			if res.err != nil {

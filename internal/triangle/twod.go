@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"dexpander/internal/graph"
+	"dexpander/internal/obs"
 	"dexpander/internal/par"
 )
 
@@ -61,9 +62,17 @@ func CountParallel2D(view *graph.Sub, workers int) int {
 // errors, no further block tasks start and that error is returned. An
 // uncanceled run returns exactly CountParallel2D's count.
 func CountParallel2DCheck(view *graph.Sub, workers int, cp par.Checkpoint) (int, error) {
+	return CountParallel2DSpan(view, workers, cp, nil)
+}
+
+// CountParallel2DSpan is CountParallel2DCheck with per-block-triple
+// tracing: when sp is non-nil each block-triple task runs under a
+// child span carrying the (i, j, k) block coordinates. A nil sp adds
+// one pointer test to the whole call; counts are identical either way.
+func CountParallel2DSpan(view *graph.Sub, workers int, cp par.Checkpoint, sp *obs.Span) (int, error) {
 	w := resolveWorkers(workers)
 	rc := buildRankCSR(view)
-	return countTwoD(rc, w, twoDGrid(w, rc.ranks()), cp)
+	return countTwoD(rc, w, twoDGrid(w, rc.ranks()), cp, sp)
 }
 
 // CountParallel2DGrid is CountParallel2D with an explicit p x p tiling,
@@ -76,7 +85,7 @@ func CountParallel2DGrid(view *graph.Sub, workers, p int) int {
 	if p > rc.ranks() && rc.ranks() > 0 {
 		p = rc.ranks()
 	}
-	n, _ := countTwoD(rc, resolveWorkers(workers), p, nil)
+	n, _ := countTwoD(rc, resolveWorkers(workers), p, nil, nil)
 	return n
 }
 
@@ -125,8 +134,9 @@ func lowerBound(s []int32, x int32) int {
 
 // countTwoD runs the block-triple tasks on the internal/par pool and
 // reduces the private accumulators in task order. cp is probed before
-// each block triple starts (nil = never canceled).
-func countTwoD(rc rankCSR, workers, p int, cp par.Checkpoint) (int, error) {
+// each block triple starts (nil = never canceled); sp, when non-nil,
+// gets one child span per block triple.
+func countTwoD(rc rankCSR, workers, p int, cp par.Checkpoint, sp *obs.Span) (int, error) {
 	if rc.ranks() == 0 {
 		return 0, nil
 	}
@@ -141,7 +151,7 @@ func countTwoD(rc rankCSR, workers, p int, cp par.Checkpoint) (int, error) {
 		}
 	}
 	counts := make([]int, len(tasks))
-	if err := par.ForEachCheck(workers, len(tasks), cp, func(ti int) {
+	fn := func(ti int) {
 		t := tasks[ti]
 		sc := getTwoDScratch(rc.ranks())
 		defer twoDScratchPool.Put(sc)
@@ -171,7 +181,19 @@ func countTwoD(rc rankCSR, workers, p int, cp par.Checkpoint) (int, error) {
 			}
 		}
 		counts[ti] = n
-	}); err != nil {
+	}
+	if sp != nil {
+		inner := fn
+		fn = func(ti int) {
+			t := tasks[ti]
+			child := sp.Child("triangle.triple")
+			child.AttrInt("bi", t.i).AttrInt("bj", t.j).AttrInt("bk", t.k)
+			inner(ti)
+			child.AttrInt("count", counts[ti])
+			child.End()
+		}
+	}
+	if err := par.ForEachCheck(workers, len(tasks), cp, fn); err != nil {
 		return 0, err
 	}
 	total := 0
